@@ -1,0 +1,223 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// window size, thresholding, uniform vs packed layout, overlapping
+// windows, adaptive decompression, and common-subexpression elimination
+// in the shift-add networks. Each reports its figure of merit as a
+// custom metric so `go test -bench=Ablation` prints the whole study.
+package compaqt_test
+
+import (
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/csd"
+	"compaqt/internal/dct"
+	"compaqt/internal/device"
+	"compaqt/internal/engine"
+	"compaqt/internal/hwmodel"
+	"compaqt/internal/wave"
+)
+
+// ablationPulse is the shared workload: a Guadalupe CR waveform.
+func ablationPulse(b *testing.B) *wave.Fixed {
+	b.Helper()
+	m := device.Guadalupe()
+	p, err := m.CXPulse(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Waveform.Quantize()
+}
+
+// BenchmarkAblationWindowSize sweeps WS in {4,8,16,32}: ratio rises and
+// fmax falls with WS — the tension that makes 16 the paper's sweet
+// spot.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	f := ablationPulse(b)
+	for _, ws := range []int{4, 8, 16, 32} {
+		b.Run(bname("ws", ws), func(b *testing.B) {
+			var ratio, mse float64
+			for i := 0; i < b.N; i++ {
+				c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: ws})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := c.Decompress()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = c.Ratio(compress.LayoutUniform)
+				mse = wave.MSEFixed(f, d)
+			}
+			fr, err := hwmodel.ClockRatio(hwmodel.EngineIntDCTW, ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(ratio, "uniform-R")
+			b.ReportMetric(mse*1e7, "MSE-1e-7")
+			b.ReportMetric(fr, "fmax-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the relative threshold: the
+// ratio/MSE tradeoff Algorithm 1 navigates.
+func BenchmarkAblationThreshold(b *testing.B) {
+	f := ablationPulse(b)
+	for _, thr := range []float64{0.002, 0.004, 0.008, 0.016, 0.032} {
+		b.Run(bnameF("thr", thr), func(b *testing.B) {
+			var ratio, mse float64
+			for i := 0; i < b.N; i++ {
+				c, err := compress.Compress(f, compress.Options{
+					Variant: compress.IntDCTW, WindowSize: 16, Threshold: thr,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := c.Decompress()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = c.Ratio(compress.LayoutPacked)
+				mse = wave.MSEFixed(f, d)
+			}
+			b.ReportMetric(ratio, "packed-R")
+			b.ReportMetric(mse*1e7, "MSE-1e-7")
+		})
+	}
+}
+
+// BenchmarkAblationLayout compares packed vs uniform accounting: what
+// the deterministic-bandwidth layout costs in capacity (Section V-A).
+func BenchmarkAblationLayout(b *testing.B) {
+	f := ablationPulse(b)
+	var packed, uniform float64
+	for i := 0; i < b.N; i++ {
+		c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		packed = c.Ratio(compress.LayoutPacked)
+		uniform = c.Ratio(compress.LayoutUniform)
+	}
+	b.ReportMetric(packed, "packed-R")
+	b.ReportMetric(uniform, "uniform-R")
+	b.ReportMetric(packed/uniform, "capacity-cost")
+}
+
+// BenchmarkAblationOverlap compares plain vs overlapping windows at
+// WS=8 (the paper's proposed boundary-distortion fix).
+func BenchmarkAblationOverlap(b *testing.B) {
+	m := device.Guadalupe()
+	f := m.XPulse(0).Waveform.Quantize()
+	const thr = 0.016
+	var plainB, overB, plainR, overR float64
+	for i := 0; i < b.N; i++ {
+		plain, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 8, Threshold: thr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dp, err := plain.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
+		over, err := compress.CompressOverlapped(f, 8, thr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		do, err := over.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainB = compress.BoundaryMSE(f, dp, 8) * 1e7
+		overB = compress.BoundaryMSE(f, do, 5) * 1e7
+		plainR = plain.Ratio(compress.LayoutPacked)
+		overR = over.Ratio(compress.LayoutPacked)
+	}
+	b.ReportMetric(plainB, "plain-boundary-MSE-1e-7")
+	b.ReportMetric(overB, "overlap-boundary-MSE-1e-7")
+	b.ReportMetric(plainR, "plain-R")
+	b.ReportMetric(overR, "overlap-R")
+}
+
+// BenchmarkAblationAdaptive compares plain vs adaptive decompression
+// memory traffic on a flat-top (the Fig. 19 mechanism).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	f := ablationPulse(b)
+	e, err := engine.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plainWords, adaptWords float64
+	for i := 0; i < b.N; i++ {
+		for _, adaptive := range []bool{false, true} {
+			c, err := compress.Compress(f, compress.Options{
+				Variant: compress.IntDCTW, WindowSize: 16, Adaptive: adaptive,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, st, err := e.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if adaptive {
+				adaptWords = float64(st.MemWords)
+			} else {
+				plainWords = float64(st.MemWords)
+			}
+		}
+	}
+	b.ReportMetric(plainWords, "plain-mem-words")
+	b.ReportMetric(adaptWords, "adaptive-mem-words")
+	b.ReportMetric(plainWords/adaptWords, "traffic-reduction")
+}
+
+// BenchmarkAblationCSE quantifies what greedy common-subexpression
+// elimination saves in the shift-add networks (Table IV's counts).
+func BenchmarkAblationCSE(b *testing.B) {
+	for _, ws := range []int{8, 16, 32} {
+		b.Run(bname("ws", ws), func(b *testing.B) {
+			coeffs := dct.Coefficients(ws)
+			var naive, cse int
+			for i := 0; i < b.N; i++ {
+				net := csd.NewNetwork(coeffs)
+				naive = net.Adders()
+				cse, _ = csd.MCMCost(coeffs)
+			}
+			b.ReportMetric(float64(naive), "naive-adders")
+			b.ReportMetric(float64(cse), "cse-adders")
+			b.ReportMetric(float64(naive-cse), "adders-saved")
+		})
+	}
+}
+
+func bname(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func bnameF(prefix string, v float64) string {
+	// Render thresholds as per-mille to keep sub-benchmark names clean.
+	return prefix + "=" + itoa(int(v*1000)) + "e-3"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,243 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper (BenchmarkFig*/BenchmarkTable* regenerate the artifact and
+// report its headline numbers as custom metrics), plus microbenchmarks
+// of the hot paths (integer DCT, RLE, decompression engine, compiler).
+//
+//	go test -bench=. -benchmem
+package compaqt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/core"
+	"compaqt/internal/dct"
+	"compaqt/internal/device"
+	"compaqt/internal/engine"
+	"compaqt/internal/experiments"
+	"compaqt/internal/rle"
+	"compaqt/internal/wave"
+)
+
+// benchExperiment runs one registered experiment driver per iteration.
+func benchExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// metric parses a numeric cell into a reported metric.
+func metric(b *testing.B, tab *experiments.Table, row, col int, name string) {
+	b.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(tab.Rows[row][col], "%f", &v); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig5a(b *testing.B)  { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)  { benchExperiment(b, "fig5b") }
+
+func BenchmarkFig5c(b *testing.B) {
+	tab := benchExperiment(b, "fig5c")
+	metric(b, tab, 0, 1, "qaoa40-peak-GB/s")
+	metric(b, tab, 2, 1, "surface81-peak-GB/s")
+}
+
+func BenchmarkFig5d(b *testing.B) {
+	tab := benchExperiment(b, "fig5d")
+	metric(b, tab, 1, 1, "bw-bound-qubits")
+}
+
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+func BenchmarkFig7b(b *testing.B) {
+	tab := benchExperiment(b, "fig7b")
+	metric(b, tab, 3, 2, "intdctw-ws16-overall-R")
+}
+
+func BenchmarkFig7c(b *testing.B) { benchExperiment(b, "fig7c") }
+
+func BenchmarkFig9(b *testing.B) {
+	tab := benchExperiment(b, "fig9")
+	metric(b, tab, len(tab.Rows)-2, 1, "baseline-RB-fidelity")
+}
+
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+func BenchmarkFig15(b *testing.B) {
+	if testing.Short() {
+		b.Skip("80K-shot fidelity simulation")
+	}
+	tab := benchExperiment(b, "fig15")
+	metric(b, tab, 0, 3, "swap-ws16-norm-fidelity")
+}
+
+func BenchmarkFig16(b *testing.B) {
+	tab := benchExperiment(b, "fig16")
+	metric(b, tab, 1, 2, "dctw-fmax-ratio")
+}
+
+func BenchmarkFig17a(b *testing.B) { benchExperiment(b, "fig17a") }
+
+func BenchmarkFig17b(b *testing.B) {
+	tab := benchExperiment(b, "fig17b")
+	metric(b, tab, 2, 1, "ws16-logical-qubits")
+}
+
+func BenchmarkFig18(b *testing.B) {
+	tab := benchExperiment(b, "fig18")
+	metric(b, tab, 0, 4, "uncompressed-total-mW")
+	metric(b, tab, 2, 4, "ws16-total-mW")
+}
+
+func BenchmarkFig19(b *testing.B) {
+	tab := benchExperiment(b, "fig19")
+	metric(b, tab, 2, 4, "ws16-adaptive-total-mW")
+}
+
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+
+func BenchmarkTableIII(b *testing.B) {
+	if testing.Short() {
+		b.Skip("12 RB runs")
+	}
+	benchExperiment(b, "table3")
+}
+
+func BenchmarkTableIV(b *testing.B) { benchExperiment(b, "table4") }
+
+func BenchmarkTableV(b *testing.B) {
+	tab := benchExperiment(b, "table5")
+	metric(b, tab, 2, 2, "ws16-qubit-gain")
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	tab := benchExperiment(b, "table7")
+	metric(b, tab, 3, 3, "guadalupe-avg-R")
+}
+
+func BenchmarkTableVIII(b *testing.B) { benchExperiment(b, "table8") }
+func BenchmarkTableIX(b *testing.B)   { benchExperiment(b, "table9") }
+
+// Microbenchmarks of the hot paths.
+
+func BenchmarkIntDCTForward16(b *testing.B) {
+	x := make([]int16, 16)
+	for i := range x {
+		x[i] = int16(1000 * i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dct.IntForward(x, 16)
+	}
+}
+
+func BenchmarkIntIDCT16(b *testing.B) {
+	y := make([]int32, 16)
+	y[0], y[1], y[2] = 20000, -3000, 400
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dct.IntInverse(y, 16)
+	}
+}
+
+func BenchmarkEngineIDCTShiftAdd16(b *testing.B) {
+	e, err := engine.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]int32, 16)
+	y[0], y[1], y[2] = 20000, -3000, 400
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.IDCT(y)
+	}
+}
+
+func BenchmarkRLEEncodeWindow(b *testing.B) {
+	win := make([]int16, 16)
+	win[0], win[1] = 20000, -3000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rle.EncodeWindow(win)
+	}
+}
+
+func BenchmarkCompressDRAG(b *testing.B) {
+	f := wave.DRAG("X", 4.54e9, wave.DRAGParams{
+		Amp: 0.45, Duration: 35.2e-9, Sigma: 8.8e-9, Beta: 0.6,
+	}).Quantize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressEngineCR(b *testing.B) {
+	m := device.Guadalupe()
+	p, err := m.CXPulse(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := compress.Compress(p.Waveform.Quantize(), compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var samples int64
+	for i := 0; i < b.N; i++ {
+		_, st, err := e.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = st.SamplesOut
+	}
+	b.ReportMetric(float64(samples), "samples/op")
+}
+
+func BenchmarkCompileGuadalupeLibrary(b *testing.B) {
+	m := device.Guadalupe()
+	compiler := &core.Compiler{WindowSize: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		img, err := compiler.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(img.Stats().PackedRatio, "packed-R")
+		}
+	}
+}
+
+func BenchmarkFidelityAwareCompression(b *testing.B) {
+	f := wave.DRAG("X", 4.54e9, wave.DRAGParams{
+		Amp: 0.45, Duration: 35.2e-9, Sigma: 8.8e-9, Beta: 0.6,
+	}).Quantize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.FidelityAware(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16}, 5e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

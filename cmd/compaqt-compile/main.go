@@ -1,0 +1,71 @@
+// compaqt-compile runs the COMPAQT compiler module (Fig. 6): it
+// compresses a machine's calibrated pulse library with the windowed
+// integer DCT and writes the waveform-memory image that would be loaded
+// onto the controller after a calibration cycle.
+//
+// Usage:
+//
+//	compaqt-compile -machine ibmq_guadalupe -ws 16 -o guadalupe.cpqt
+//	compaqt-compile -machine ibmq_bogota -ws 8 -adaptive -mse 5e-6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compaqt/internal/core"
+	"compaqt/internal/device"
+)
+
+func main() {
+	machine := flag.String("machine", "ibmq_guadalupe", "catalog machine name (see -machines)")
+	listMachines := flag.Bool("machines", false, "list machine names and exit")
+	ws := flag.Int("ws", 16, "int-DCT window size (4, 8, 16, 32)")
+	adaptive := flag.Bool("adaptive", false, "enable flat-top adaptive compression (ASIC path)")
+	mse := flag.Float64("mse", 0, "fidelity-aware MSE target (0 = fixed threshold)")
+	out := flag.String("o", "", "output image path (default: none, stats only)")
+	flag.Parse()
+
+	if *listMachines {
+		for _, n := range device.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	m, err := device.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	compiler := &core.Compiler{WindowSize: *ws, TargetMSE: *mse, Adaptive: *adaptive}
+	img, err := compiler.Compile(m)
+	if err != nil {
+		fatal(err)
+	}
+	s := img.Stats()
+	fmt.Printf("machine:        %s (%d qubits)\n", m.Name, m.Qubits)
+	fmt.Printf("pulses:         %d\n", s.Entries)
+	fmt.Printf("original:       %d words (%.1f KB)\n", s.OriginalWords, float64(s.OriginalWords)*2/1024)
+	fmt.Printf("packed:         %d words  R = %.2f\n", s.PackedWords, s.PackedRatio)
+	fmt.Printf("uniform:        %d words  R = %.2f (worst window %d)\n", s.UniformWords, s.UniformRatio, s.WorstWindow)
+	if s.RepeatSamples > 0 {
+		fmt.Printf("repeat samples: %d (adaptive flat-top path)\n", s.RepeatSamples)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		n, err := img.WriteTo(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("image:          %s (%d bytes)\n", *out, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compaqt-compile:", err)
+	os.Exit(1)
+}

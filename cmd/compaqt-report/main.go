@@ -1,0 +1,65 @@
+// compaqt-report regenerates the paper's evaluation: every table and
+// figure of the COMPAQT MICRO 2022 paper, printed as text tables with
+// the paper's reference numbers alongside.
+//
+// Usage:
+//
+//	compaqt-report                 # run everything
+//	compaqt-report -list           # list experiment ids
+//	compaqt-report -run fig9       # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"compaqt/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "", "run a single experiment by id")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run != "" {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runOne(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	failed := 0
+	for _, e := range experiments.All() {
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(e experiments.Experiment) error {
+	start := time.Now()
+	t, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	fmt.Printf("[%s in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package compaqt reproduces "COMPAQT: Compressed Waveform Memory
+// Architecture for Scalable Qubit Control" (Maurya & Tannu, MICRO
+// 2022, arXiv:2212.03897) as a production-quality Go library.
+//
+// The implementation lives under internal/:
+//
+//   - core: the public facade — compiler, memory-image format, playback
+//   - wave, device: waveform shapes and calibrated machine models
+//   - dct, csd, rle, compress: the compression stack
+//   - membank, engine, hwmodel, controller: the microarchitecture and
+//     its resource/timing/power models
+//   - quantum, clifford, circuit, surface: the fidelity-evaluation
+//     substrate (state vectors, RB, benchmark circuits, QEC patches)
+//   - experiments: one driver per table and figure of the paper
+//
+// Run `go test -bench=. -benchmem` (or cmd/compaqt-report) to
+// regenerate the paper's evaluation; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package compaqt

@@ -1,0 +1,64 @@
+// ASIC power: the cryogenic design point (Figs. 18-19). A 4K controller
+// lives under the dilution refrigerator's "power wall"; this example
+// streams a cross-resonance waveform and a flat-top pulse through the
+// uncompressed, compressed, and adaptive designs and prints the power
+// budget each one needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compaqt/internal/controller"
+	"compaqt/internal/device"
+	"compaqt/internal/wave"
+)
+
+func main() {
+	m := device.Guadalupe()
+
+	cr, err := m.CXPulse(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat := wave.GaussianSquare("flat-top-100ns", m.SampleRate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 64e-9, Sigma: 4e-9, Angle: 0.6,
+	})
+
+	adaptive16 := controller.COMPAQT(16)
+	adaptive16.Adaptive = true
+	designs := []struct {
+		name string
+		d    controller.Design
+	}{
+		{"uncompressed", controller.Baseline()},
+		{"COMPAQT WS=8", controller.COMPAQT(8)},
+		{"COMPAQT WS=16", controller.COMPAQT(16)},
+		{"COMPAQT WS=16 + adaptive", adaptive16},
+	}
+
+	for _, workload := range []struct {
+		name string
+		w    *wave.Waveform
+	}{
+		{"cross-resonance (CX) tone", cr.Waveform},
+		{"100 ns flat-top", flat},
+	} {
+		fmt.Printf("streaming %s:\n", workload.name)
+		fmt.Printf("  %-26s %8s %8s %8s %8s\n", "design", "mem mW", "idct mW", "dac mW", "total")
+		var base float64
+		for i, d := range designs {
+			p, err := controller.NewASIC(m, d.d).Power(workload.w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = p.TotalW()
+			}
+			fmt.Printf("  %-26s %8.2f %8.2f %8.2f %8.2f  (%.1fx)\n",
+				d.name, p.MemoryW*1e3, p.IDCTW*1e3, p.DACW*1e3, p.TotalW()*1e3,
+				base/p.TotalW())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,68 @@
+// QEC scaling: the end-game workload (Section VII-C). Surface-code
+// syndrome extraction drives >80% of physical qubits concurrently,
+// cycle after cycle, which is why quantum error correction — not NISQ
+// circuits — defines the controller's bandwidth requirement. This
+// example schedules syndrome cycles for the paper's three patches,
+// prints their bandwidth demand against the RFSoC wall, and shows how
+// many logical qubits each controller design sustains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/controller"
+	"compaqt/internal/device"
+	"compaqt/internal/membank"
+	"compaqt/internal/surface"
+)
+
+func main() {
+	m := device.Guadalupe()
+	rfsoc := membank.DefaultRFSoC()
+
+	fmt.Println("syndrome-extraction bandwidth demand (4 rounds):")
+	patches := []*surface.Patch{surface.Surface17(), surface.Surface25(), surface.Surface81()}
+	for _, p := range patches {
+		c := circuit.Decompose(p.SyndromeCircuit(4))
+		s, err := circuit.ScheduleASAP(c, m.Latency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := s.MemoryBandwidth(m)
+		driven := s.PeakDrivenQubits()
+		fmt.Printf("  %-14s %3d qubits: peak %7.1f GB/s, avg %7.1f GB/s, %d/%d qubits driven at peak\n",
+			p.Name, p.Qubits, bw.PeakBps/1e9, bw.AvgBps/1e9, driven, p.Qubits)
+	}
+	fmt.Printf("  RFSoC aggregate BRAM bandwidth: %.0f GB/s\n\n", rfsoc.StreamBandwidth()/1e9)
+
+	fmt.Println("logical qubits per RFSoC controller:")
+	qick := controller.QICKRFSoC(m)
+	designs := []struct {
+		name     string
+		d        controller.Design
+		capRatio float64
+	}{
+		{"uncompressed", controller.Baseline(), 1},
+		{"COMPAQT WS=8", controller.COMPAQT(8), 6.5},
+		{"COMPAQT WS=16", controller.COMPAQT(16), 6.5},
+	}
+	fmt.Printf("  %-16s %12s %12s %12s\n", "design", "phys qubits", "surface-17", "surface-25")
+	for _, d := range designs {
+		rc := qick.WithDesign(d.d)
+		q, err := rc.QubitsByBandwidth()
+		if err != nil {
+			log.Fatal(err)
+		}
+		l17, err := rc.LogicalQubits(17, d.capRatio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l25, err := rc.LogicalQubits(25, d.capRatio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %12d %12d %12d\n", d.name, q, l17, l25)
+	}
+}

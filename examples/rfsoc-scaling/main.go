@@ -1,0 +1,57 @@
+// RFSoC scaling: how many qubits (and surface-code logical qubits) can
+// one RFSoC-based controller drive, uncompressed vs COMPAQT? This walks
+// the paper's headline result (Fig. 2c, Table V, Fig. 17b): the BRAM
+// bandwidth wall caps the baseline near 36 qubits, and compressed
+// waveform memory lifts it ~5.3x.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compaqt/internal/controller"
+	"compaqt/internal/device"
+)
+
+func main() {
+	m := device.Guadalupe()
+	rfsoc := controller.QICKRFSoC(m)
+
+	capQ := rfsoc.QubitsByCapacity(1)
+	fmt.Printf("on-chip capacity alone would allow %d qubits\n", capQ)
+
+	designs := []struct {
+		name     string
+		design   controller.Design
+		capRatio float64
+	}{
+		{"uncompressed baseline", controller.Baseline(), 1},
+		{"COMPAQT WS=8", controller.COMPAQT(8), 6.5},
+		{"COMPAQT WS=16", controller.COMPAQT(16), 6.5},
+	}
+	var base int
+	for i, d := range designs {
+		rc := rfsoc.WithDesign(d.design)
+		q, err := rc.QubitsByBandwidth()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = q
+		}
+		l17, err := rc.LogicalQubits(17, d.capRatio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %3d qubits (%.2fx)  -> %2d surface-17 logical qubits\n",
+			d.name, q, float64(q)/float64(base), l17)
+	}
+
+	fmt.Println()
+	fmt.Println("the bandwidth wall: BRAM ports per qubit channel")
+	fmt.Printf("  DAC/fabric clock ratio: %dx\n", rfsoc.Mem.ClockRatio())
+	fmt.Printf("  banks/channel uncompressed: %d\n", rfsoc.Mem.BanksPerChannelUncompressed())
+	b8, _ := rfsoc.Mem.BanksPerChannelCompressed(8, 3)
+	b16, _ := rfsoc.Mem.BanksPerChannelCompressed(16, 3)
+	fmt.Printf("  banks/channel WS=8: %d, WS=16: %d\n", b8, b16)
+}

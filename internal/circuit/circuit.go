@@ -1,0 +1,127 @@
+// Package circuit provides the quantum-circuit substrate for COMPAQT's
+// evaluation: the benchmark circuits of Table VI, a transpiler to
+// IBM's native basis {X, SX, RZ, CX} with coupling-map routing, an
+// ASAP pulse scheduler that produces the concurrency/bandwidth
+// profiles of Fig. 5c and Fig. 17a, and the noisy state-vector
+// simulation behind the benchmark fidelities of Fig. 15.
+package circuit
+
+import (
+	"fmt"
+)
+
+// Gate is one operation in the IR. Supported names:
+//
+//	native basis:  "x", "sx", "rz" (virtual), "cx", "measure"
+//	composite:     "h", "s", "sdg", "t", "tdg", "z", "y",
+//	               "rx", "ry", "cz", "cp", "swap", "ccx"
+type Gate struct {
+	Name   string
+	Qubits []int
+	// Param is the rotation angle for parameterized gates.
+	Param float64
+}
+
+// Circuit is a gate list over N qubits.
+type Circuit struct {
+	Name  string
+	N     int
+	Gates []Gate
+}
+
+// New returns an empty circuit.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, N: n}
+}
+
+// Add appends a gate.
+func (c *Circuit) Add(name string, param float64, qubits ...int) *Circuit {
+	c.Gates = append(c.Gates, Gate{Name: name, Qubits: qubits, Param: param})
+	return c
+}
+
+// MeasureAll appends a measurement on every qubit.
+func (c *Circuit) MeasureAll() *Circuit {
+	for q := 0; q < c.N; q++ {
+		c.Add("measure", 0, q)
+	}
+	return c
+}
+
+// Validate checks qubit indices and arity.
+func (c *Circuit) Validate() error {
+	arity := map[string]int{
+		"x": 1, "sx": 1, "rz": 1, "h": 1, "s": 1, "sdg": 1, "t": 1,
+		"tdg": 1, "z": 1, "y": 1, "rx": 1, "ry": 1, "measure": 1,
+		"cx": 2, "cz": 2, "cp": 2, "swap": 2, "ccx": 3,
+	}
+	for i, g := range c.Gates {
+		want, ok := arity[g.Name]
+		if !ok {
+			return fmt.Errorf("circuit %s: gate %d has unknown name %q", c.Name, i, g.Name)
+		}
+		if len(g.Qubits) != want {
+			return fmt.Errorf("circuit %s: gate %d (%s) has %d qubits, want %d", c.Name, i, g.Name, len(g.Qubits), want)
+		}
+		seen := map[int]bool{}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.N {
+				return fmt.Errorf("circuit %s: gate %d (%s) qubit %d out of range", c.Name, i, g.Name, q)
+			}
+			if seen[q] {
+				return fmt.Errorf("circuit %s: gate %d (%s) repeats qubit %d", c.Name, i, g.Name, q)
+			}
+			seen[q] = true
+		}
+	}
+	return nil
+}
+
+// CountGate returns the number of gates with the given name.
+func (c *Circuit) CountGate(name string) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth counting all non-virtual gates
+// (rz excluded, matching hardware depth).
+func (c *Circuit) Depth() int {
+	level := make([]int, c.N)
+	depth := 0
+	for _, g := range c.Gates {
+		if g.Name == "rz" {
+			continue
+		}
+		m := 0
+		for _, q := range g.Qubits {
+			if level[q] > m {
+				m = level[q]
+			}
+		}
+		m++
+		for _, q := range g.Qubits {
+			level[q] = m
+		}
+		if m > depth {
+			depth = m
+		}
+	}
+	return depth
+}
+
+// IsNative reports whether the circuit uses only the hardware basis.
+func (c *Circuit) IsNative() bool {
+	for _, g := range c.Gates {
+		switch g.Name {
+		case "x", "sx", "rz", "cx", "measure":
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"compaqt/internal/device"
+	"compaqt/internal/quantum"
+)
+
+func TestBuildersValidate(t *testing.T) {
+	for _, c := range Benchmarks() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if err := QAOA40().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := GHZ(8).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := New("bad", 2)
+	bad.Add("nonsense", 0, 0)
+	if bad.Validate() == nil {
+		t.Error("unknown gate should fail validation")
+	}
+	bad2 := New("bad2", 2)
+	bad2.Add("cx", 0, 0, 0)
+	if bad2.Validate() == nil {
+		t.Error("repeated qubit should fail validation")
+	}
+	bad3 := New("bad3", 1)
+	bad3.Add("x", 0, 5)
+	if bad3.Validate() == nil {
+		t.Error("out-of-range qubit should fail validation")
+	}
+}
+
+func TestDecomposeProducesNativeBasis(t *testing.T) {
+	for _, c := range Benchmarks() {
+		d := Decompose(c)
+		if !d.IsNative() {
+			t.Errorf("%s not native after Decompose", c.Name)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// applyToState applies a native circuit's non-measure gates to a fresh
+// state and returns the probabilities.
+func applyToState(c *Circuit) []float64 {
+	s := quantum.NewState(c.N)
+	for _, g := range c.Gates {
+		switch g.Name {
+		case "x":
+			s.Apply1(quantum.X(), g.Qubits[0])
+		case "sx":
+			s.Apply1(quantum.SX(), g.Qubits[0])
+		case "rz":
+			s.Apply1(quantum.RZ(g.Param), g.Qubits[0])
+		case "cx":
+			s.Apply2(quantum.CX(), g.Qubits[0], g.Qubits[1])
+		}
+	}
+	return s.Probabilities()
+}
+
+// applyReference applies the composite circuit directly with exact
+// matrices (the semantics Decompose must preserve).
+func applyReference(c *Circuit) []float64 {
+	s := quantum.NewState(c.N)
+	for _, g := range c.Gates {
+		q := g.Qubits
+		switch g.Name {
+		case "x":
+			s.Apply1(quantum.X(), q[0])
+		case "y":
+			s.Apply1(quantum.Y(), q[0])
+		case "z":
+			s.Apply1(quantum.Z(), q[0])
+		case "h":
+			s.Apply1(quantum.H(), q[0])
+		case "s":
+			s.Apply1(quantum.S(), q[0])
+		case "sdg":
+			s.Apply1(quantum.Sdg(), q[0])
+		case "t":
+			s.Apply1(quantum.RZ(math.Pi/4), q[0])
+		case "tdg":
+			s.Apply1(quantum.RZ(-math.Pi/4), q[0])
+		case "sx":
+			s.Apply1(quantum.SX(), q[0])
+		case "rz":
+			s.Apply1(quantum.RZ(g.Param), q[0])
+		case "rx":
+			s.Apply1(quantum.RX(g.Param), q[0])
+		case "ry":
+			s.Apply1(quantum.RY(g.Param), q[0])
+		case "cx":
+			s.Apply2(quantum.CX(), q[0], q[1])
+		case "cz":
+			s.Apply2(quantum.CZ(), q[0], q[1])
+		case "swap":
+			s.Apply2(quantum.SWAP(), q[0], q[1])
+		case "cp":
+			u := quantum.I4()
+			u[3][3] = complex(math.Cos(g.Param), math.Sin(g.Param))
+			s.Apply2(u, q[0], q[1])
+		case "ccx":
+			// Apply via controlled application on amplitudes.
+			applyCCX(s, q[0], q[1], q[2])
+		case "measure":
+		}
+	}
+	return s.Probabilities()
+}
+
+func applyCCX(s *quantum.State, a, b, t int) {
+	ba, bb, bt := 1<<a, 1<<b, 1<<t
+	for i := range s.Amp {
+		if i&ba != 0 && i&bb != 0 && i&bt == 0 {
+			j := i | bt
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+func TestDecomposeSemantics(t *testing.T) {
+	cases := []*Circuit{
+		Swap(), Toffoli(), QFT(3), Adder4(), BV(4, []int{0, 2}),
+	}
+	// Plus targeted single-gate circuits.
+	single := New("singles", 2)
+	single.Add("h", 0, 0)
+	single.Add("y", 0, 1)
+	single.Add("rx", 0.7, 0)
+	single.Add("ry", 1.3, 1)
+	single.Add("cz", 0, 0, 1)
+	single.Add("cp", 0.9, 1, 0)
+	single.Add("t", 0, 0)
+	single.Add("sdg", 0, 1)
+	cases = append(cases, single)
+
+	for _, c := range cases {
+		want := applyReference(c)
+		got := applyToState(Decompose(c))
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9 {
+				t.Errorf("%s: outcome %d prob %g vs %g", c.Name, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestRouteOnGuadalupe(t *testing.T) {
+	m := device.Guadalupe()
+	for _, c := range Benchmarks() {
+		r, err := Transpile(c, m.Qubits, m.Coupling)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		// Every CX must touch a coupled pair.
+		coupled := map[[2]int]bool{}
+		for _, e := range m.Coupling {
+			coupled[[2]int{e[0], e[1]}] = true
+			coupled[[2]int{e[1], e[0]}] = true
+		}
+		for _, g := range r.Gates {
+			if g.Name == "cx" && !coupled[[2]int{g.Qubits[0], g.Qubits[1]}] {
+				t.Errorf("%s: CX on uncoupled pair %v", c.Name, g.Qubits)
+			}
+		}
+		if len(r.InitialLayout) != c.N || len(r.FinalLayout) != c.N {
+			t.Errorf("%s: layout sizes wrong", c.Name)
+		}
+	}
+}
+
+func TestRoutedSemanticsMatchUnrouted(t *testing.T) {
+	// Routing must preserve measured-outcome distributions. Compare the
+	// BV circuit simulated directly vs. routed+simulated.
+	m := device.Guadalupe()
+	c := BV(4, []int{0, 2})
+	want := marginalRef(c)
+	r, err := Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(r, IdentityNoise(m), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Ideal[i]-want[i]) > 1e-9 {
+			t.Fatalf("outcome %d: routed %g vs direct %g", i, res.Ideal[i], want[i])
+		}
+	}
+}
+
+// marginalRef computes the reference outcome distribution of a
+// composite circuit (all qubits measured in order).
+func marginalRef(c *Circuit) []float64 {
+	return applyReference(c)
+}
+
+func TestTranspiledCXCountsNearPaper(t *testing.T) {
+	// Table VI: swap 3, toffoli 12, qft-4 27, adder-4 33, bv-5 2,
+	// qaoa-6 142, qaoa-8a 76, qaoa-8b 113, qaoa-10 138. Routing is
+	// heuristic; accept a generous band around each.
+	m := device.Guadalupe()
+	want := map[string][2]int{
+		"swap":    {3, 3},
+		"toffoli": {6, 24},
+		"qft-4":   {15, 45},
+		"adder-4": {12, 50},
+		"bv-5":    {2, 14},
+		"qaoa-6":  {90, 230},
+		"qaoa-8a": {40, 150},
+		"qaoa-8b": {80, 230},
+		"qaoa-10": {80, 240},
+	}
+	for _, c := range Benchmarks() {
+		r, err := Transpile(c, m.Qubits, m.Coupling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.CountGate("cx")
+		band := want[c.Name]
+		if got < band[0] || got > band[1] {
+			t.Errorf("%s: %d CX after routing, want in [%d, %d]", c.Name, got, band[0], band[1])
+		}
+	}
+}
+
+func TestScheduleASAP(t *testing.T) {
+	m := device.Guadalupe()
+	c := GHZ(4)
+	r, err := Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleASAP(r.Circuit, m.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan <= 0 {
+		t.Fatal("empty schedule")
+	}
+	// GHZ chain serializes its CXs: makespan >= 3 * 300ns + readout.
+	if s.Makespan < 3*m.Latency.TwoQ+m.Latency.Readout {
+		t.Errorf("makespan %.0f ns too small", s.Makespan*1e9)
+	}
+	// No overlapping ops on the same qubit.
+	for i, a := range s.Ops {
+		for _, b := range s.Ops[i+1:] {
+			if overlaps(a, b) && sharesQubit(a, b) {
+				t.Fatalf("ops overlap on a qubit: %+v / %+v", a, b)
+			}
+		}
+	}
+}
+
+func overlaps(a, b ScheduledOp) bool {
+	return a.Start < b.Start+b.Duration && b.Start < a.Start+a.Duration
+}
+
+func sharesQubit(a, b ScheduledOp) bool {
+	for _, qa := range a.Qubits {
+		for _, qb := range b.Qubits {
+			if qa == qb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestConcurrencyProfile(t *testing.T) {
+	m := device.Guadalupe()
+	// Fully parallel X gates on 5 qubits: peak 5 channels.
+	c := New("par", 5)
+	for q := 0; q < 5; q++ {
+		c.Add("x", 0, q)
+	}
+	s, err := ScheduleASAP(c, m.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakChannels() != 5 {
+		t.Errorf("peak channels = %g, want 5", s.PeakChannels())
+	}
+	if math.Abs(s.AvgChannels()-5) > 1e-9 {
+		t.Errorf("avg channels = %g, want 5", s.AvgChannels())
+	}
+	if s.PeakConcurrentOps() != 5 {
+		t.Errorf("peak ops = %d, want 5", s.PeakConcurrentOps())
+	}
+}
+
+func TestMeasurementBandwidthDominatesNISQ(t *testing.T) {
+	// Section III: the final concurrent measurement drives the peak.
+	m := device.Guadalupe()
+	c := QAOA6()
+	r, err := Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleASAP(r.Circuit, m.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := s.MemoryBandwidth(m)
+	if bw.PeakBps <= bw.AvgBps {
+		t.Error("peak bandwidth should exceed average")
+	}
+	// Peak = 6 qubits x 1.25 readout weight x 18.16 GB/s ~ 136 GB/s.
+	wantPeak := 6 * 1.25 * m.BandwidthPerQubit()
+	if math.Abs(bw.PeakBps-wantPeak)/wantPeak > 0.01 {
+		t.Errorf("peak %.1f GB/s, want %.1f", bw.PeakBps/1e9, wantPeak/1e9)
+	}
+	// QAOA average is far below peak (Fig. 5c's story).
+	if bw.AvgBps > 0.6*bw.PeakBps {
+		t.Errorf("QAOA average %.1f GB/s should sit well under peak %.1f", bw.AvgBps/1e9, bw.PeakBps/1e9)
+	}
+}
+
+func TestSimulateNoiselessIsExact(t *testing.T) {
+	m := device.Guadalupe()
+	// Zero out stochastic noise to isolate the coherent path.
+	for q := range m.Cal {
+		m.Cal[q].EPG1Q = 0
+		m.Cal[q].EPG2Q = 0
+		m.Cal[q].EPReadout = 0
+	}
+	r, err := Transpile(GHZ(3), m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(r, IdentityNoise(m), 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 1-1e-9 {
+		t.Errorf("noiseless fidelity = %g, want 1", res.Fidelity)
+	}
+	if math.Abs(res.Ideal[0]-0.5) > 1e-9 || math.Abs(res.Ideal[7]-0.5) > 1e-9 {
+		t.Errorf("GHZ ideal distribution wrong: %v", res.Ideal)
+	}
+}
+
+func TestSimulateNoiseReducesFidelity(t *testing.T) {
+	m := device.Guadalupe()
+	r, err := Transpile(QFT(4), m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(r, IdentityNoise(m), 80000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity >= 0.999 {
+		t.Errorf("noisy fidelity %g suspiciously high", res.Fidelity)
+	}
+	if res.Fidelity < 0.05 {
+		t.Errorf("noisy fidelity %g suspiciously low", res.Fidelity)
+	}
+	if res.Survival >= 1 || res.Survival <= 0 {
+		t.Errorf("survival = %g", res.Survival)
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	m := device.Guadalupe()
+	r, err := Transpile(BV(6, []int{1, 3}), m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(r, IdentityNoise(m), 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(r, IdentityNoise(m), 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fidelity != b.Fidelity {
+		t.Error("simulation not deterministic per seed")
+	}
+}
+
+func TestDepthAndCounts(t *testing.T) {
+	c := GHZ(3)
+	if c.CountGate("cx") != 2 {
+		t.Errorf("GHZ(3) CX count = %d", c.CountGate("cx"))
+	}
+	if c.Depth() < 3 {
+		t.Errorf("GHZ(3) depth = %d", c.Depth())
+	}
+	// rz is virtual: a pure-rz circuit has zero depth.
+	z := New("z", 1)
+	z.Add("rz", 1, 0)
+	if z.Depth() != 0 {
+		t.Error("rz should not count toward depth")
+	}
+}

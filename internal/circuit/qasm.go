@@ -1,0 +1,340 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// OpenQASM 2.0 interchange (the format QASMBench [39] distributes the
+// Table VI benchmarks in). ParseQASM accepts the subset those
+// benchmarks use — one quantum register, the qelib1 gates this IR
+// models, measure and barrier — and WriteQASM emits a program that
+// round-trips through ParseQASM.
+
+// qasmGateArity maps supported QASM gate names to (IR name, arity,
+// parameterized).
+var qasmGates = map[string]struct {
+	name  string
+	arity int
+	param bool
+}{
+	"x": {"x", 1, false}, "y": {"y", 1, false}, "z": {"z", 1, false},
+	"h": {"h", 1, false}, "s": {"s", 1, false}, "sdg": {"sdg", 1, false},
+	"t": {"t", 1, false}, "tdg": {"tdg", 1, false}, "sx": {"sx", 1, false},
+	"rx": {"rx", 1, true}, "ry": {"ry", 1, true}, "rz": {"rz", 1, true},
+	"u1": {"rz", 1, true}, "p": {"rz", 1, true},
+	"cx": {"cx", 2, false}, "cz": {"cz", 2, false}, "swap": {"swap", 2, false},
+	"cp": {"cp", 2, true}, "cu1": {"cp", 2, true},
+	"ccx": {"ccx", 3, false},
+}
+
+// ParseQASM parses an OpenQASM 2.0 program into a Circuit.
+func ParseQASM(src string) (*Circuit, error) {
+	c := &Circuit{Name: "qasm"}
+	qreg := ""
+	// Strip comments, split on semicolons.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteString("\n")
+	}
+	for lineNo, stmt := range strings.Split(clean.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(stmt, "OPENQASM"):
+			if !strings.Contains(stmt, "2.0") {
+				return nil, fmt.Errorf("qasm: unsupported version in %q", stmt)
+			}
+		case strings.HasPrefix(stmt, "include"):
+			// qelib1.inc assumed.
+		case strings.HasPrefix(stmt, "qreg"):
+			name, size, err := parseReg(stmt[4:])
+			if err != nil {
+				return nil, fmt.Errorf("qasm stmt %d: %w", lineNo, err)
+			}
+			if qreg != "" {
+				return nil, fmt.Errorf("qasm: multiple quantum registers not supported")
+			}
+			qreg = name
+			c.N = size
+		case strings.HasPrefix(stmt, "creg"):
+			// Classical registers carry no simulation state here.
+		case strings.HasPrefix(stmt, "barrier"):
+			// Scheduling barriers are implicit in this IR's measurement
+			// alignment; ignore.
+		case strings.HasPrefix(stmt, "measure"):
+			if err := parseMeasure(c, qreg, stmt); err != nil {
+				return nil, fmt.Errorf("qasm stmt %d: %w", lineNo, err)
+			}
+		default:
+			if err := parseGate(c, qreg, stmt); err != nil {
+				return nil, fmt.Errorf("qasm stmt %d: %w", lineNo, err)
+			}
+		}
+	}
+	if c.N == 0 {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	return c, c.Validate()
+}
+
+func parseReg(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	lb := strings.Index(s, "[")
+	rb := strings.Index(s, "]")
+	if lb < 0 || rb < lb {
+		return "", 0, fmt.Errorf("malformed register %q", s)
+	}
+	size, err := strconv.Atoi(s[lb+1 : rb])
+	if err != nil || size < 1 {
+		return "", 0, fmt.Errorf("bad register size in %q", s)
+	}
+	return strings.TrimSpace(s[:lb]), size, nil
+}
+
+func parseMeasure(c *Circuit, qreg, stmt string) error {
+	body := strings.TrimSpace(stmt[len("measure"):])
+	src := body
+	if i := strings.Index(body, "->"); i >= 0 {
+		src = strings.TrimSpace(body[:i])
+	}
+	if src == qreg {
+		c.MeasureAll()
+		return nil
+	}
+	q, err := parseQubit(qreg, src)
+	if err != nil {
+		return err
+	}
+	c.Add("measure", 0, q)
+	return nil
+}
+
+func parseGate(c *Circuit, qreg, stmt string) error {
+	name := stmt
+	param := 0.0
+	rest := ""
+	if i := strings.IndexAny(stmt, " (\t"); i >= 0 {
+		name = stmt[:i]
+		rest = stmt[i:]
+	}
+	g, ok := qasmGates[name]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	rest = strings.TrimSpace(rest)
+	if g.param {
+		if !strings.HasPrefix(rest, "(") {
+			return fmt.Errorf("gate %q needs a parameter", name)
+		}
+		close := strings.Index(rest, ")")
+		if close < 0 {
+			return fmt.Errorf("unclosed parameter in %q", stmt)
+		}
+		v, err := evalAngle(rest[1:close])
+		if err != nil {
+			return fmt.Errorf("gate %q: %w", name, err)
+		}
+		param = v
+		rest = strings.TrimSpace(rest[close+1:])
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != g.arity {
+		return fmt.Errorf("gate %q has %d operands, want %d", name, len(parts), g.arity)
+	}
+	qubits := make([]int, g.arity)
+	for i, p := range parts {
+		q, err := parseQubit(qreg, strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		qubits[i] = q
+	}
+	c.Add(g.name, param, qubits...)
+	return nil
+}
+
+func parseQubit(qreg, s string) (int, error) {
+	lb := strings.Index(s, "[")
+	rb := strings.Index(s, "]")
+	if lb < 0 || rb < lb {
+		return 0, fmt.Errorf("malformed qubit %q", s)
+	}
+	if reg := strings.TrimSpace(s[:lb]); reg != qreg {
+		return 0, fmt.Errorf("unknown register %q", reg)
+	}
+	q, err := strconv.Atoi(s[lb+1 : rb])
+	if err != nil {
+		return 0, err
+	}
+	return q, nil
+}
+
+// evalAngle evaluates the angle expressions QASM benchmarks use:
+// numbers, pi, unary minus, and the binary operators + - * / with
+// standard precedence (no parentheses nesting beyond one level).
+func evalAngle(s string) (float64, error) {
+	p := &angleParser{src: strings.TrimSpace(s)}
+	v, err := p.sum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input in angle %q", s)
+	}
+	return v, nil
+}
+
+type angleParser struct {
+	src string
+	pos int
+}
+
+func (p *angleParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *angleParser) sum() (float64, error) {
+	v, err := p.product()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			r, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *angleParser) product() (float64, error) {
+	v, err := p.atom()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			r, err := p.atom()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.atom()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *angleParser) atom() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of angle")
+	}
+	if p.src[p.pos] == '-' {
+		p.pos++
+		v, err := p.atom()
+		return -v, err
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		v, err := p.sum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("unclosed parenthesis")
+		}
+		p.pos++
+		return v, nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "pi") {
+		p.pos += 2
+		return math.Pi, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' ||
+		p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+		(p.pos > start && (p.src[p.pos] == '+' || p.src[p.pos] == '-') &&
+			(p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E'))) {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("unexpected character %q", p.src[p.pos])
+	}
+	return strconv.ParseFloat(p.src[start:p.pos], 64)
+}
+
+// WriteQASM emits the circuit as OpenQASM 2.0.
+func WriteQASM(c *Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\ncreg c[%d];\n", c.N, c.N)
+	for _, g := range c.Gates {
+		switch g.Name {
+		case "measure":
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])
+		case "rx", "ry", "rz", "cp":
+			ops := make([]string, len(g.Qubits))
+			for i, q := range g.Qubits {
+				ops[i] = fmt.Sprintf("q[%d]", q)
+			}
+			fmt.Fprintf(&b, "%s(%.17g) %s;\n", g.Name, g.Param, strings.Join(ops, ","))
+		default:
+			ops := make([]string, len(g.Qubits))
+			for i, q := range g.Qubits {
+				ops[i] = fmt.Sprintf("q[%d]", q)
+			}
+			fmt.Fprintf(&b, "%s %s;\n", g.Name, strings.Join(ops, ","))
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,147 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// a Bell pair with phases
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+cp(pi/2) q[0],q[2];
+u1(-0.25) q[2];
+barrier q;
+measure q -> c;
+`
+
+func TestParseQASM(t *testing.T) {
+	c, err := ParseQASM(sampleQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 3 {
+		t.Fatalf("N = %d, want 3", c.N)
+	}
+	if c.CountGate("measure") != 3 {
+		t.Errorf("measures = %d, want 3", c.CountGate("measure"))
+	}
+	if c.CountGate("cx") != 1 || c.CountGate("cp") != 1 {
+		t.Error("gate counts wrong")
+	}
+	// rz(pi/4): find it and check the angle.
+	found := false
+	for _, g := range c.Gates {
+		if g.Name == "rz" && g.Qubits[0] == 1 {
+			if math.Abs(g.Param-math.Pi/4) > 1e-12 {
+				t.Errorf("rz angle = %g, want pi/4", g.Param)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rz gate not parsed")
+	}
+}
+
+func TestParseQASMErrors(t *testing.T) {
+	bad := []string{
+		"OPENQASM 3.0; qreg q[2];",
+		"qreg q[2]; qreg r[2];",
+		"qreg q[2]; foo q[0];",
+		"qreg q[2]; cx q[0];",
+		"qreg q[2]; rx q[0];",
+		"qreg q[2]; rx(1.0 q[0];",
+		"qreg q[2]; cx q[0],r[1];",
+		"h q[0];",
+		"qreg q[0];",
+		"qreg q[2]; rz(1/0) q[0];",
+	}
+	for _, src := range bad {
+		if _, err := ParseQASM(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestQASMRoundTrip(t *testing.T) {
+	for _, c := range []*Circuit{Swap(), Toffoli(), QFT(4), BV(5, []int{0, 2}), GHZ(4)} {
+		src, err := WriteQASM(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseQASM(src)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.Name, err, src)
+		}
+		if back.N != c.N || len(back.Gates) != len(c.Gates) {
+			t.Fatalf("%s: round trip changed structure", c.Name)
+		}
+		// Semantics must survive: compare output distributions.
+		want := applyReference(c)
+		got := applyReference(back)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9 {
+				t.Fatalf("%s: distribution changed at %d", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestEvalAngle(t *testing.T) {
+	cases := map[string]float64{
+		"pi":         math.Pi,
+		"pi/2":       math.Pi / 2,
+		"-pi/4":      -math.Pi / 4,
+		"2*pi":       2 * math.Pi,
+		"0.5":        0.5,
+		"1e-3":       1e-3,
+		"pi/2 + 0.5": math.Pi/2 + 0.5,
+		"3*pi/8":     3 * math.Pi / 8,
+		"(pi+1)/2":   (math.Pi + 1) / 2,
+		"1 - 2":      -1,
+	}
+	for src, want := range cases {
+		got, err := evalAngle(src)
+		if err != nil {
+			t.Errorf("evalAngle(%q): %v", src, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("evalAngle(%q) = %g, want %g", src, got, want)
+		}
+	}
+	for _, bad := range []string{"", "pj", "1+", "(pi", "1//2", "--"} {
+		if _, err := evalAngle(bad); err == nil {
+			t.Errorf("evalAngle(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteQASMContainsHeader(t *testing.T) {
+	src, err := WriteQASM(GHZ(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OPENQASM 2.0;", "qreg q[2];", "h q[0];", "cx q[0],q[1];", "measure q[1] -> c[1];"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestParseQASMSingleMeasure(t *testing.T) {
+	c, err := ParseQASM("OPENQASM 2.0; qreg q[2]; x q[0]; measure q[0] -> c[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountGate("measure") != 1 {
+		t.Errorf("measures = %d, want 1", c.CountGate("measure"))
+	}
+}

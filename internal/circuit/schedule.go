@@ -1,0 +1,250 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"compaqt/internal/device"
+)
+
+// ASAP pulse scheduling and waveform-memory bandwidth profiling
+// (Section III, Fig. 5c). Each scheduled operation occupies drive
+// channels whose DACs must be fed from the waveform memory for the
+// gate's duration:
+//
+//   - 1Q gate:   1.0 drive channel
+//   - CX:        2.0 channels (CR tone on the control + target frame)
+//   - measure:   1.25 channels (readout stimulus plus the acquisition
+//     reference overhead; calibrated so qaoa-40's all-qubit readout
+//     peak lands at Fig. 5c's ~894 GB/s)
+//
+// RZ is virtual (zero duration, zero channels). Peak and average
+// active-channel weights times the per-channel streaming bandwidth
+// give the figure's GB/s numbers.
+
+// ScheduledOp is one placed operation.
+type ScheduledOp struct {
+	Gate
+	Start    float64 // seconds
+	Duration float64
+	Channels float64
+}
+
+// Schedule is a placed circuit.
+type Schedule struct {
+	Ops      []ScheduledOp
+	Makespan float64
+}
+
+// ChannelsFor returns the drive-channel bandwidth weight of a gate.
+func ChannelsFor(g Gate) float64 {
+	switch g.Name {
+	case "rz":
+		return 0
+	case "cx":
+		return 2
+	case "measure":
+		return 1.25
+	default:
+		return 1
+	}
+}
+
+// ScheduleASAP places each gate at the earliest time all its qubits
+// are free, using the machine's gate latencies. Terminal measurements
+// are barrier-aligned to a common start time: serializing readout
+// degrades fidelity, so hardware measures concurrently — which is
+// precisely what produces the bandwidth peak of Section III.
+func ScheduleASAP(c *Circuit, lat device.Latencies) (*Schedule, error) {
+	ready := make([]float64, c.N)
+	s := &Schedule{}
+	var measures []Gate
+	measured := make([]bool, c.N)
+	for _, g := range c.Gates {
+		if g.Name == "measure" {
+			measures = append(measures, g)
+			measured[g.Qubits[0]] = true
+			continue
+		}
+		for _, q := range g.Qubits {
+			if measured[q] {
+				return nil, fmt.Errorf("circuit %s: gate %s after measurement on qubit %d", c.Name, g.Name, q)
+			}
+		}
+		var dur float64
+		switch g.Name {
+		case "rz":
+			dur = 0
+		case "cx":
+			dur = lat.TwoQ
+		case "x", "sx":
+			dur = lat.OneQ
+		default:
+			return nil, fmt.Errorf("circuit %s: schedule requires native basis, found %q", c.Name, g.Name)
+		}
+		start := 0.0
+		for _, q := range g.Qubits {
+			if ready[q] > start {
+				start = ready[q]
+			}
+		}
+		end := start + dur
+		for _, q := range g.Qubits {
+			ready[q] = end
+		}
+		if dur > 0 {
+			s.Ops = append(s.Ops, ScheduledOp{Gate: g, Start: start, Duration: dur, Channels: ChannelsFor(g)})
+		}
+		if end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	if len(measures) > 0 {
+		start := 0.0
+		for _, g := range measures {
+			if ready[g.Qubits[0]] > start {
+				start = ready[g.Qubits[0]]
+			}
+		}
+		for _, g := range measures {
+			s.Ops = append(s.Ops, ScheduledOp{Gate: g, Start: start, Duration: lat.Readout, Channels: ChannelsFor(g)})
+		}
+		if end := start + lat.Readout; end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	return s, nil
+}
+
+// ConcurrencyProfile returns the piecewise-constant active-channel
+// count as (time, channels) breakpoints sorted by time.
+type ProfilePoint struct {
+	Time     float64
+	Channels float64
+}
+
+// Profile computes the active-channel profile via an event sweep.
+func (s *Schedule) Profile() []ProfilePoint {
+	type event struct {
+		t     float64
+		delta float64
+	}
+	var events []event
+	for _, op := range s.Ops {
+		events = append(events, event{op.Start, op.Channels}, event{op.Start + op.Duration, -op.Channels})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // ends before starts
+	})
+	var out []ProfilePoint
+	cur := 0.0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			cur += events[i].delta
+			i++
+		}
+		out = append(out, ProfilePoint{Time: t, Channels: cur})
+	}
+	return out
+}
+
+// PeakChannels returns the maximum concurrent channel weight.
+func (s *Schedule) PeakChannels() float64 {
+	peak := 0.0
+	for _, p := range s.Profile() {
+		if p.Channels > peak {
+			peak = p.Channels
+		}
+	}
+	return peak
+}
+
+// AvgChannels returns the time-averaged channel count over the
+// makespan.
+func (s *Schedule) AvgChannels() float64 {
+	prof := s.Profile()
+	if len(prof) == 0 || s.Makespan == 0 {
+		return 0
+	}
+	var area float64
+	for i := 0; i < len(prof)-1; i++ {
+		area += prof[i].Channels * (prof[i+1].Time - prof[i].Time)
+	}
+	return area / s.Makespan
+}
+
+// PeakConcurrentOps returns the maximum number of simultaneously
+// executing operations (Fig. 17a's metric).
+func (s *Schedule) PeakConcurrentOps() int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	for _, op := range s.Ops {
+		events = append(events, event{op.Start, 1}, event{op.Start + op.Duration, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// PeakDrivenQubits returns the maximum number of qubits simultaneously
+// being driven (the ">80% of physical qubits" metric of Section VII-C).
+func (s *Schedule) PeakDrivenQubits() int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	for _, op := range s.Ops {
+		n := len(op.Qubits)
+		events = append(events, event{op.Start, n}, event{op.Start + op.Duration, -n})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Bandwidth converts channel counts to waveform-memory bytes/second
+// for the machine's DAC parameters.
+type Bandwidth struct {
+	PeakBps float64
+	AvgBps  float64
+}
+
+// MemoryBandwidth returns the peak and average waveform-memory
+// bandwidth the schedule demands on the given machine (Fig. 5c).
+func (s *Schedule) MemoryBandwidth(m *device.Machine) Bandwidth {
+	per := m.BandwidthPerQubit()
+	return Bandwidth{
+		PeakBps: s.PeakChannels() * per,
+		AvgBps:  s.AvgChannels() * per,
+	}
+}

@@ -1,0 +1,271 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/quantum"
+	"compaqt/internal/wave"
+)
+
+// Noisy benchmark simulation (Fig. 15's methodology, substituting for
+// the paper's IBM hardware runs): the routed circuit is simulated
+// exactly to get the ideal distribution, then re-simulated with
+//
+//   - coherent error unitaries obtained by integrating each qubit's
+//     original vs. (de)compressed pulse envelopes (internal/quantum),
+//   - stochastic gate error folded into a global depolarizing mix,
+//   - per-qubit readout assignment error, and
+//   - multinomial shot noise (the paper uses 80K shots).
+//
+// Fidelity is F = 1 - TVD(ideal, measured), Eq. 3.
+
+// NoiseModel carries per-qubit/per-pair coherent errors plus the
+// machine's stochastic rates.
+type NoiseModel struct {
+	Machine    *device.Machine
+	CoherentX  map[int]quantum.M2
+	CoherentSX map[int]quantum.M2
+	CoherentCX map[[2]int]quantum.M4
+}
+
+// IdentityNoise returns the uncompressed-baseline noise model: device
+// stochastic noise, no coherent distortion.
+func IdentityNoise(m *device.Machine) *NoiseModel {
+	return &NoiseModel{
+		Machine:    m,
+		CoherentX:  map[int]quantum.M2{},
+		CoherentSX: map[int]quantum.M2{},
+		CoherentCX: map[[2]int]quantum.M4{},
+	}
+}
+
+// CompressionNoise builds the noise model for a compression setting:
+// every pulse in the machine's library is compressed, decompressed,
+// and integrated against the original to obtain its coherent error.
+func CompressionNoise(m *device.Machine, opts compress.Options) (*NoiseModel, error) {
+	nm := IdentityNoise(m)
+	roundTrip := func(w *wave.Waveform) (*wave.Waveform, error) {
+		c, err := compress.Compress(w.Quantize(), opts)
+		if err != nil {
+			return nil, err
+		}
+		d, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		return d.Dequantize(), nil
+	}
+	for q := 0; q < m.Qubits; q++ {
+		xw := m.XPulse(q).Waveform
+		dxw, err := roundTrip(xw)
+		if err != nil {
+			return nil, err
+		}
+		nm.CoherentX[q] = quantum.CoherentError1Q(xw, dxw, math.Pi)
+		sxw := m.SXPulse(q).Waveform
+		dsxw, err := roundTrip(sxw)
+		if err != nil {
+			return nil, err
+		}
+		nm.CoherentSX[q] = quantum.CoherentError1Q(sxw, dsxw, math.Pi/2)
+	}
+	for _, e := range m.Coupling {
+		for _, pair := range [][2]int{{e[0], e[1]}, {e[1], e[0]}} {
+			p, err := m.CXPulse(pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
+			d, err := roundTrip(p.Waveform)
+			if err != nil {
+				return nil, err
+			}
+			nm.CoherentCX[pair] = quantum.CoherentErrorCR(p.Waveform, d, math.Pi/4)
+		}
+	}
+	return nm, nil
+}
+
+// RunResult holds one benchmark execution.
+type RunResult struct {
+	// Ideal is the exact outcome distribution over the logical qubits.
+	Ideal []float64
+	// Measured is the noisy sampled distribution.
+	Measured []float64
+	// Fidelity is 1 - TVD(Ideal, Measured).
+	Fidelity float64
+	// Survival is the accumulated non-depolarized fraction.
+	Survival float64
+}
+
+// Simulate runs the routed circuit with and without noise.
+func Simulate(r *Routed, nm *NoiseModel, shots int, seed int64) (*RunResult, error) {
+	// Compact the touched physical qubits into local indices.
+	local := map[int]int{}
+	var touched []int
+	touch := func(p int) {
+		if _, ok := local[p]; !ok {
+			local[p] = len(touched)
+			touched = append(touched, p)
+		}
+	}
+	var measured []int // physical qubits in measurement order
+	for _, g := range r.Gates {
+		for _, q := range g.Qubits {
+			touch(q)
+		}
+		if g.Name == "measure" {
+			measured = append(measured, g.Qubits[0])
+		}
+	}
+	k := len(touched)
+	if k > 22 {
+		return nil, fmt.Errorf("circuit %s: %d touched qubits exceed the simulator limit", r.Name, k)
+	}
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("circuit %s: nothing measured", r.Name)
+	}
+
+	ideal := quantum.NewState(k)
+	noisy := quantum.NewState(k)
+	survival := 1.0
+	cal := nm.Machine.Cal
+
+	for _, g := range r.Gates {
+		switch g.Name {
+		case "measure":
+			// handled at the end
+		case "rz":
+			u := quantum.RZ(g.Param)
+			ideal.Apply1(u, local[g.Qubits[0]])
+			noisy.Apply1(u, local[g.Qubits[0]])
+		case "x", "sx":
+			p := g.Qubits[0]
+			var u quantum.M2
+			var e quantum.M2
+			var ok bool
+			if g.Name == "x" {
+				u = quantum.X()
+				e, ok = nm.CoherentX[p]
+			} else {
+				u = quantum.SX()
+				e, ok = nm.CoherentSX[p]
+			}
+			ideal.Apply1(u, local[p])
+			if ok {
+				noisy.Apply1(quantum.Mul2(e, u), local[p])
+			} else {
+				noisy.Apply1(u, local[p])
+			}
+			survival *= 1 - cal[p].EPG1Q
+		case "cx":
+			ctl, tgt := g.Qubits[0], g.Qubits[1]
+			u := quantum.CX()
+			ideal.Apply2(u, local[ctl], local[tgt])
+			if e, ok := nm.CoherentCX[[2]int{ctl, tgt}]; ok {
+				noisy.Apply2(quantum.Mul4(e, u), local[ctl], local[tgt])
+			} else {
+				noisy.Apply2(u, local[ctl], local[tgt])
+			}
+			survival *= 1 - cal[ctl].EPG2Q
+		default:
+			return nil, fmt.Errorf("circuit %s: simulate requires native basis, found %q", r.Name, g.Name)
+		}
+	}
+
+	idealDist := marginalize(ideal.Probabilities(), measured, local)
+	cohDist := marginalize(noisy.Probabilities(), measured, local)
+
+	// Depolarized mixture.
+	n := len(measured)
+	exp := make([]float64, 1<<n)
+	unif := 1 / float64(len(exp))
+	for i := range exp {
+		exp[i] = survival*cohDist[i] + (1-survival)*unif
+	}
+	// Readout assignment error per measured qubit.
+	for bit, p := range measured {
+		e := cal[p].EPReadout
+		applyReadoutFlip(exp, bit, e)
+	}
+	// Shot sampling.
+	rng := rand.New(rand.NewSource(seed))
+	sampled := sampleDist(exp, shots, rng)
+
+	return &RunResult{
+		Ideal:    idealDist,
+		Measured: sampled,
+		Fidelity: 1 - quantum.TVD(idealDist, sampled),
+		Survival: survival,
+	}, nil
+}
+
+// marginalize projects the full local-state distribution onto the
+// measured qubits, ordered so measurement i is outcome bit i.
+func marginalize(p []float64, measured []int, local map[int]int) []float64 {
+	out := make([]float64, 1<<len(measured))
+	for idx, v := range p {
+		if v == 0 {
+			continue
+		}
+		o := 0
+		for bit, phys := range measured {
+			if idx&(1<<local[phys]) != 0 {
+				o |= 1 << bit
+			}
+		}
+		out[o] += v
+	}
+	return out
+}
+
+// applyReadoutFlip mixes the distribution with bit flips on one
+// outcome bit: p' = (1-e) p + e p_flipped.
+func applyReadoutFlip(p []float64, bit int, e float64) {
+	mask := 1 << bit
+	for i := range p {
+		if i&mask != 0 {
+			continue
+		}
+		j := i | mask
+		a, b := p[i], p[j]
+		p[i] = (1-e)*a + e*b
+		p[j] = (1-e)*b + e*a
+	}
+}
+
+// sampleDist draws multinomial shots and renormalizes to a
+// distribution.
+func sampleDist(p []float64, shots int, rng *rand.Rand) []float64 {
+	if shots <= 0 {
+		return append([]float64(nil), p...)
+	}
+	cdf := make([]float64, len(p))
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		cdf[i] = acc
+	}
+	counts := make([]int, len(p))
+	for s := 0; s < shots; s++ {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	out := make([]float64, len(p))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(shots)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Transpilation to IBM's native basis {X, SX, RZ, CX} and routing onto
+// a coupling map (the role Qiskit's transpiler plays in the paper's
+// methodology, Section VI).
+
+// Decompose rewrites composite gates into the native basis. Qubit
+// count and semantics are preserved up to global phase.
+func Decompose(c *Circuit) *Circuit {
+	out := New(c.Name, c.N)
+	for _, g := range c.Gates {
+		decomposeGate(out, g)
+	}
+	return out
+}
+
+func decomposeGate(out *Circuit, g Gate) {
+	q := g.Qubits
+	switch g.Name {
+	case "x", "sx", "rz", "cx", "measure":
+		out.Gates = append(out.Gates, g)
+	case "z":
+		out.Add("rz", math.Pi, q[0])
+	case "s":
+		out.Add("rz", math.Pi/2, q[0])
+	case "sdg":
+		out.Add("rz", -math.Pi/2, q[0])
+	case "t":
+		out.Add("rz", math.Pi/4, q[0])
+	case "tdg":
+		out.Add("rz", -math.Pi/4, q[0])
+	case "y":
+		// Y = X RZ(pi) up to global phase.
+		out.Add("rz", math.Pi, q[0])
+		out.Add("x", 0, q[0])
+	case "h":
+		// H = RZ(pi/2) SX RZ(pi/2) up to phase.
+		out.Add("rz", math.Pi/2, q[0])
+		out.Add("sx", 0, q[0])
+		out.Add("rz", math.Pi/2, q[0])
+	case "rx":
+		u3(out, q[0], g.Param, -math.Pi/2, math.Pi/2)
+	case "ry":
+		u3(out, q[0], g.Param, 0, 0)
+	case "cz":
+		decomposeGate(out, Gate{Name: "h", Qubits: []int{q[1]}})
+		out.Add("cx", 0, q[0], q[1])
+		decomposeGate(out, Gate{Name: "h", Qubits: []int{q[1]}})
+	case "cp":
+		// Controlled-phase(lambda) via two CX and three RZ.
+		l := g.Param
+		out.Add("rz", l/2, q[0])
+		out.Add("cx", 0, q[0], q[1])
+		out.Add("rz", -l/2, q[1])
+		out.Add("cx", 0, q[0], q[1])
+		out.Add("rz", l/2, q[1])
+	case "swap":
+		out.Add("cx", 0, q[0], q[1])
+		out.Add("cx", 0, q[1], q[0])
+		out.Add("cx", 0, q[0], q[1])
+	case "ccx":
+		a, b, t := q[0], q[1], q[2]
+		decomposeGate(out, Gate{Name: "h", Qubits: []int{t}})
+		out.Add("cx", 0, b, t)
+		decomposeGate(out, Gate{Name: "tdg", Qubits: []int{t}})
+		out.Add("cx", 0, a, t)
+		decomposeGate(out, Gate{Name: "t", Qubits: []int{t}})
+		out.Add("cx", 0, b, t)
+		decomposeGate(out, Gate{Name: "tdg", Qubits: []int{t}})
+		out.Add("cx", 0, a, t)
+		decomposeGate(out, Gate{Name: "t", Qubits: []int{b}})
+		decomposeGate(out, Gate{Name: "t", Qubits: []int{t}})
+		decomposeGate(out, Gate{Name: "h", Qubits: []int{t}})
+		out.Add("cx", 0, a, b)
+		decomposeGate(out, Gate{Name: "t", Qubits: []int{a}})
+		decomposeGate(out, Gate{Name: "tdg", Qubits: []int{b}})
+		out.Add("cx", 0, a, b)
+	default:
+		panic(fmt.Sprintf("circuit: cannot decompose gate %q", g.Name))
+	}
+}
+
+// u3 emits the ZXZXZ Euler decomposition
+// U3(theta, phi, lambda) = RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda),
+// Qiskit's standard identity, up to global phase.
+func u3(out *Circuit, q int, theta, phi, lambda float64) {
+	out.Add("rz", lambda, q)
+	out.Add("sx", 0, q)
+	out.Add("rz", theta+math.Pi, q)
+	out.Add("sx", 0, q)
+	out.Add("rz", phi+math.Pi, q)
+}
+
+// Routed is a circuit mapped onto physical qubits.
+type Routed struct {
+	*Circuit
+	// InitialLayout[logical] = physical qubit at circuit start.
+	InitialLayout []int
+	// FinalLayout[logical] = physical qubit holding the logical state
+	// at measurement time (SWAP insertion permutes the mapping).
+	FinalLayout []int
+	// SwapsInserted counts routing swaps (3 CX each).
+	SwapsInserted int
+}
+
+// Route maps a native-basis circuit onto a coupling graph, inserting
+// SWAPs (as CX triples) along shortest paths for non-adjacent CX
+// gates. The initial layout packs logical qubits onto a BFS-connected
+// region of the device.
+func Route(c *Circuit, qubits int, coupling [][2]int) (*Routed, error) {
+	if !c.IsNative() {
+		return nil, fmt.Errorf("circuit %s: route requires the native basis (Decompose first)", c.Name)
+	}
+	if c.N > qubits {
+		return nil, fmt.Errorf("circuit %s: %d logical qubits exceed %d physical", c.Name, c.N, qubits)
+	}
+	adj := make([][]int, qubits)
+	coupled := map[[2]int]bool{}
+	for _, e := range coupling {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+		coupled[[2]int{e[0], e[1]}] = true
+		coupled[[2]int{e[1], e[0]}] = true
+	}
+	layout := initialLayout(c.N, qubits, adj)
+
+	// phys[l] = physical qubit of logical l; inv[p] = logical or -1.
+	phys := append([]int(nil), layout...)
+	inv := make([]int, qubits)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for l, p := range phys {
+		inv[p] = l
+	}
+
+	out := New(c.Name, qubits)
+	r := &Routed{Circuit: out, InitialLayout: layout}
+
+	swapPhys := func(p1, p2 int) {
+		out.Add("cx", 0, p1, p2)
+		out.Add("cx", 0, p2, p1)
+		out.Add("cx", 0, p1, p2)
+		l1, l2 := inv[p1], inv[p2]
+		inv[p1], inv[p2] = l2, l1
+		if l1 >= 0 {
+			phys[l1] = p2
+		}
+		if l2 >= 0 {
+			phys[l2] = p1
+		}
+		r.SwapsInserted++
+	}
+
+	for _, g := range c.Gates {
+		switch len(g.Qubits) {
+		case 1:
+			out.Add(g.Name, g.Param, phys[g.Qubits[0]])
+		case 2:
+			pa, pb := phys[g.Qubits[0]], phys[g.Qubits[1]]
+			if !coupled[[2]int{pa, pb}] {
+				path := bfsPath(adj, pa, pb)
+				if path == nil {
+					return nil, fmt.Errorf("circuit %s: qubits %d and %d disconnected", c.Name, pa, pb)
+				}
+				// Swap the control along the path until adjacent.
+				for i := 0; i+2 < len(path); i++ {
+					swapPhys(path[i], path[i+1])
+				}
+				pa, pb = phys[g.Qubits[0]], phys[g.Qubits[1]]
+			}
+			out.Add(g.Name, g.Param, pa, pb)
+		}
+	}
+	r.FinalLayout = append([]int(nil), phys...)
+	return r, nil
+}
+
+// initialLayout picks n physical qubits forming a connected region,
+// starting from the highest-degree qubit and growing by BFS preferring
+// high-degree neighbors.
+func initialLayout(n, qubits int, adj [][]int) []int {
+	start := 0
+	for q := range adj {
+		if len(adj[q]) > len(adj[start]) {
+			start = q
+		}
+	}
+	visited := map[int]bool{start: true}
+	order := []int{start}
+	frontier := []int{start}
+	for len(order) < n && len(frontier) > 0 {
+		var next []int
+		// Visit neighbors sorted by descending degree for compactness.
+		var candidates []int
+		for _, q := range frontier {
+			for _, nb := range adj[q] {
+				if !visited[nb] {
+					visited[nb] = true
+					candidates = append(candidates, nb)
+				}
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if len(adj[candidates[i]]) != len(adj[candidates[j]]) {
+				return len(adj[candidates[i]]) > len(adj[candidates[j]])
+			}
+			return candidates[i] < candidates[j]
+		})
+		for _, cq := range candidates {
+			if len(order) < n {
+				order = append(order, cq)
+			}
+			next = append(next, cq)
+		}
+		frontier = next
+	}
+	return order[:n]
+}
+
+// bfsPath returns the shortest physical path from a to b.
+func bfsPath(adj [][]int, a, b int) []int {
+	prev := make([]int, len(adj))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if q == b {
+			var path []int
+			for cur := b; ; cur = prev[cur] {
+				path = append([]int{cur}, path...)
+				if cur == a {
+					return path
+				}
+			}
+		}
+		for _, nb := range adj[q] {
+			if prev[nb] == -1 {
+				prev[nb] = q
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// Transpile decomposes and routes in one step.
+func Transpile(c *Circuit, qubits int, coupling [][2]int) (*Routed, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return Route(Decompose(c), qubits, coupling)
+}

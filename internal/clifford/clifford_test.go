@@ -1,0 +1,187 @@
+package clifford
+
+import (
+	"math"
+	"testing"
+
+	"compaqt/internal/quantum"
+)
+
+func TestGroup1QHas24Elements(t *testing.T) {
+	g := Group1Q()
+	if len(g) != 24 {
+		t.Fatalf("1Q Clifford group has %d elements, want 24", len(g))
+	}
+}
+
+func TestGroup1QSXCosts(t *testing.T) {
+	g := Group1Q()
+	counts := map[int]int{}
+	for _, c := range g {
+		if c.SXCount < 0 || c.SXCount > 2 {
+			t.Fatalf("SX cost %d out of range", c.SXCount)
+		}
+		counts[c.SXCount]++
+	}
+	// Virtual-Z subgroup {I, S, Z, Sdg} costs zero pulses.
+	if counts[0] != 4 {
+		t.Errorf("zero-cost Cliffords = %d, want 4", counts[0])
+	}
+	// The rest split between 1 and 2 pulses; average ~1.25.
+	var avg float64
+	for c, n := range counts {
+		avg += float64(c * n)
+	}
+	avg /= 24
+	if avg < 0.9 || avg > 1.6 {
+		t.Errorf("average SX cost %.2f outside plausible band", avg)
+	}
+}
+
+func TestGroup1QClosedUnderComposition(t *testing.T) {
+	g := Group1Q()
+	key := func(u quantum.M2) [8]int32 {
+		k4 := quantum.PhaseKey4(quantum.Kron(u, quantum.I2()))
+		var k [8]int32
+		copy(k[:], k4[:8])
+		return k
+	}
+	members := map[[8]int32]bool{}
+	for _, c := range g {
+		members[key(c.U)] = true
+	}
+	// Spot-check closure on a subset (full 24x24 is cheap anyway).
+	for i := 0; i < 24; i++ {
+		for j := 0; j < 24; j++ {
+			p := quantum.Mul2(g[i].U, g[j].U)
+			if !members[key(p)] {
+				t.Fatalf("product of Cliffords %d,%d not in group", i, j)
+			}
+		}
+	}
+}
+
+func TestTwoQubitGroupOrder(t *testing.T) {
+	// The fundamental group-theory check: the four-class construction
+	// enumerates exactly the 11520 distinct two-qubit Cliffords.
+	all := TwoQubitGroup()
+	if len(all) != 11520 {
+		t.Fatalf("construction produced %d candidates, want 11520", len(all))
+	}
+	seen := map[[32]int32]bool{}
+	for _, c := range all {
+		seen[quantum.PhaseKey4(c.U)] = true
+	}
+	if len(seen) != 11520 {
+		t.Fatalf("distinct Cliffords = %d, want 11520", len(seen))
+	}
+}
+
+func TestTwoQubitGroupAverageCXCount(t *testing.T) {
+	all := TwoQubitGroup()
+	var sum float64
+	for _, c := range all {
+		sum += float64(c.CXCount)
+	}
+	avg := sum / float64(len(all))
+	if math.Abs(avg-AvgCXPerClifford) > 1e-9 {
+		t.Errorf("average CX per Clifford = %g, want 1.5", avg)
+	}
+}
+
+func TestSamplerDeterministicAndClassWeighted(t *testing.T) {
+	s1, s2 := NewSampler(42), NewSampler(42)
+	for i := 0; i < 50; i++ {
+		a, b := s1.Draw(), s2.Draw()
+		if quantum.PhaseKey4(a.U) != quantum.PhaseKey4(b.U) {
+			t.Fatal("sampler not deterministic")
+		}
+	}
+	// Class frequencies over many draws approach 576:5184:5184:576.
+	s := NewSampler(7)
+	classCounts := map[int]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		classCounts[s.Draw().CXCount]++
+	}
+	wantFrac := map[int]float64{0: 0.05, 1: 0.45, 2: 0.45, 3: 0.05}
+	for cx, want := range wantFrac {
+		got := float64(classCounts[cx]) / float64(n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("class with %d CX drawn %.3f of the time, want %.2f", cx, got, want)
+		}
+	}
+}
+
+func TestRBBaselineDecay(t *testing.T) {
+	// A Guadalupe-like configuration must land near Table III's 0.978
+	// (EPC ~2.2e-2).
+	cfg := DefaultRB(0.012, 1234)
+	cfg.Sequences = 8
+	cfg.Shots = 512
+	res, err := RunRB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P <= 0.9 || res.P >= 1 {
+		t.Fatalf("fitted decay P = %g out of range", res.P)
+	}
+	if res.Fidelity < 0.95 || res.Fidelity > 0.995 {
+		t.Errorf("RB fidelity %.4f outside the IBM band", res.Fidelity)
+	}
+	// Survival must decay monotonically within noise.
+	first := res.Points[0].Survival
+	last := res.Points[len(res.Points)-1].Survival
+	if last >= first {
+		t.Errorf("no decay: %g -> %g", first, last)
+	}
+}
+
+func TestRBMoreNoiseLowerFidelity(t *testing.T) {
+	good := DefaultRB(0.006, 99)
+	good.Sequences, good.Shots = 6, 0 // analytic survival, no shot noise
+	bad := DefaultRB(0.03, 99)
+	bad.Sequences, bad.Shots = 6, 0
+	rg, err := RunRB(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunRB(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Fidelity <= rb.Fidelity {
+		t.Errorf("fidelity ordering wrong: %.4f (good) vs %.4f (bad)", rg.Fidelity, rb.Fidelity)
+	}
+	// EPC should track the injected error: ~1.5 * eps2q + 1Q terms.
+	wantEPC := 1.5*0.03 + 8*3e-4
+	if math.Abs(rb.EPC-wantEPC)/wantEPC > 0.35 {
+		t.Errorf("EPC %.4f, want ~%.4f", rb.EPC, wantEPC)
+	}
+}
+
+func TestRBCoherentErrorReducesFidelity(t *testing.T) {
+	base := DefaultRB(0.012, 55)
+	base.Sequences, base.Shots = 6, 0
+	rBase, err := RunRB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hurt := base
+	hurt.CoherentCX = quantum.RZX(0.08) // a visible over-rotation per CX
+	rHurt, err := RunRB(hurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHurt.Fidelity >= rBase.Fidelity {
+		t.Errorf("coherent error did not reduce fidelity: %.4f vs %.4f", rHurt.Fidelity, rBase.Fidelity)
+	}
+}
+
+func TestRBRejectsTooFewLengths(t *testing.T) {
+	cfg := DefaultRB(0.01, 1)
+	cfg.Lengths = []int{5}
+	if _, err := RunRB(cfg); err == nil {
+		t.Error("single-length RB should error")
+	}
+}

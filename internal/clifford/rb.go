@@ -1,0 +1,194 @@
+package clifford
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compaqt/internal/quantum"
+)
+
+// Two-qubit randomized benchmarking (Fig. 9, Table III). A sequence of
+// m uniform Cliffords plus the recovery Clifford (the inverse of the
+// product) ideally returns |00>; device noise decays the survival
+// probability as F(m) = A p^m + B, and the error per Clifford is
+// EPC = (1 - p)(d-1)/d with d = 4.
+//
+// Noise model per Clifford, matching the device calibrations of
+// internal/device:
+//
+//   - a depolarizing channel with probability accumulated from the
+//     Clifford's physical gate content (CXCount 2Q errors, SXCount 1Q
+//     errors),
+//   - the coherent error unitaries induced by waveform compression
+//     (identity for the uncompressed baseline), composed per CX and per
+//     SX pulse,
+//   - symmetric readout assignment error on both qubits.
+
+// RBConfig parameterizes one RB experiment.
+type RBConfig struct {
+	// Lengths are the Clifford sequence lengths (Fig. 9's x-axis).
+	Lengths []int
+	// Sequences is the number of random sequences per length.
+	Sequences int
+	// Shots is the number of measurement samples per sequence.
+	Shots int
+	// Eps2Q and Eps1Q are per-gate depolarizing probabilities.
+	Eps2Q, Eps1Q float64
+	// ReadoutError is the per-qubit assignment error probability.
+	ReadoutError float64
+	// CoherentCX is the compression-induced error unitary composed with
+	// every CX (identity for the baseline).
+	CoherentCX quantum.M4
+	// Coherent1Q is composed with every SX pulse on either qubit.
+	Coherent1Q quantum.M2
+	Seed       int64
+}
+
+// DefaultRB returns a Fig. 9-like configuration with identity coherent
+// errors.
+func DefaultRB(eps2q float64, seed int64) RBConfig {
+	return RBConfig{
+		Lengths:      []int{2, 5, 10, 20, 35, 50, 75, 100},
+		Sequences:    12,
+		Shots:        1024,
+		Eps2Q:        eps2q,
+		Eps1Q:        3e-4,
+		ReadoutError: 0.015,
+		CoherentCX:   quantum.I4(),
+		Coherent1Q:   quantum.I2(),
+		Seed:         seed,
+	}
+}
+
+// RBPoint is one length's average survival probability.
+type RBPoint struct {
+	Length   int
+	Survival float64
+}
+
+// RBResult is a fitted RB decay.
+type RBResult struct {
+	Points []RBPoint
+	// A, P, B are the fitted decay parameters F(m) = A P^m + B.
+	A, P, B float64
+	// EPC is the error per Clifford, 3(1-P)/4.
+	EPC float64
+	// Fidelity is 1 - EPC (Table III's reported metric).
+	Fidelity float64
+}
+
+// RunRB simulates the experiment and fits the decay.
+func RunRB(cfg RBConfig) (*RBResult, error) {
+	if len(cfg.Lengths) < 2 {
+		return nil, fmt.Errorf("clifford: need at least 2 sequence lengths")
+	}
+	sampler := NewSampler(cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	res := &RBResult{}
+	for _, m := range cfg.Lengths {
+		var sum float64
+		for seq := 0; seq < cfg.Sequences; seq++ {
+			sum += simulateSequence(cfg, sampler, rng, m)
+		}
+		res.Points = append(res.Points, RBPoint{Length: m, Survival: sum / float64(cfg.Sequences)})
+	}
+	fitDecay(res)
+	return res, nil
+}
+
+// simulateSequence runs one random sequence of length m and returns
+// the sampled survival probability of |00>.
+func simulateSequence(cfg RBConfig, sampler *Sampler, rng *rand.Rand, m int) float64 {
+	rho := quantum.NewDensity00()
+	total := quantum.I4()
+	for i := 0; i < m; i++ {
+		c := sampler.Draw()
+		applyNoisyClifford(cfg, rho, c)
+		total = quantum.Mul4(c.U, total)
+	}
+	// Recovery Clifford: the inverse of the accumulated unitary, with
+	// the group-average gate cost for its noise.
+	inv := quantum.Dag4(total)
+	applyNoisyClifford(cfg, rho, Two{U: inv, CXCount: 2, SXCount: 8})
+
+	p00 := rho.Population(0)
+	// Readout assignment error: each qubit flips independently.
+	e := cfg.ReadoutError
+	p00 = p00*(1-e)*(1-e) +
+		(rho.Population(1)+rho.Population(2))*e*(1-e) +
+		rho.Population(3)*e*e
+	// Shot noise.
+	if cfg.Shots <= 0 {
+		return p00
+	}
+	hits := 0
+	for s := 0; s < cfg.Shots; s++ {
+		if rng.Float64() < p00 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(cfg.Shots)
+}
+
+// applyNoisyClifford applies the Clifford with coherent compression
+// error and depolarizing noise proportional to its gate content.
+func applyNoisyClifford(cfg RBConfig, rho *quantum.Density, c Two) {
+	u := c.U
+	// Coherent error: compose the CX error unitary per CX and the 1Q
+	// error per SX pulse (acting on qubit 0's slot; the error is the
+	// same small rotation regardless of which qubit carries it).
+	for i := 0; i < c.CXCount; i++ {
+		u = quantum.Mul4(cfg.CoherentCX, u)
+	}
+	if !isIdentity2(cfg.Coherent1Q) {
+		e1 := quantum.Kron(quantum.I2(), cfg.Coherent1Q)
+		for i := 0; i < c.SXCount; i++ {
+			u = quantum.Mul4(e1, u)
+		}
+	}
+	rho.ApplyUnitary(u)
+	dep := 1 - math.Pow(1-cfg.Eps2Q, float64(c.CXCount))*math.Pow(1-cfg.Eps1Q, float64(c.SXCount))
+	rho.Depolarize(dep)
+}
+
+func isIdentity2(u quantum.M2) bool {
+	return u[0][0] == 1 && u[0][1] == 0 && u[1][0] == 0 && u[1][1] == 1
+}
+
+// fitDecay fits F(m) = A p^m + B with B pinned at the depolarizing
+// limit 0.25, by log-linear least squares on F - B.
+func fitDecay(res *RBResult) {
+	const b = 0.25
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, pt := range res.Points {
+		y := pt.Survival - b
+		if y <= 1e-6 {
+			continue
+		}
+		lx := float64(pt.Length)
+		ly := math.Log(y)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		res.A, res.P, res.B = 0.75, 1, b
+	} else {
+		fn := float64(n)
+		slope := (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+		intercept := (sy - slope*sx) / fn
+		res.P = math.Exp(slope)
+		res.A = math.Exp(intercept)
+		res.B = b
+	}
+	if res.P > 1 {
+		res.P = 1
+	}
+	res.EPC = 3 * (1 - res.P) / 4
+	res.Fidelity = 1 - res.EPC
+}

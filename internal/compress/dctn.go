@@ -1,0 +1,108 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"compaqt/internal/dct"
+	"compaqt/internal/rle"
+	"compaqt/internal/wave"
+)
+
+// DCT-N: the whole-waveform floating-point DCT variant (Table II).
+// It achieves the best capacity reduction (Fig. 7b reports >100x on
+// qft-4) but is impractical in hardware because N varies per waveform
+// and can exceed a thousand samples (Section IV-C); COMPAQT uses it as
+// the upper-bound reference.
+//
+// Since N varies, coefficients are quantized to 16 bits with one
+// per-channel scale factor stored as side data (two words per channel).
+
+const dctnSideWords = 2 // float32 scale factor per channel
+
+func compressDCTN(f *wave.Fixed, opts Options) (*Compressed, error) {
+	c := &Compressed{
+		Name:       f.Name,
+		Variant:    DCTN,
+		SampleRate: f.SampleRate,
+		Samples:    f.Samples(),
+	}
+	thr := opts.threshold()
+	for chIdx, samples := range [][]int16{f.I, f.Q} {
+		ch, err := compressDCTNChannel(samples, thr)
+		if err != nil {
+			return nil, fmt.Errorf("compress: %q DCT-N channel %d: %w", f.Name, chIdx, err)
+		}
+		if chIdx == 0 {
+			c.I = *ch
+		} else {
+			c.Q = *ch
+		}
+	}
+	return c, nil
+}
+
+func compressDCTNChannel(samples []int16, thr float64) (*Channel, error) {
+	n := len(samples)
+	xf := make([]float64, n)
+	for i, s := range samples {
+		xf[i] = float64(s)
+	}
+	y := dct.Forward(xf)
+
+	// Threshold at the same absolute coefficient scale the WS=16
+	// windowed variants use (orthonormal coefficients scale as
+	// sqrt(ws) times the stored integer value). A dropped DCT-N
+	// coefficient then carries the same energy as a dropped windowed
+	// one but spreads its error over the whole waveform, which is why
+	// DCT-N has both the best compression and the lowest MSE (Fig. 7).
+	t := thr * wave.FullScale * 4
+	var maxAbs float64
+	for k := range y {
+		if math.Abs(y[k]) < t {
+			y[k] = 0
+		} else if a := math.Abs(y[k]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	coeffs := make([]int16, n)
+	scale := maxAbs / wave.FullScale
+	if scale == 0 {
+		scale = 1
+	}
+	for k := range y {
+		coeffs[k] = clampCoeff(int32(math.Round(y[k] / scale)))
+	}
+	enc := rle.EncodeWindow(coeffs)
+	return &Channel{
+		Stream:        enc,
+		WindowWords:   []int{len(enc)},
+		Scale:         scale,
+		BaselineWords: len(enc) + dctnSideWords,
+	}, nil
+}
+
+func decompressDCTN(c *Compressed) (*wave.Fixed, error) {
+	out := &wave.Fixed{Name: c.Name, SampleRate: c.SampleRate}
+	for chIdx, ch := range []*Channel{&c.I, &c.Q} {
+		coeffs, err := rle.DecodeWindow(ch.Stream, c.Samples)
+		if err != nil {
+			return nil, fmt.Errorf("decompress %q DCT-N channel %d: %w", c.Name, chIdx, err)
+		}
+		yf := make([]float64, c.Samples)
+		for k, q := range coeffs {
+			yf[k] = float64(q) * ch.Scale
+		}
+		xf := dct.Inverse(yf)
+		samples := make([]int16, c.Samples)
+		for i, x := range xf {
+			samples[i] = clamp16(int64(math.Round(x)))
+		}
+		if chIdx == 0 {
+			out.I = samples
+		} else {
+			out.Q = samples
+		}
+	}
+	return out, nil
+}

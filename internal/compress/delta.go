@@ -1,0 +1,130 @@
+package compress
+
+import (
+	"fmt"
+
+	"compaqt/internal/wave"
+)
+
+// Delta baseline (Section IV-B). Samples are held in sign-magnitude
+// form — the natural representation for a DAC datapath — and each
+// channel stores its first sample at full width followed by
+// fixed-width deltas. The delta width is the worst case over the
+// channel. As the paper observes, a zero crossing flips the sign bit
+// and produces a delta occupying the entire bit-field, at which point
+// delta compression stops paying: waveforms with zero crossings see
+// R ~= 1 while smooth single-sign waveforms see R ~= 2 (Fig. 7a).
+type deltaEncoding struct {
+	firstI, firstQ int16
+	bitsI, bitsQ   int // delta field width per channel
+	deltasI        []int32
+	deltasQ        []int32
+}
+
+// signMag maps a two's-complement sample to its sign-magnitude code
+// (sign in bit 15).
+func signMag(s int16) int32 {
+	if s < 0 {
+		return 0x8000 | int32(-int32(s))
+	}
+	return int32(s)
+}
+
+func signMagDecode(u int32) int16 {
+	if u&0x8000 != 0 {
+		return int16(-(u & 0x7FFF))
+	}
+	return int16(u & 0x7FFF)
+}
+
+func deltaBits(samples []int16) (int, []int32) {
+	if len(samples) <= 1 {
+		return 1, nil
+	}
+	deltas := make([]int32, len(samples)-1)
+	maxAbs := int32(0)
+	prev := signMag(samples[0])
+	for i := 1; i < len(samples); i++ {
+		cur := signMag(samples[i])
+		d := cur - prev
+		deltas[i-1] = d
+		if a := d; a < 0 {
+			if -a > maxAbs {
+				maxAbs = -a
+			}
+		} else if a > maxAbs {
+			maxAbs = a
+		}
+		prev = cur
+	}
+	// Bits for a signed field holding maxAbs.
+	bits := 1
+	for (int32(1) << (bits - 1)) <= maxAbs {
+		bits++
+	}
+	if bits > 17 {
+		bits = 17
+	}
+	return bits, deltas
+}
+
+func compressDelta(f *wave.Fixed) (*Compressed, error) {
+	c := &Compressed{
+		Name:       f.Name,
+		Variant:    Delta,
+		SampleRate: f.SampleRate,
+		Samples:    f.Samples(),
+	}
+	enc := &deltaEncoding{firstI: f.I[0], firstQ: f.Q[0]}
+	enc.bitsI, enc.deltasI = deltaBits(f.I)
+	enc.bitsQ, enc.deltasQ = deltaBits(f.Q)
+	c.delta = enc
+	c.I.BaselineWords = deltaWords(f.Samples(), enc.bitsI)
+	c.Q.BaselineWords = deltaWords(f.Samples(), enc.bitsQ)
+	return c, nil
+}
+
+// deltaWords converts a channel's bit footprint to 16-bit words. When
+// the delta field reaches the full sample width (a zero crossing blew
+// up the dynamic range) the encoder stores raw samples instead, so the
+// footprint never exceeds the original.
+func deltaWords(n, bits int) int {
+	if bits >= 16 {
+		return n
+	}
+	totalBits := 16 + (n-1)*bits
+	return (totalBits + 15) / 16
+}
+
+func (d *deltaEncoding) decode(c *Compressed) (*wave.Fixed, error) {
+	if d == nil {
+		return nil, fmt.Errorf("decompress %q: missing delta payload", c.Name)
+	}
+	out := &wave.Fixed{
+		Name:       c.Name,
+		SampleRate: c.SampleRate,
+		I:          deltaDecodeChannel(d.firstI, d.deltasI),
+		Q:          deltaDecodeChannel(d.firstQ, d.deltasQ),
+	}
+	return out, nil
+}
+
+func deltaDecodeChannel(first int16, deltas []int32) []int16 {
+	out := make([]int16, len(deltas)+1)
+	out[0] = first
+	acc := signMag(first)
+	for i, d := range deltas {
+		acc += d
+		out[i+1] = signMagDecode(acc)
+	}
+	return out
+}
+
+// DeltaChannelBits reports the per-channel delta widths (used by tests
+// and the Fig. 7 experiment to show the zero-crossing effect).
+func (c *Compressed) DeltaChannelBits() (int, int) {
+	if c.delta == nil {
+		return 0, 0
+	}
+	return c.delta.bitsI, c.delta.bitsQ
+}

@@ -1,0 +1,76 @@
+package compress
+
+import (
+	"fmt"
+
+	"compaqt/internal/wave"
+)
+
+// Fidelity-aware compression (Algorithm 1 of the paper). Each gate
+// pulse is unique, and a uniform threshold can cost fidelity on some
+// qubits; the compiler therefore tunes the threshold per pulse until
+// the decompressed waveform meets a target MSE, which the paper shows
+// is highly correlated with gate fidelity (Section IV-C).
+
+// StartThreshold is the initial (aggressive) relative threshold that
+// Algorithm 1 halves from.
+const StartThreshold = 0.064
+
+// MinThreshold is the floor below which Algorithm 1 gives up
+// (threshold < 1e-6 in the paper's pseudocode).
+const MinThreshold = 1e-6
+
+// Result carries a tuned compression along with the achieved error.
+type Result struct {
+	Compressed *Compressed
+	// MSE is the mean squared error between the original and the
+	// decompressed waveform, in unit-amplitude terms.
+	MSE float64
+	// Threshold is the tuned relative threshold.
+	Threshold float64
+	// Iterations is the number of threshold halvings performed.
+	Iterations int
+}
+
+// FidelityAware compresses f, halving the threshold until the
+// round-trip MSE is at or below targetMSE. It returns an error if no
+// threshold above MinThreshold achieves the target (the "-1" return of
+// Algorithm 1), which for the integer variants can happen when the
+// transform's own rounding noise exceeds the target.
+func FidelityAware(f *wave.Fixed, opts Options, targetMSE float64) (*Result, error) {
+	thr := StartThreshold
+	iters := 0
+	for thr >= MinThreshold {
+		opts.Threshold = thr
+		c, err := Compress(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		d, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		mse := wave.MSEFixed(f, d)
+		if mse <= targetMSE {
+			return &Result{Compressed: c, MSE: mse, Threshold: thr, Iterations: iters}, nil
+		}
+		thr /= 2
+		iters++
+	}
+	return nil, fmt.Errorf("compress: no threshold above %g meets MSE target %g for %q (%v ws=%d)",
+		MinThreshold, targetMSE, f.Name, opts.Variant, opts.WindowSize)
+}
+
+// RoundTripMSE compresses and decompresses f once with the given
+// options and reports the resulting MSE (Fig. 7c's metric).
+func RoundTripMSE(f *wave.Fixed, opts Options) (float64, error) {
+	c, err := Compress(f, opts)
+	if err != nil {
+		return 0, err
+	}
+	d, err := c.Decompress()
+	if err != nil {
+		return 0, err
+	}
+	return wave.MSEFixed(f, d), nil
+}

@@ -1,0 +1,195 @@
+// Package controller assembles the full COMPAQT control stack: the
+// RFSoC design point (banked BRAM waveform memory + decompression
+// engines, Sections V and VII-C) and the cryogenic ASIC design point
+// (SRAM + power budget, Section VII-D). It answers the paper's
+// system-level questions: how many qubits can one controller drive
+// (Fig. 5d, Table V, Fig. 17b) and at what power (Figs. 18-19).
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/engine"
+	"compaqt/internal/hwmodel"
+	"compaqt/internal/membank"
+	"compaqt/internal/wave"
+)
+
+// Design selects the waveform-memory organization.
+type Design struct {
+	// Compressed enables COMPAQT; false is the uncompressed baseline.
+	Compressed bool
+	// WindowSize is the int-DCT-W window (8 or 16 for the paper's
+	// design points).
+	WindowSize int
+	// WorstWindowWords is the uniform window width (3 for the
+	// empirical libraries of Fig. 11).
+	WorstWindowWords int
+	// Adaptive enables the flat-top bypass (ASIC power only).
+	Adaptive bool
+}
+
+// Baseline returns the uncompressed design.
+func Baseline() Design { return Design{} }
+
+// COMPAQT returns the compressed design with the empirical worst-case
+// window width of 3.
+func COMPAQT(ws int) Design {
+	return Design{Compressed: true, WindowSize: ws, WorstWindowWords: 3}
+}
+
+// RFSoC is an RFSoC-based controller for a machine class.
+type RFSoC struct {
+	Mem     membank.RFSoC
+	Machine *device.Machine
+	Design  Design
+}
+
+// QICKRFSoC returns the paper's QICK evaluation platform: 1152 usable
+// BRAMs with a 16x DAC-to-fabric clock ratio, which reproduces the
+// paper's "about 36 qubits uncompressed, ~95 with WS=8, ~191 with
+// WS=16" arithmetic (Section V-C).
+func QICKRFSoC(m *device.Machine) *RFSoC {
+	return &RFSoC{
+		Mem:     membank.RFSoC{BRAMs: 1152, URAMs: 54, FabricClock: 375e6, DACRate: 6e9},
+		Machine: m,
+		Design:  Baseline(),
+	}
+}
+
+// WithDesign returns a copy using the given design.
+func (r *RFSoC) WithDesign(d Design) *RFSoC {
+	c := *r
+	c.Design = d
+	return &c
+}
+
+// banksPerQubit returns BRAM banks needed to stream one qubit's two
+// channels at the DAC rate.
+func (r *RFSoC) banksPerQubit() (int, error) {
+	const channels = 2 // I and Q
+	if !r.Design.Compressed {
+		return channels * r.Mem.BanksPerChannelUncompressed(), nil
+	}
+	b, err := r.Mem.BanksPerChannelCompressed(r.Design.WindowSize, r.Design.WorstWindowWords)
+	if err != nil {
+		return 0, err
+	}
+	return channels * b, nil
+}
+
+// QubitsByBandwidth returns how many qubits the BRAM bandwidth
+// supports concurrently (Fig. 5d's binding constraint).
+func (r *RFSoC) QubitsByBandwidth() (int, error) {
+	bpq, err := r.banksPerQubit()
+	if err != nil {
+		return 0, err
+	}
+	return r.Mem.BRAMs / bpq, nil
+}
+
+// QubitsByCapacity returns how many qubits fit in the on-chip memory
+// capacity, using the machine's per-qubit library size (divided by the
+// capacity compression ratio when compressed).
+func (r *RFSoC) QubitsByCapacity(capacityRatio float64) int {
+	per := r.Machine.MemoryPerQubit()
+	if r.Design.Compressed && capacityRatio > 1 {
+		per /= capacityRatio
+	}
+	return int(r.Mem.CapacityBytes() / per)
+}
+
+// Qubits returns the binding constraint: min(capacity, bandwidth).
+func (r *RFSoC) Qubits(capacityRatio float64) (int, error) {
+	bw, err := r.QubitsByBandwidth()
+	if err != nil {
+		return 0, err
+	}
+	if capQ := r.QubitsByCapacity(capacityRatio); capQ < bw {
+		return capQ, nil
+	}
+	return bw, nil
+}
+
+// LogicalQubits returns how many surface-code logical qubits of the
+// given patch size the controller supports (Fig. 17b).
+func (r *RFSoC) LogicalQubits(patchQubits int, capacityRatio float64) (int, error) {
+	q, err := r.Qubits(capacityRatio)
+	if err != nil {
+		return 0, err
+	}
+	return q / patchQubits, nil
+}
+
+// ASIC is a cryogenic ASIC controller channel for one qubit.
+type ASIC struct {
+	Machine *device.Machine
+	Design  Design
+}
+
+// NewASIC builds the cryo controller model.
+func NewASIC(m *device.Machine, d Design) *ASIC {
+	return &ASIC{Machine: m, Design: d}
+}
+
+// Power evaluates the controller power while streaming the given
+// waveform continuously (the Fig. 18/19 experiment): the waveform is
+// compressed per the design, streamed through the decompression
+// engine for activity statistics, and fed to the analytic power model.
+func (a *ASIC) Power(w *wave.Waveform) (hwmodel.PowerBreakdown, error) {
+	f := w.Quantize()
+	libraryBits := a.Machine.MemoryPerQubit() * 8
+
+	if !a.Design.Compressed {
+		st := hwmodel.UncompressedStats(f.Samples())
+		return hwmodel.ControllerPower(libraryBits, a.Machine.SampleRate, st, 0), nil
+	}
+	c, err := compress.Compress(f, compress.Options{
+		Variant:    compress.IntDCTW,
+		WindowSize: a.Design.WindowSize,
+		Adaptive:   a.Design.Adaptive,
+	})
+	if err != nil {
+		return hwmodel.PowerBreakdown{}, err
+	}
+	eng, err := engine.New(a.Design.WindowSize)
+	if err != nil {
+		return hwmodel.PowerBreakdown{}, err
+	}
+	_, st, err := eng.Run(c)
+	if err != nil {
+		return hwmodel.PowerBreakdown{}, err
+	}
+	res, err := hwmodel.IntIDCTResources(a.Design.WindowSize)
+	if err != nil {
+		return hwmodel.PowerBreakdown{}, err
+	}
+	// The compressed SRAM shrinks by the waveform's packed ratio.
+	ratio := c.Ratio(compress.LayoutPacked)
+	if math.IsInf(ratio, 1) {
+		ratio = float64(a.Design.WindowSize)
+	}
+	return hwmodel.ControllerPower(libraryBits/ratio, a.Machine.SampleRate, st, res.Adders), nil
+}
+
+// Validate sanity-checks a design.
+func (d Design) Validate() error {
+	if !d.Compressed {
+		if d.WindowSize != 0 || d.Adaptive {
+			return fmt.Errorf("controller: baseline design cannot set compression fields")
+		}
+		return nil
+	}
+	switch d.WindowSize {
+	case 4, 8, 16, 32:
+	default:
+		return fmt.Errorf("controller: invalid window size %d", d.WindowSize)
+	}
+	if d.WorstWindowWords < 1 {
+		return fmt.Errorf("controller: worst window words %d", d.WorstWindowWords)
+	}
+	return nil
+}

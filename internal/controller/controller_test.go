@@ -1,0 +1,167 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"compaqt/internal/device"
+	"compaqt/internal/wave"
+)
+
+func TestQICKQubitCounts(t *testing.T) {
+	// Section V-C: uncompressed ~36, WS=8 ~95, WS=16 ~191.
+	m := device.Guadalupe()
+	r := QICKRFSoC(m)
+	base, err := r.QubitsByBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 30 || base > 45 {
+		t.Errorf("uncompressed qubits = %d, want ~36", base)
+	}
+	q8, err := r.WithDesign(COMPAQT(8)).QubitsByBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8 < 80 || q8 > 110 {
+		t.Errorf("WS=8 qubits = %d, want ~95", q8)
+	}
+	q16, err := r.WithDesign(COMPAQT(16)).QubitsByBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q16 < 170 || q16 > 210 {
+		t.Errorf("WS=16 qubits = %d, want ~191", q16)
+	}
+	// Table V's normalized gains: 2.66x and 5.33x.
+	if g := float64(q8) / float64(base); math.Abs(g-2.66) > 0.15 {
+		t.Errorf("WS=8 gain %.2f, want 2.66", g)
+	}
+	if g := float64(q16) / float64(base); math.Abs(g-5.33) > 0.3 {
+		t.Errorf("WS=16 gain %.2f, want 5.33", g)
+	}
+}
+
+func TestCapacityVsBandwidthConstraint(t *testing.T) {
+	// Fig. 5d: capacity alone supports >200 qubits; bandwidth drops the
+	// baseline below 40 (a ~5x drop).
+	m := device.Guadalupe()
+	r := QICKRFSoC(m)
+	capQ := r.QubitsByCapacity(1)
+	if capQ < 200 {
+		t.Errorf("capacity-only qubits = %d, want > 200", capQ)
+	}
+	q, err := r.Qubits(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q >= 40 {
+		t.Errorf("bandwidth-bound qubits = %d, want < 40", q)
+	}
+	if float64(capQ)/float64(q) < 4 {
+		t.Errorf("constraint drop %.1fx, want ~5x", float64(capQ)/float64(q))
+	}
+}
+
+func TestLogicalQubits(t *testing.T) {
+	// Fig. 17b: WS=16 supports ~5x the logical qubits of the baseline.
+	m := device.Guadalupe()
+	r := QICKRFSoC(m)
+	base, err := r.LogicalQubits(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := r.WithDesign(COMPAQT(16)).LogicalQubits(17, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 1 || base > 3 {
+		t.Errorf("baseline logical qubits = %d, want ~2", base)
+	}
+	if comp < 9 || comp > 12 {
+		t.Errorf("WS=16 logical qubits = %d, want ~11", comp)
+	}
+	if comp < 5*base {
+		t.Errorf("logical gain %d/%d below 5x", comp, base)
+	}
+}
+
+func TestASICPowerOrdering(t *testing.T) {
+	// Fig. 18/19 orderings: baseline > WS=8 > ... and adaptive < plain
+	// on flat-tops.
+	m := device.Guadalupe()
+	cr, err := m.CXPulse(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewASIC(m, Baseline()).Power(cr.Waveform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, err := NewASIC(m, COMPAQT(16)).Power(cr.Waveform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := COMPAQT(16)
+	d.Adaptive = true
+	a16, err := NewASIC(m, d).Power(cr.Waveform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base.TotalW() > c16.TotalW() && c16.TotalW() > a16.TotalW()) {
+		t.Errorf("power ordering wrong: base %.2f, ws16 %.2f, adaptive %.2f mW",
+			base.TotalW()*1e3, c16.TotalW()*1e3, a16.TotalW()*1e3)
+	}
+	if ratio := base.TotalW() / c16.TotalW(); ratio < 2.5 {
+		t.Errorf("WS=16 power reduction %.2f, want > 2.5", ratio)
+	}
+	if ratio := base.TotalW() / a16.TotalW(); ratio < 3.5 {
+		t.Errorf("adaptive power reduction %.2f, want ~4x or more", ratio)
+	}
+	if base.DACW != c16.DACW {
+		t.Error("DAC power must be constant across designs")
+	}
+}
+
+func TestASICPowerFlatTop100ns(t *testing.T) {
+	// Fig. 19's exact workload: a 100 ns flat-top waveform.
+	m := device.Guadalupe()
+	ft := wave.GaussianSquare("flat", m.SampleRate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 64e-9, Sigma: 4e-9, Angle: 0.6,
+	})
+	base, err := NewASIC(m, Baseline()).Power(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := COMPAQT(16)
+	d.Adaptive = true
+	adaptive, err := NewASIC(m, d).Power(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := base.TotalW() / adaptive.TotalW(); ratio < 3 || ratio > 8 {
+		t.Errorf("adaptive reduction %.2fx, want in the ~4x band", ratio)
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	if err := Baseline().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := COMPAQT(16).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := COMPAQT(12)
+	if bad.Validate() == nil {
+		t.Error("window 12 should fail")
+	}
+	bad2 := Design{Compressed: false, WindowSize: 8}
+	if bad2.Validate() == nil {
+		t.Error("baseline with window should fail")
+	}
+	bad3 := COMPAQT(8)
+	bad3.WorstWindowWords = 0
+	if bad3.Validate() == nil {
+		t.Error("zero width should fail")
+	}
+}

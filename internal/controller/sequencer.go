@@ -1,0 +1,148 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/core"
+	"compaqt/internal/device"
+	"compaqt/internal/engine"
+)
+
+// Sequencer models the pulse sequencer of Fig. 6: it walks a scheduled
+// circuit, triggers the decompression pipeline for every gate's
+// waveform, and accounts for the aggregate waveform-memory traffic the
+// controller sustains — connecting the circuit-level bandwidth demand
+// of Section III to the microarchitecture of Section V.
+//
+// Functionally it also verifies the control stack end to end: every
+// waveform a gate needs must exist in the compiled image and must
+// decompress to the right sample count at the right moment.
+type Sequencer struct {
+	Machine  *device.Machine
+	Image    *core.Image
+	pipeline *core.Pipeline
+}
+
+// NewSequencer pairs a machine with its compiled waveform image.
+func NewSequencer(m *device.Machine, img *core.Image) (*Sequencer, error) {
+	if img.Machine != m.Name {
+		return nil, fmt.Errorf("controller: image compiled for %q, machine is %q", img.Machine, m.Name)
+	}
+	p, err := core.NewPipeline(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Sequencer{Machine: m, Image: img, pipeline: p}, nil
+}
+
+// PlayStats aggregates one run of a scheduled circuit.
+type PlayStats struct {
+	// Ops is the number of scheduled operations played.
+	Ops int
+	// Engine accumulates decompression activity over all channels.
+	Engine engine.Stats
+	// UncompressedWords is the memory traffic the baseline design
+	// would have needed (one word per sample per channel).
+	UncompressedWords int64
+	// PeakConcurrentEngines is the largest number of decompression
+	// pipelines active at once — the hardware the controller must
+	// instantiate.
+	PeakConcurrentEngines int
+	// Makespan is the schedule length in seconds.
+	Makespan float64
+}
+
+// BandwidthReduction is the factor by which compression shrank the
+// streamed memory traffic.
+func (s PlayStats) BandwidthReduction() float64 {
+	if s.Engine.MemWords == 0 {
+		return 0
+	}
+	return float64(s.UncompressedWords) / float64(s.Engine.MemWords)
+}
+
+// Play executes a scheduled, routed circuit: every x/sx/cx/measure op
+// streams its waveform(s) through the decompression pipeline.
+func (s *Sequencer) Play(r *circuit.Routed, sched *circuit.Schedule) (PlayStats, error) {
+	var st PlayStats
+	st.Makespan = sched.Makespan
+
+	type interval struct{ start, end float64 }
+	var active []interval
+
+	for _, op := range sched.Ops {
+		keys, err := s.waveformKeys(op.Gate)
+		if err != nil {
+			return st, err
+		}
+		for _, key := range keys {
+			w, es, err := s.pipeline.Play(key)
+			if err != nil {
+				return st, fmt.Errorf("controller: op %s at %.0fns: %w", op.Name, op.Start*1e9, err)
+			}
+			st.Engine.Add(es)
+			st.UncompressedWords += int64(2 * w.Samples())
+			active = append(active, interval{op.Start, op.Start + op.Duration})
+		}
+		st.Ops++
+	}
+
+	// Peak concurrent engines by event sweep over channel intervals.
+	type event struct {
+		t     float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(active))
+	for _, iv := range active {
+		events = append(events, event{iv.start, 1}, event{iv.end, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > st.PeakConcurrentEngines {
+			st.PeakConcurrentEngines = cur
+		}
+	}
+	return st, nil
+}
+
+// waveformKeys maps a scheduled gate to the image entries it plays.
+func (s *Sequencer) waveformKeys(g circuit.Gate) ([]string, error) {
+	switch g.Name {
+	case "rz":
+		return nil, nil // virtual
+	case "x":
+		return []string{fmt.Sprintf("X_q%d", g.Qubits[0])}, nil
+	case "sx":
+		return []string{fmt.Sprintf("SX_q%d", g.Qubits[0])}, nil
+	case "cx":
+		// CR tone on the control plus the target's readout-frame tone;
+		// the image stores one CR waveform per directed pair.
+		return []string{fmt.Sprintf("CX_q%d_q%d", g.Qubits[0], g.Qubits[1])}, nil
+	case "measure":
+		return []string{fmt.Sprintf("Meas_q%d", g.Qubits[0])}, nil
+	}
+	return nil, fmt.Errorf("controller: sequencer cannot play gate %q", g.Name)
+}
+
+// RunCircuit is the one-call convenience: transpile, schedule and play
+// a logical circuit on the machine.
+func (s *Sequencer) RunCircuit(c *circuit.Circuit) (PlayStats, error) {
+	r, err := circuit.Transpile(c, s.Machine.Qubits, s.Machine.Coupling)
+	if err != nil {
+		return PlayStats{}, err
+	}
+	sched, err := circuit.ScheduleASAP(r.Circuit, s.Machine.Latency)
+	if err != nil {
+		return PlayStats{}, err
+	}
+	return s.Play(r, sched)
+}

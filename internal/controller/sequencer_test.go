@@ -1,0 +1,125 @@
+package controller
+
+import (
+	"testing"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/core"
+	"compaqt/internal/device"
+)
+
+func compileFor(t *testing.T, m *device.Machine) *core.Image {
+	t.Helper()
+	img, err := (&core.Compiler{WindowSize: 16}).Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestSequencerPlaysGHZ(t *testing.T) {
+	m := device.Bogota()
+	seq, err := NewSequencer(m, compileFor(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seq.RunCircuit(circuit.GHZ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops == 0 {
+		t.Fatal("no operations played")
+	}
+	// GHZ-3 plays: 1 H (2 pulses after decomposition? H = rz-sx-rz: one
+	// SX pulse), 2 CX, 3 measures, plus any routing.
+	if st.Engine.SamplesOut == 0 {
+		t.Fatal("no samples streamed")
+	}
+	// COMPAQT's raison d'etre: traffic shrinks ~5-8x.
+	if r := st.BandwidthReduction(); r < 4 || r > 10 {
+		t.Errorf("bandwidth reduction %.2f outside [4, 10]", r)
+	}
+	if st.PeakConcurrentEngines < 1 {
+		t.Error("no concurrency recorded")
+	}
+	if st.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestSequencerBenchmarkCircuits(t *testing.T) {
+	m := device.Guadalupe()
+	seq, err := NewSequencer(m, compileFor(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*circuit.Circuit{circuit.QFT(4), circuit.BV(6, []int{1, 3})} {
+		st, err := seq.RunCircuit(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if r := st.BandwidthReduction(); r < 4 {
+			t.Errorf("%s: bandwidth reduction %.2f too low", c.Name, r)
+		}
+		// Concurrent measurement requires at least N engines at once.
+		if st.PeakConcurrentEngines < c.N {
+			t.Errorf("%s: peak engines %d < %d measured qubits", c.Name, st.PeakConcurrentEngines, c.N)
+		}
+	}
+}
+
+func TestSequencerRejectsWrongImage(t *testing.T) {
+	m := device.Bogota()
+	other := device.Lima()
+	if _, err := NewSequencer(m, compileFor(t, other)); err == nil {
+		t.Error("image/machine mismatch should be rejected")
+	}
+}
+
+func TestSequencerRejectsUnknownGate(t *testing.T) {
+	m := device.Bogota()
+	seq, err := NewSequencer(m, compileFor(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.waveformKeys(circuit.Gate{Name: "h", Qubits: []int{0}}); err == nil {
+		t.Error("composite gate should be rejected by the sequencer")
+	}
+}
+
+func TestSequencerTrafficMatchesScheduleMath(t *testing.T) {
+	// The sequencer's uncompressed word count must equal the sum of
+	// 2 * samples over every played waveform — tying the engine-level
+	// accounting to the Section III bandwidth formulas.
+	m := device.Bogota()
+	seq, err := NewSequencer(m, compileFor(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := circuit.Transpile(circuit.GHZ(2), m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := circuit.ScheduleASAP(r.Circuit, m.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seq.Play(r, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, op := range sched.Ops {
+		switch op.Name {
+		case "x", "sx":
+			want += int64(2 * m.PulseSamples(m.Latency.OneQ))
+		case "cx":
+			want += int64(2 * m.PulseSamples(m.Latency.TwoQ))
+		case "measure":
+			want += int64(2 * m.PulseSamples(m.Latency.Readout))
+		}
+	}
+	if st.UncompressedWords != want {
+		t.Errorf("uncompressed words %d, want %d", st.UncompressedWords, want)
+	}
+}

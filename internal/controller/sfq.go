@@ -1,0 +1,98 @@
+package controller
+
+import (
+	"fmt"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/core"
+	"compaqt/internal/device"
+)
+
+// Scalability models the paper discusses beyond the RFSoC/cryo-CMOS
+// design points:
+//
+//   - SFQ controllers (Section IX): single-flux-quantum logic limits
+//     on-chip memory to tens of kilobytes [30], so whether a qubit's
+//     pulse library fits at all is the binding constraint — exactly
+//     where compile-time compression helps most.
+//   - Frequency-division multiplexing (Section III-B): QICK-style FDM
+//     mixes several qubits onto one DAC channel, but "the waveform
+//     memory must have sufficient capacity and bandwidth for all
+//     qubits" before mixing, so FDM's reach is still set by the
+//     (compressed) memory system.
+
+// SFQBudget describes an SFQ controller's on-chip memory.
+type SFQBudget struct {
+	// CapacityBytes is the total on-chip memory (tens of KB, [30]).
+	CapacityBytes int
+}
+
+// DefaultSFQ returns the DigiQ-class budget the paper cites: ~48 KB.
+func DefaultSFQ() SFQBudget { return SFQBudget{CapacityBytes: 48 * 1024} }
+
+// QubitsSupported returns how many qubits' full pulse libraries fit in
+// the SFQ memory, uncompressed and under a compiled COMPAQT image.
+func (b SFQBudget) QubitsSupported(m *device.Machine, img *core.Image) (uncompressed, compressed int, err error) {
+	perQubit := m.MemoryPerQubit()
+	if perQubit <= 0 {
+		return 0, 0, fmt.Errorf("controller: machine %s has zero per-qubit memory", m.Name)
+	}
+	uncompressed = int(float64(b.CapacityBytes) / perQubit)
+	if img == nil {
+		return uncompressed, uncompressed, nil
+	}
+	s := img.Stats()
+	if s.PackedRatio <= 0 {
+		return 0, 0, fmt.Errorf("controller: image has no compression statistics")
+	}
+	compressed = int(float64(b.CapacityBytes) / (perQubit / s.PackedRatio))
+	return uncompressed, compressed, nil
+}
+
+// FDM models frequency-division multiplexing on one high-bandwidth DAC
+// channel.
+type FDM struct {
+	// DACBandwidthHz is the synthesizable analog bandwidth (~4 GHz on
+	// RFSoC DACs after Nyquist margins).
+	DACBandwidthHz float64
+	// QubitSpacingHz is the frequency separation needed per multiplexed
+	// qubit to bound crosstalk (~200 MHz typical).
+	QubitSpacingHz float64
+}
+
+// DefaultFDM returns QICK-like multiplexing parameters.
+func DefaultFDM() FDM {
+	return FDM{DACBandwidthHz: 4e9, QubitSpacingHz: 200e6}
+}
+
+// QubitsPerChannel is the analog limit of qubits mixable onto one DAC.
+func (f FDM) QubitsPerChannel() int {
+	if f.QubitSpacingHz <= 0 {
+		return 0
+	}
+	return int(f.DACBandwidthHz / f.QubitSpacingHz)
+}
+
+// EffectiveQubits combines FDM's analog limit with the waveform-memory
+// limit of the controller design: FDM only helps if the memory can
+// store and stream every multiplexed qubit's waveforms (Section III-B).
+// dacChannels is the number of physical DAC channels on the part.
+func (f FDM) EffectiveQubits(r *RFSoC, dacChannels int, capacityRatio float64) (int, error) {
+	memQ, err := r.Qubits(capacityRatio)
+	if err != nil {
+		return 0, err
+	}
+	analogQ := dacChannels * f.QubitsPerChannel()
+	if memQ < analogQ {
+		return memQ, nil
+	}
+	return analogQ, nil
+}
+
+// VariantName is a convenience for reports.
+func VariantName(compressed bool, ws int) string {
+	if !compressed {
+		return "Uncompressed"
+	}
+	return fmt.Sprintf("%s WS=%d", compress.IntDCTW.String(), ws)
+}

@@ -1,0 +1,76 @@
+package controller
+
+import (
+	"testing"
+
+	"compaqt/internal/core"
+	"compaqt/internal/device"
+)
+
+func TestSFQQubitsSupported(t *testing.T) {
+	m := device.Guadalupe()
+	img, err := (&core.Compiler{WindowSize: 16}).Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := DefaultSFQ()
+	unc, comp, err := b.QubitsSupported(m, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 KB / ~17 KB per qubit: the uncompressed SFQ controller holds
+	// ~2 qubits of waveforms; compression lifts it by the library R.
+	if unc < 1 || unc > 4 {
+		t.Errorf("uncompressed SFQ qubits = %d, want ~2", unc)
+	}
+	if comp < 5*unc {
+		t.Errorf("compressed SFQ qubits %d should be >= 5x uncompressed %d", comp, unc)
+	}
+	// Nil image degenerates to uncompressed.
+	a, bq, err := b.QubitsSupported(m, nil)
+	if err != nil || a != bq {
+		t.Errorf("nil image should return uncompressed twice: %d, %d (%v)", a, bq, err)
+	}
+}
+
+func TestFDMAnalogLimit(t *testing.T) {
+	f := DefaultFDM()
+	if q := f.QubitsPerChannel(); q != 20 {
+		t.Errorf("qubits per channel = %d, want 20 (4GHz / 200MHz)", q)
+	}
+	if (FDM{DACBandwidthHz: 1, QubitSpacingHz: 0}).QubitsPerChannel() != 0 {
+		t.Error("zero spacing should yield zero")
+	}
+}
+
+func TestFDMBoundByMemory(t *testing.T) {
+	// Section III-B: FDM cannot exceed what the waveform memory
+	// sustains. With 8 DAC channels the analog limit is 160 qubits;
+	// the uncompressed memory caps at 36, COMPAQT WS=16 reaches 160.
+	m := device.Guadalupe()
+	r := QICKRFSoC(m)
+	f := DefaultFDM()
+	base, err := f.EffectiveQubits(r, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 36 {
+		t.Errorf("uncompressed FDM qubits = %d, want memory-bound 36", base)
+	}
+	comp, err := f.EffectiveQubits(r.WithDesign(COMPAQT(16)), 8, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp != 160 {
+		t.Errorf("compressed FDM qubits = %d, want analog-bound 160", comp)
+	}
+}
+
+func TestVariantName(t *testing.T) {
+	if VariantName(false, 0) != "Uncompressed" {
+		t.Error("baseline name")
+	}
+	if VariantName(true, 16) != "int-DCT-W WS=16" {
+		t.Errorf("compressed name = %q", VariantName(true, 16))
+	}
+}

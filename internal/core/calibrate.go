@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/quantum"
+	"compaqt/internal/wave"
+)
+
+// Gate-fidelity-aware compression — the paper's proposed integration of
+// Algorithm 1 "within the gate calibration loop" (Section IV-C). Instead
+// of bounding waveform MSE (a proxy), the compiler integrates the
+// decompressed envelope into the gate's actual unitary and halves the
+// threshold until the coherent infidelity meets the target. This is
+// the strongest guarantee the compiler can give: the stored waveform is
+// certified against the metric the machine is calibrated to.
+
+// GateTarget describes the rotation a pulse implements, so the
+// calibrating compiler can score the decompressed envelope.
+type GateTarget struct {
+	// TwoQubit selects CR (ZX) integration instead of 1Q.
+	TwoQubit bool
+	// Angle is the calibrated rotation angle (pi for X, pi/2 for SX,
+	// pi/4 for the echoed-CR half).
+	Angle float64
+}
+
+// gateTargetFor maps a library pulse to its rotation target. Readout
+// tones have no unitary target and fall back to MSE-based tuning.
+func gateTargetFor(gate string) (GateTarget, bool) {
+	switch gate {
+	case "X":
+		return GateTarget{Angle: math.Pi}, true
+	case "SX":
+		return GateTarget{Angle: math.Pi / 2}, true
+	case "CX":
+		return GateTarget{TwoQubit: true, Angle: math.Pi / 4}, true
+	}
+	return GateTarget{}, false
+}
+
+// CalibrationResult reports one pulse's gate-fidelity-aware tuning.
+type CalibrationResult struct {
+	Compressed *compress.Compressed
+	// Infidelity is the achieved coherent gate infidelity (1 - F_avg).
+	Infidelity float64
+	// Threshold is the tuned relative threshold.
+	Threshold  float64
+	Iterations int
+}
+
+// CompressForGateFidelity tunes the threshold until the decompressed
+// envelope's coherent gate infidelity is at or below target. It mirrors
+// Algorithm 1 with the MSE check replaced by unitary integration.
+func CompressForGateFidelity(w *wave.Waveform, tgt GateTarget, opts compress.Options, targetInfidelity float64) (*CalibrationResult, error) {
+	f := w.Quantize()
+	thr := compress.StartThreshold
+	iters := 0
+	for thr >= compress.MinThreshold {
+		opts.Threshold = thr
+		c, err := compress.Compress(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		d, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		dist := d.Dequantize()
+		var infid float64
+		if tgt.TwoQubit {
+			e := quantum.CoherentErrorCR(w, dist, tgt.Angle)
+			infid = 1 - quantum.AvgGateFidelity4(e, quantum.I4())
+		} else {
+			e := quantum.CoherentError1Q(w, dist, tgt.Angle)
+			infid = 1 - quantum.AvgGateFidelity2(e, quantum.I2())
+		}
+		if infid <= targetInfidelity {
+			return &CalibrationResult{
+				Compressed: c,
+				Infidelity: infid,
+				Threshold:  thr,
+				Iterations: iters,
+			}, nil
+		}
+		thr /= 2
+		iters++
+	}
+	return nil, fmt.Errorf("core: no threshold above %g meets infidelity target %g for %q",
+		compress.MinThreshold, targetInfidelity, w.Name)
+}
+
+// CalibratingCompiler compresses a library against a gate-infidelity
+// budget, falling back to MSE tuning for pulses without a unitary
+// target (readout tones).
+type CalibratingCompiler struct {
+	WindowSize int
+	// TargetInfidelity is the per-gate coherent infidelity budget
+	// (e.g. 1e-5: an order of magnitude under typical 1Q device error).
+	TargetInfidelity float64
+	// FallbackMSE is the MSE target for non-gate pulses (default 5e-6).
+	FallbackMSE float64
+}
+
+// Compile compresses the machine's full library with gate-fidelity
+// certification.
+func (cc *CalibratingCompiler) Compile(m *device.Machine) (*Image, []CalibrationResult, error) {
+	if !validWindow(cc.WindowSize) {
+		return nil, nil, fmt.Errorf("core: invalid window size %d", cc.WindowSize)
+	}
+	if cc.TargetInfidelity <= 0 {
+		return nil, nil, fmt.Errorf("core: target infidelity must be positive")
+	}
+	fallback := cc.FallbackMSE
+	if fallback == 0 {
+		fallback = 5e-6
+	}
+	img := &Image{Machine: m.Name, WindowSize: cc.WindowSize}
+	var results []CalibrationResult
+	opts := compress.Options{Variant: compress.IntDCTW, WindowSize: cc.WindowSize}
+	for _, p := range m.Library() {
+		var c *compress.Compressed
+		if tgt, ok := gateTargetFor(p.Gate); ok {
+			res, err := CompressForGateFidelity(p.Waveform, tgt, opts, cc.TargetInfidelity)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s: %w", p.Key(), err)
+			}
+			results = append(results, *res)
+			c = res.Compressed
+		} else {
+			res, err := compress.FidelityAware(p.Waveform.Quantize(), opts, fallback)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s: %w", p.Key(), err)
+			}
+			c = res.Compressed
+		}
+		img.Entries = append(img.Entries, Entry{
+			Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: c,
+		})
+	}
+	return img, results, nil
+}
+
+func validWindow(ws int) bool {
+	switch ws {
+	case 4, 8, 16, 32:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/quantum"
+)
+
+func TestCompressForGateFidelityMeetsTarget(t *testing.T) {
+	m := device.Guadalupe()
+	w := m.XPulse(2).Waveform
+	target := 1e-6
+	res, err := CompressForGateFidelity(w, GateTarget{Angle: math.Pi},
+		compress.Options{Variant: compress.IntDCTW, WindowSize: 16}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infidelity > target {
+		t.Errorf("infidelity %g exceeds target %g", res.Infidelity, target)
+	}
+	if res.Compressed.Ratio(compress.LayoutPacked) < 2 {
+		t.Errorf("ratio %.2f collapsed while meeting fidelity", res.Compressed.Ratio(compress.LayoutPacked))
+	}
+	// Verify independently: integrate the certified waveform.
+	d, err := res.Compressed.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := quantum.CoherentError1Q(w, d.Dequantize(), math.Pi)
+	if inf := 1 - quantum.AvgGateFidelity2(e, quantum.I2()); inf > target {
+		t.Errorf("independent check: infidelity %g", inf)
+	}
+}
+
+func TestCompressForGateFidelityCR(t *testing.T) {
+	m := device.Guadalupe()
+	p, err := m.CXPulse(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompressForGateFidelity(p.Waveform, GateTarget{TwoQubit: true, Angle: math.Pi / 4},
+		compress.Options{Variant: compress.IntDCTW, WindowSize: 16}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infidelity > 1e-6 {
+		t.Errorf("CR infidelity %g", res.Infidelity)
+	}
+}
+
+func TestCompressForGateFidelityUnreachable(t *testing.T) {
+	m := device.Guadalupe()
+	w := m.XPulse(0).Waveform
+	// Quantization noise alone exceeds 1e-18.
+	if _, err := CompressForGateFidelity(w, GateTarget{Angle: math.Pi},
+		compress.Options{Variant: compress.IntDCTW, WindowSize: 16}, 1e-18); err == nil {
+		t.Error("unreachable target should error")
+	}
+}
+
+func TestCalibratingCompiler(t *testing.T) {
+	m := device.Bogota()
+	cc := &CalibratingCompiler{WindowSize: 16, TargetInfidelity: 1e-5}
+	img, results, err := cc.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGates := 2*m.Qubits + 2*len(m.Coupling) // X, SX per qubit; CX per directed pair
+	if len(results) != wantGates {
+		t.Errorf("calibrated %d gate pulses, want %d", len(results), wantGates)
+	}
+	for _, r := range results {
+		if r.Infidelity > 1e-5 {
+			t.Errorf("a calibrated pulse exceeds the infidelity budget: %g", r.Infidelity)
+		}
+	}
+	s := img.Stats()
+	if s.Entries != 3*m.Qubits+2*len(m.Coupling) {
+		t.Errorf("image entries = %d", s.Entries)
+	}
+	// Certified compression still delivers real ratios.
+	if s.PackedRatio < 3 {
+		t.Errorf("certified packed ratio %.2f too low", s.PackedRatio)
+	}
+}
+
+func TestCalibratingCompilerValidation(t *testing.T) {
+	if _, _, err := (&CalibratingCompiler{WindowSize: 10, TargetInfidelity: 1e-5}).Compile(device.Bogota()); err == nil {
+		t.Error("bad window should error")
+	}
+	if _, _, err := (&CalibratingCompiler{WindowSize: 16}).Compile(device.Bogota()); err == nil {
+		t.Error("zero target should error")
+	}
+}
+
+func TestGateFidelityTighterTargetLowerRatio(t *testing.T) {
+	// The calibration knob works in the right direction: a tighter
+	// infidelity budget can only reduce (or keep) the ratio.
+	m := device.Guadalupe()
+	w := m.XPulse(5).Waveform
+	opts := compress.Options{Variant: compress.IntDCTW, WindowSize: 16}
+	loose, err := CompressForGateFidelity(w, GateTarget{Angle: math.Pi}, opts, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := CompressForGateFidelity(w, GateTarget{Angle: math.Pi}, opts, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Compressed.Ratio(compress.LayoutPacked) > loose.Compressed.Ratio(compress.LayoutPacked)+1e-9 {
+		t.Errorf("tighter target yielded higher ratio: %.2f vs %.2f",
+			tight.Compressed.Ratio(compress.LayoutPacked), loose.Compressed.Ratio(compress.LayoutPacked))
+	}
+	if tight.Threshold > loose.Threshold {
+		t.Error("tighter target should not raise the threshold")
+	}
+}

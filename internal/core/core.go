@@ -1,0 +1,411 @@
+// Package core is COMPAQT's public facade: the compile-time compiler
+// that turns a machine's calibrated pulse library into a compressed
+// waveform-memory image (Fig. 6's "Compiler Backend"), the serialized
+// image format that would be loaded onto the controller after each
+// calibration cycle, and the playback pipeline that pairs the image
+// with the hardware decompression engine.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/engine"
+	"compaqt/internal/rle"
+	"compaqt/internal/wave"
+)
+
+// Compiler compresses pulse libraries with fixed options.
+type Compiler struct {
+	// WindowSize is the int-DCT-W window (8 or 16 recommended).
+	WindowSize int
+	// TargetMSE, when nonzero, enables fidelity-aware thresholding
+	// (Algorithm 1) with this per-pulse MSE target; otherwise the
+	// default threshold applies.
+	TargetMSE float64
+	// Adaptive enables the flat-top repeat path (ASIC design point).
+	Adaptive bool
+}
+
+// Entry is one compressed pulse in the image.
+type Entry struct {
+	Key        string
+	Gate       string
+	Qubit      int
+	Target     int
+	Compressed *compress.Compressed
+}
+
+// Image is a compiled waveform-memory image.
+type Image struct {
+	Machine    string
+	WindowSize int
+	Entries    []Entry
+}
+
+// Compile compresses the machine's full library.
+func (c *Compiler) Compile(m *device.Machine) (*Image, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	img := &Image{Machine: m.Name, WindowSize: c.WindowSize}
+	for _, p := range m.Library() {
+		e, err := c.compileOne(p)
+		if err != nil {
+			return nil, err
+		}
+		img.Entries = append(img.Entries, e)
+	}
+	return img, nil
+}
+
+// CompilePulses compresses an explicit pulse list.
+func (c *Compiler) CompilePulses(name string, pulses []*device.Pulse) (*Image, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	img := &Image{Machine: name, WindowSize: c.WindowSize}
+	for _, p := range pulses {
+		e, err := c.compileOne(p)
+		if err != nil {
+			return nil, err
+		}
+		img.Entries = append(img.Entries, e)
+	}
+	return img, nil
+}
+
+func (c *Compiler) validate() error {
+	switch c.WindowSize {
+	case 4, 8, 16, 32:
+		return nil
+	}
+	return fmt.Errorf("core: invalid window size %d", c.WindowSize)
+}
+
+func (c *Compiler) compileOne(p *device.Pulse) (Entry, error) {
+	opts := compress.Options{
+		Variant:    compress.IntDCTW,
+		WindowSize: c.WindowSize,
+		Adaptive:   c.Adaptive,
+	}
+	f := p.Waveform.Quantize()
+	var cc *compress.Compressed
+	var err error
+	if c.TargetMSE > 0 {
+		var res *compress.Result
+		res, err = compress.FidelityAware(f, opts, c.TargetMSE)
+		if err == nil {
+			cc = res.Compressed
+		}
+	} else {
+		cc, err = compress.Compress(f, opts)
+	}
+	if err != nil {
+		return Entry{}, fmt.Errorf("core: compiling %s: %w", p.Key(), err)
+	}
+	return Entry{Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: cc}, nil
+}
+
+// Lookup finds an entry by key.
+func (img *Image) Lookup(key string) (*Entry, error) {
+	for i := range img.Entries {
+		if img.Entries[i].Key == key {
+			return &img.Entries[i], nil
+		}
+	}
+	return nil, fmt.Errorf("core: image has no entry %q", key)
+}
+
+// Stats aggregates the image's compression statistics.
+type Stats struct {
+	Entries       int
+	OriginalWords int
+	PackedWords   int
+	UniformWords  int
+	PackedRatio   float64
+	UniformRatio  float64
+	WorstWindow   int
+	RepeatSamples int
+}
+
+// Stats computes the image summary.
+func (img *Image) Stats() Stats {
+	var s Stats
+	for i := range img.Entries {
+		c := img.Entries[i].Compressed
+		s.Entries++
+		s.OriginalWords += c.OriginalWords()
+		s.PackedWords += c.Words(compress.LayoutPacked)
+		s.UniformWords += c.Words(compress.LayoutUniform)
+		if w := c.MaxWindowWords(); w > s.WorstWindow {
+			s.WorstWindow = w
+		}
+		s.RepeatSamples += c.I.RepeatSamples + c.Q.RepeatSamples
+	}
+	if s.PackedWords > 0 {
+		s.PackedRatio = float64(s.OriginalWords) / float64(s.PackedWords)
+	}
+	if s.UniformWords > 0 {
+		s.UniformRatio = float64(s.OriginalWords) / float64(s.UniformWords)
+	}
+	return s
+}
+
+// Pipeline pairs an image with a decompression engine for playback.
+type Pipeline struct {
+	Image  *Image
+	Engine *engine.Engine
+}
+
+// NewPipeline builds a playback pipeline for the image.
+func NewPipeline(img *Image) (*Pipeline, error) {
+	e, err := engine.New(img.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Image: img, Engine: e}, nil
+}
+
+// Play decompresses one entry through the hardware engine, returning
+// the reconstructed waveform and the activity statistics.
+func (p *Pipeline) Play(key string) (*wave.Fixed, engine.Stats, error) {
+	e, err := p.Image.Lookup(key)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	return p.Engine.Run(e.Compressed)
+}
+
+// Serialization. Format (little endian):
+//
+//	magic "CPQT", version u16, window u16
+//	machine string, entry count u32
+//	per entry: key, gate strings; qubit, target i32;
+//	           sample rate f64, samples u32;
+//	           per channel (I, Q): word count u32, words u32 each
+//
+// Streams store the 17-bit words in 32-bit slots; a production FPGA
+// loader would repack them into 18-bit BRAM words.
+
+const (
+	magic   = "CPQT"
+	version = 1
+)
+
+// WriteTo serializes the image.
+func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := &countWriter{w: bw}
+	write := func(v any) error { return binary.Write(n, binary.LittleEndian, v) }
+	if _, err := n.Write([]byte(magic)); err != nil {
+		return n.n, err
+	}
+	if err := write(uint16(version)); err != nil {
+		return n.n, err
+	}
+	if err := write(uint16(img.WindowSize)); err != nil {
+		return n.n, err
+	}
+	if err := writeString(n, img.Machine); err != nil {
+		return n.n, err
+	}
+	if err := write(uint32(len(img.Entries))); err != nil {
+		return n.n, err
+	}
+	for i := range img.Entries {
+		e := &img.Entries[i]
+		c := e.Compressed
+		if err := writeString(n, e.Key); err != nil {
+			return n.n, err
+		}
+		if err := writeString(n, e.Gate); err != nil {
+			return n.n, err
+		}
+		if err := write(int32(e.Qubit)); err != nil {
+			return n.n, err
+		}
+		if err := write(int32(e.Target)); err != nil {
+			return n.n, err
+		}
+		if err := write(c.SampleRate); err != nil {
+			return n.n, err
+		}
+		if err := write(uint32(c.Samples)); err != nil {
+			return n.n, err
+		}
+		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
+			if err := write(uint32(len(ch.Stream))); err != nil {
+				return n.n, err
+			}
+			for _, word := range ch.Stream {
+				if err := write(uint32(word)); err != nil {
+					return n.n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n.n, err
+	}
+	return n.n, nil
+}
+
+// ReadImage deserializes an image written by WriteTo.
+func ReadImage(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("core: bad magic %q", m)
+	}
+	var ver, ws uint16
+	if err := read(&ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("core: unsupported image version %d", ver)
+	}
+	if err := read(&ws); err != nil {
+		return nil, err
+	}
+	img := &Image{WindowSize: int(ws)}
+	var err error
+	if img.Machine, err = readString(br); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("core: implausible entry count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		var e Entry
+		if e.Key, err = readString(br); err != nil {
+			return nil, err
+		}
+		if e.Gate, err = readString(br); err != nil {
+			return nil, err
+		}
+		var q, tgt int32
+		if err := read(&q); err != nil {
+			return nil, err
+		}
+		if err := read(&tgt); err != nil {
+			return nil, err
+		}
+		e.Qubit, e.Target = int(q), int(tgt)
+		c := &compress.Compressed{
+			Name:       e.Key,
+			Variant:    compress.IntDCTW,
+			WindowSize: int(ws),
+		}
+		if err := read(&c.SampleRate); err != nil {
+			return nil, err
+		}
+		var samples uint32
+		if err := read(&samples); err != nil {
+			return nil, err
+		}
+		c.Samples = int(samples)
+		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
+			var wc uint32
+			if err := read(&wc); err != nil {
+				return nil, err
+			}
+			if wc > 1<<24 {
+				return nil, fmt.Errorf("core: implausible stream length %d", wc)
+			}
+			ch.Stream = make([]rle.Word, wc)
+			for j := range ch.Stream {
+				var word uint32
+				if err := read(&word); err != nil {
+					return nil, err
+				}
+				ch.Stream[j] = rle.Word(word)
+			}
+			rebuildChannelMeta(ch, int(ws))
+		}
+		e.Compressed = c
+		img.Entries = append(img.Entries, e)
+	}
+	return img, nil
+}
+
+// rebuildChannelMeta reconstructs the per-window word counts and repeat
+// statistics from a deserialized stream (they are derivable, so the
+// format does not store them).
+func rebuildChannelMeta(ch *compress.Channel, ws int) {
+	ch.WindowWords = nil
+	ch.RepeatWords = 0
+	ch.RepeatSamples = 0
+	i := 0
+	for i < len(ch.Stream) {
+		if k, run := rle.Decode(ch.Stream[i]); k == rle.KindRepeat {
+			ch.RepeatWords++
+			ch.RepeatSamples += run
+			i++
+			continue
+		}
+		start := i
+		covered := 0
+		for covered < ws && i < len(ch.Stream) {
+			k, run := rle.Decode(ch.Stream[i])
+			switch k {
+			case rle.KindSample:
+				covered++
+			case rle.KindZeroRun:
+				covered += run
+			case rle.KindRepeat:
+				covered = ws // malformed; Decompress will report it
+				continue
+			}
+			i++
+		}
+		ch.WindowWords = append(ch.WindowWords, i-start)
+	}
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("core: string too long")
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

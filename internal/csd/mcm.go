@@ -1,0 +1,150 @@
+package csd
+
+import "sort"
+
+// Multiple-constant multiplication (MCM) cost estimation with greedy
+// two-term common-subexpression elimination (Hartley's method). Real
+// multiplierless transform datapaths (the int-DCT-W engine of
+// Section V-B, following [68]) share sub-sums like (x<<6 + x) between
+// coefficient multipliers; this model reproduces that sharing so the
+// adder/shifter counts of Table IV and the LUT estimates of Table VIII
+// come from the same network structure the engine executes.
+
+// pattern is a normalized two-digit subexpression: the shift distance
+// between the digits and whether their signs agree. Any occurrence
+// (s1,±) , (s2,∓/±) with s2-s1 == Dist reduces to one shared adder.
+type pattern struct {
+	Dist     uint
+	SameSign bool
+}
+
+// mcmTerm is one remaining addend of a coefficient: either an original
+// CSD digit or a reference to an extracted subexpression.
+type mcmTerm struct {
+	shift    uint
+	negative bool
+	sym      int // -1 for a raw digit, else subexpression index
+}
+
+// MCMCost returns the adder and shifter counts for a block multiplying
+// one input by every distinct coefficient magnitude in coeffs, after
+// greedy pairwise subexpression extraction.
+func MCMCost(coeffs []int32) (adders, shifters int) {
+	// Build digit lists.
+	seen := map[int32]bool{}
+	var terms [][]mcmTerm
+	sorted := append([]int32(nil), coeffs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range sorted {
+		if c < 0 {
+			c = -c
+		}
+		if c == 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		f := Decompose(c)
+		var ts []mcmTerm
+		for _, d := range f.Digits {
+			ts = append(ts, mcmTerm{shift: d.Shift, negative: d.Negative, sym: -1})
+		}
+		terms = append(terms, ts)
+	}
+
+	// Greedy extraction: repeatedly find the most frequent raw-digit
+	// pair pattern across all coefficients and replace each disjoint
+	// occurrence with a single reference to a shared subexpression.
+	nsym := 0
+	for {
+		best, bestCount := pattern{}, 0
+		counts := map[pattern]int{}
+		for _, ts := range terms {
+			for i := 0; i < len(ts); i++ {
+				if ts[i].sym >= 0 {
+					continue
+				}
+				for j := i + 1; j < len(ts); j++ {
+					if ts[j].sym >= 0 {
+						continue
+					}
+					p := normalize(ts[i], ts[j])
+					counts[p]++
+					if counts[p] > bestCount {
+						best, bestCount = p, counts[p]
+					}
+				}
+			}
+		}
+		if bestCount < 2 {
+			break
+		}
+		nsym++ // the shared subexpression costs one adder, once
+		for t := range terms {
+			terms[t] = substitute(terms[t], best, nsym-1)
+		}
+	}
+
+	// Remaining accumulation: each coefficient needs (#terms - 1)
+	// adders; each subexpression needs one adder plus one shifter if
+	// its internal shift distance is nonzero (always, for CSD).
+	adders = nsym
+	for _, ts := range terms {
+		if len(ts) > 1 {
+			adders += len(ts) - 1
+		}
+		for _, t := range ts {
+			if t.shift != 0 {
+				shifters++
+			}
+		}
+	}
+	shifters += nsym // internal shift of each subexpression
+	return adders, shifters
+}
+
+// normalize produces the shift/sign-invariant pattern of a digit pair.
+func normalize(a, b mcmTerm) pattern {
+	lo, hi := a, b
+	if lo.shift > hi.shift {
+		lo, hi = hi, lo
+	}
+	return pattern{Dist: hi.shift - lo.shift, SameSign: lo.negative == hi.negative}
+}
+
+// substitute replaces disjoint occurrences of p among raw digits with a
+// reference term anchored at the lower shift.
+func substitute(ts []mcmTerm, p pattern, sym int) []mcmTerm {
+	used := make([]bool, len(ts))
+	var out []mcmTerm
+	for i := 0; i < len(ts); i++ {
+		if used[i] || ts[i].sym >= 0 {
+			continue
+		}
+		matched := false
+		for j := i + 1; j < len(ts); j++ {
+			if used[j] || ts[j].sym >= 0 {
+				continue
+			}
+			if normalize(ts[i], ts[j]) == p {
+				lo := ts[i]
+				if ts[j].shift < lo.shift {
+					lo = ts[j]
+				}
+				out = append(out, mcmTerm{shift: lo.shift, negative: lo.negative, sym: sym})
+				used[i], used[j] = true, true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, ts[i])
+			used[i] = true
+		}
+	}
+	for i := range ts {
+		if !used[i] && ts[i].sym >= 0 {
+			out = append(out, ts[i])
+		}
+	}
+	return out
+}

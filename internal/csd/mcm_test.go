@@ -1,0 +1,83 @@
+package csd
+
+import "testing"
+
+func TestMCMCostNeverExceedsNaive(t *testing.T) {
+	// CSE can only remove adders relative to independent CSD forms.
+	sets := [][]int32{
+		{89, 75, 50, 18},            // HEVC 8-point odd coefficients
+		{64, 83, 36},                // HEVC 4-point set
+		{90, 87, 80, 70, 57, 43, 25, 9}, // HEVC 16-point odd set
+		{3, 5, 7, 9},
+		{1},
+		{64},
+	}
+	for _, coeffs := range sets {
+		naive := NewNetwork(coeffs).Adders()
+		adders, shifters := MCMCost(coeffs)
+		if adders > naive {
+			t.Errorf("MCMCost(%v) = %d adders > naive %d", coeffs, adders, naive)
+		}
+		if adders < 0 || shifters < 0 {
+			t.Errorf("MCMCost(%v) negative counts", coeffs)
+		}
+	}
+}
+
+func TestMCMCostSharesObviousPattern(t *testing.T) {
+	// 5 = 4+1 and 10 = 8+2 share the (dist=2, same-sign) pattern:
+	// one shared subexpression realizes both, so 1 adder total.
+	adders, _ := MCMCost([]int32{5, 10})
+	if adders != 1 {
+		t.Errorf("MCMCost(5,10) = %d adders, want 1 (shared 1+4 pattern)", adders)
+	}
+	// Without sharing each needs 1 adder: naive is 2.
+	if naive := NewNetwork([]int32{5, 10}).Adders(); naive != 2 {
+		t.Errorf("naive(5,10) = %d, want 2", naive)
+	}
+}
+
+func TestMCMCostTrivialCases(t *testing.T) {
+	if a, s := MCMCost(nil); a != 0 || s != 0 {
+		t.Errorf("empty set: %d, %d", a, s)
+	}
+	if a, _ := MCMCost([]int32{64}); a != 0 {
+		t.Errorf("pure shift needs no adders, got %d", a)
+	}
+	if a, _ := MCMCost([]int32{0}); a != 0 {
+		t.Errorf("zero coefficient: %d adders", a)
+	}
+	// Duplicates and signs collapse.
+	a1, _ := MCMCost([]int32{83, -83, 83})
+	a2, _ := MCMCost([]int32{83})
+	if a1 != a2 {
+		t.Errorf("duplicate collapse failed: %d vs %d", a1, a2)
+	}
+}
+
+func TestMCMCostDeterministic(t *testing.T) {
+	coeffs := []int32{90, 87, 80, 70, 57, 43, 25, 9}
+	a1, s1 := MCMCost(coeffs)
+	for i := 0; i < 20; i++ {
+		a2, s2 := MCMCost(coeffs)
+		if a1 != a2 || s1 != s2 {
+			t.Fatalf("MCMCost not deterministic: (%d,%d) vs (%d,%d)", a1, s1, a2, s2)
+		}
+	}
+}
+
+func TestMCMCostHEVC8PointBand(t *testing.T) {
+	// The 8-point odd set drives Table IV; the greedy CSE should land
+	// between the theoretical floor and the naive count.
+	adders, shifters := MCMCost([]int32{89, 75, 50, 18})
+	naive := NewNetwork([]int32{89, 75, 50, 18}).Adders()
+	if adders >= naive {
+		t.Errorf("no sharing found in the HEVC odd set: %d vs naive %d", adders, naive)
+	}
+	if adders < 4 {
+		t.Errorf("adders %d below the information floor", adders)
+	}
+	if shifters == 0 {
+		t.Error("shift count should be nonzero")
+	}
+}

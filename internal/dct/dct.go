@@ -1,0 +1,238 @@
+// Package dct implements the transforms at the heart of COMPAQT
+// (Section IV-C of the paper):
+//
+//   - the orthonormal floating-point DCT-II and its inverse (DCT-III),
+//     used for the DCT-N and DCT-W compression variants (Eq. 1-2), and
+//   - the HEVC-style integer DCT/IDCT for 4/8/16/32-point windows,
+//     used for the int-DCT-W variant that the hardware decompression
+//     engine implements with shift-and-add networks only.
+//
+// Only the transform mathematics lives here; thresholding, RLE, and the
+// memory layout live in internal/compress.
+package dct
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forward computes the orthonormal DCT-II of x (paper Eq. 1 with the
+// standard sqrt(2) normalization that makes the pair exactly
+// orthonormal):
+//
+//	y[k] = a(k) * sum_n x[n] cos(pi (2n+1) k / 2N)
+//
+// with a(0)=sqrt(1/N) and a(k)=sqrt(2/N) otherwise.
+func Forward(x []float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	if n == 0 {
+		return y
+	}
+	a0 := math.Sqrt(1 / float64(n))
+	ak := math.Sqrt(2 / float64(n))
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(2*i+1)*float64(k)/float64(2*n))
+		}
+		if k == 0 {
+			y[k] = a0 * sum
+		} else {
+			y[k] = ak * sum
+		}
+	}
+	return y
+}
+
+// Inverse computes the orthonormal DCT-III, the exact inverse of
+// Forward (paper Eq. 2).
+func Inverse(y []float64) []float64 {
+	n := len(y)
+	x := make([]float64, n)
+	if n == 0 {
+		return x
+	}
+	a0 := math.Sqrt(1 / float64(n))
+	ak := math.Sqrt(2 / float64(n))
+	for i := 0; i < n; i++ {
+		sum := a0 * y[0]
+		for k := 1; k < n; k++ {
+			sum += ak * y[k] * math.Cos(math.Pi*float64(2*i+1)*float64(k)/float64(2*n))
+		}
+		x[i] = sum
+	}
+	return x
+}
+
+// ValidWindow reports whether ws is a window size supported by the
+// integer transform (the HEVC core transform sizes).
+func ValidWindow(ws int) bool {
+	switch ws {
+	case 4, 8, 16, 32:
+		return true
+	}
+	return false
+}
+
+// hevcOdd holds the HEVC 32-point core-transform coefficient table
+// c[j] ~ round(64*sqrt(2)*cos(j*pi/64)) with the standard's hand-tuned
+// adjustments (e.g. c[8]=83, not 84). Index 0 is the DC value 64 and
+// index 32 is 0. Every entry of every HEVC transform matrix is +-c[j]
+// for some j, selected by folding the DCT argument into the first
+// quadrant (see matrix generation below).
+var hevcOdd = [33]int32{
+	64, 90, 90, 90, 89, 88, 87, 85, 83, 82, 80, 78, 75, 73, 70, 67,
+	64, 61, 57, 54, 50, 46, 43, 38, 36, 31, 25, 22, 18, 13, 9, 4,
+	0,
+}
+
+// coeff returns the signed HEVC matrix entry for DCT argument index
+// m = (2n+1)k, using the quarter-wave symmetry of cos(m*pi/64)
+// (period 128, antisymmetric about 64, symmetric about 0).
+func coeff(m int) int32 {
+	m %= 128
+	if m < 0 {
+		m += 128
+	}
+	switch {
+	case m <= 32:
+		return hevcOdd[m]
+	case m <= 64:
+		return -hevcOdd[64-m]
+	case m <= 96:
+		return -hevcOdd[m-64]
+	default:
+		return hevcOdd[128-m]
+	}
+}
+
+// Matrix returns the N-point HEVC integer transform matrix (N = 4, 8,
+// 16 or 32). Row k of the N-point matrix is row k*(32/N) of the
+// 32-point matrix truncated to N columns, which is how the standard
+// derives the smaller transforms.
+func Matrix(n int) [][]int32 {
+	if !ValidWindow(n) {
+		panic(fmt.Sprintf("dct: unsupported window size %d", n))
+	}
+	stride := 32 / n
+	m := make([][]int32, n)
+	for k := 0; k < n; k++ {
+		m[k] = make([]int32, n)
+		for col := 0; col < n; col++ {
+			m[k][col] = coeff((2*col + 1) * k * stride)
+		}
+	}
+	return m
+}
+
+// Coefficients returns the distinct positive coefficient magnitudes of
+// the N-point matrix (used to build the shift-add hardware model).
+func Coefficients(n int) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, row := range Matrix(n) {
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v != 0 && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Shift split for the integer transform pair. The HEVC rows have squared
+// norm N*64^2 = 2^(12+log2(N)), so a forward shift sf and inverse shift
+// si with sf+si = 12+log2(N) make the pair reconstruct at unit scale.
+// We put the window-size dependence entirely on the software (forward)
+// side so the hardware IDCT uses a constant shift of 6 regardless of
+// window size -- this is the "input waveform scaled by S = 2^(6+log2N/2)"
+// trick of Section IV-C, expressed in integer arithmetic.
+const InverseShift = 6
+
+// ForwardShift returns the software-side shift for window size n.
+func ForwardShift(n int) uint {
+	return uint(6 + log2(n))
+}
+
+func log2(n int) int {
+	l := 0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// IntForward computes the integer DCT of one window of Q1.15 samples:
+//
+//	y[k] = round( sum_n M[k][n]*x[n] / 2^ForwardShift )
+//
+// The result fits int16 for any input in [-32767, 32767] and is what the
+// compiler stores in the compressed waveform memory. This side runs in
+// software (Section IV-A: compression is free, decompression is not).
+func IntForward(x []int16, ws int) []int32 {
+	m := Matrix(ws)
+	if len(x) != ws {
+		panic(fmt.Sprintf("dct: IntForward window %d, got %d samples", ws, len(x)))
+	}
+	sf := ForwardShift(ws)
+	rnd := int64(1) << (sf - 1)
+	y := make([]int32, ws)
+	for k := 0; k < ws; k++ {
+		var acc int64
+		for n := 0; n < ws; n++ {
+			acc += int64(m[k][n]) * int64(x[n])
+		}
+		if acc >= 0 {
+			y[k] = int32((acc + rnd) >> sf)
+		} else {
+			y[k] = int32(-((-acc + rnd) >> sf))
+		}
+	}
+	return y
+}
+
+// IntInverse computes the integer IDCT:
+//
+//	x[n] = clamp( round( sum_k M[k][n]*y[k] / 2^InverseShift ) )
+//
+// This is the operation the hardware decompression engine performs; the
+// engine's shift-add emulation in internal/engine produces bit-identical
+// results (it is checked against this function in tests).
+func IntInverse(y []int32, ws int) []int16 {
+	m := Matrix(ws)
+	if len(y) != ws {
+		panic(fmt.Sprintf("dct: IntInverse window %d, got %d samples", ws, len(y)))
+	}
+	const rnd = int64(1) << (InverseShift - 1)
+	x := make([]int16, ws)
+	for n := 0; n < ws; n++ {
+		var acc int64
+		for k := 0; k < ws; k++ {
+			acc += int64(m[k][n]) * int64(y[k])
+		}
+		var v int64
+		if acc >= 0 {
+			v = (acc + rnd) >> InverseShift
+		} else {
+			v = -((-acc + rnd) >> InverseShift)
+		}
+		x[n] = clamp16(v)
+	}
+	return x
+}
+
+func clamp16(v int64) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32767 {
+		// -32768 is reserved for RLE codeword signatures.
+		return -32767
+	}
+	return int16(v)
+}

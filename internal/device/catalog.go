@@ -1,0 +1,118 @@
+package device
+
+import "fmt"
+
+// Machine catalog. Parameters follow Table I of the paper: IBM systems
+// sample at 4.54 GS/s with 32-bit I/Q samples and 30/300/300 ns
+// gate/readout latencies; Google systems sample at 1 GS/s with 28-bit
+// samples and 25/30/500 ns latencies.
+//
+// The epc2Q argument to calibrate() sets each machine's two-qubit
+// error-per-Clifford operating point so the RB experiments reproduce
+// Table III's baseline fidelities (1 - EPC): Bogota 0.980,
+// Guadalupe 0.978, Hanoi 0.987.
+
+// IBM DAC parameters (Table I).
+const (
+	IBMSampleRate = 4.54e9
+	IBMSampleBits = 32
+)
+
+// Google DAC parameters (Table I).
+const (
+	GoogleSampleRate = 1e9
+	GoogleSampleBits = 28
+)
+
+func ibmLatency() Latencies {
+	return Latencies{OneQ: 30e-9, TwoQ: 300e-9, Readout: 300e-9}
+}
+
+func googleLatency() Latencies {
+	return Latencies{OneQ: 25e-9, TwoQ: 30e-9, Readout: 500e-9}
+}
+
+func newIBM(name string, qubits int, coupling [][2]int, epc2Q float64) *Machine {
+	m := &Machine{
+		Name:        name,
+		Vendor:      IBM,
+		Qubits:      qubits,
+		SampleRate:  IBMSampleRate,
+		SampleBits:  IBMSampleBits,
+		Granularity: 16,
+		Latency:     ibmLatency(),
+		Coupling:    coupling,
+	}
+	m.calibrate(epc2Q)
+	return m
+}
+
+// The catalog constructors. Each call builds a fresh machine; results
+// are deterministic per name.
+
+func Bogota() *Machine    { return newIBM("ibmq_bogota", 5, Linear(5), 0.020) }
+func Lima() *Machine      { return newIBM("ibmq_lima", 5, TShape(), 0.024) }
+func Guadalupe() *Machine { return newIBM("ibmq_guadalupe", 16, Falcon16(), 0.022) }
+func Toronto() *Machine   { return newIBM("ibmq_toronto", 27, Falcon27(), 0.023) }
+func Montreal() *Machine  { return newIBM("ibmq_montreal", 27, Falcon27(), 0.021) }
+func Mumbai() *Machine    { return newIBM("ibmq_mumbai", 27, Falcon27(), 0.021) }
+func Hanoi() *Machine     { return newIBM("ibm_hanoi", 27, Falcon27(), 0.013) }
+func Brooklyn() *Machine  { return newIBM("ibm_brooklyn", 65, HeavyHex(65), 0.025) }
+func Washington() *Machine {
+	return newIBM("ibm_washington", 127, HeavyHex(127), 0.028)
+}
+
+// Sycamore returns a Google-class 53-qubit grid device (one qubit of
+// the 54-qubit grid is dead, as on the real chip; we model the intact
+// 9x6 grid trimmed to 53).
+func Sycamore() *Machine {
+	coupling := Grid(9, 6)
+	// Drop the last qubit and its edges.
+	trimmed := coupling[:0]
+	for _, e := range coupling {
+		if e[0] < 53 && e[1] < 53 {
+			trimmed = append(trimmed, e)
+		}
+	}
+	m := &Machine{
+		Name:        "google_sycamore",
+		Vendor:      Google,
+		Qubits:      53,
+		SampleRate:  GoogleSampleRate,
+		SampleBits:  GoogleSampleBits,
+		Granularity: 16,
+		Latency:     googleLatency(),
+		Coupling:    trimmed,
+	}
+	m.calibrate(0.012)
+	return m
+}
+
+// ByName returns the machine with the given catalog name.
+func ByName(name string) (*Machine, error) {
+	ctors := map[string]func() *Machine{
+		"ibmq_bogota":     Bogota,
+		"ibmq_lima":       Lima,
+		"ibmq_guadalupe":  Guadalupe,
+		"ibmq_toronto":    Toronto,
+		"ibmq_montreal":   Montreal,
+		"ibmq_mumbai":     Mumbai,
+		"ibm_hanoi":       Hanoi,
+		"ibm_brooklyn":    Brooklyn,
+		"ibm_washington":  Washington,
+		"google_sycamore": Sycamore,
+	}
+	if c, ok := ctors[name]; ok {
+		return c(), nil
+	}
+	return nil, fmt.Errorf("device: unknown machine %q", name)
+}
+
+// Names lists the catalog in a stable order.
+func Names() []string {
+	return []string{
+		"ibmq_bogota", "ibmq_lima", "ibmq_guadalupe", "ibmq_toronto",
+		"ibmq_montreal", "ibmq_mumbai", "ibm_hanoi", "ibm_brooklyn",
+		"ibm_washington", "google_sycamore",
+	}
+}

@@ -1,0 +1,247 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"compaqt/internal/wave"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("ibmq_nowhere"); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestDeterministicCalibration(t *testing.T) {
+	a, b := Guadalupe(), Guadalupe()
+	for q := 0; q < a.Qubits; q++ {
+		if a.Cal[q].XAmp != b.Cal[q].XAmp || a.Cal[q].Beta != b.Cal[q].Beta {
+			t.Fatalf("calibration not deterministic at qubit %d", q)
+		}
+	}
+}
+
+func TestQubitsHaveDistinctPulses(t *testing.T) {
+	// Fig. 4 of the paper: every qubit's pi pulse is different.
+	m := Guadalupe()
+	seen := map[float64]bool{}
+	for q := 0; q < m.Qubits; q++ {
+		amp := m.Cal[q].XAmp
+		if seen[amp] {
+			t.Errorf("qubit %d shares XAmp %g with another qubit", q, amp)
+		}
+		seen[amp] = true
+	}
+}
+
+func TestMemoryPerQubitMatchesTableI(t *testing.T) {
+	// Table I: IBM ~18KB per qubit, Google ~3KB per qubit.
+	ibm := Bogota() // linear chain: average degree 1.6
+	mc := ibm.MemoryPerQubit()
+	if mc < 12e3 || mc > 25e3 {
+		t.Errorf("IBM memory per qubit = %.1fKB, want ~18KB", mc/1e3)
+	}
+	g := Sycamore()
+	mcg := g.MemoryPerQubit()
+	if mcg < 1.5e3 || mcg > 5e3 {
+		t.Errorf("Google memory per qubit = %.1fKB, want ~3KB", mcg/1e3)
+	}
+}
+
+func TestBandwidthPerQubit(t *testing.T) {
+	// IBM: 4.54 GS/s x 4 bytes > 16 GB/s (Section I).
+	m := Guadalupe()
+	bw := m.BandwidthPerQubit()
+	if bw < 16e9 || bw > 20e9 {
+		t.Errorf("IBM bandwidth per qubit = %.2f GB/s, want ~18", bw/1e9)
+	}
+}
+
+func TestLibraryCompleteness(t *testing.T) {
+	m := Guadalupe()
+	lib := m.Library()
+	// Per qubit: X, SX, Meas; per directed coupled pair: CX.
+	want := 3*m.Qubits + 2*len(m.Coupling)
+	if len(lib) != want {
+		t.Fatalf("library has %d pulses, want %d", len(lib), want)
+	}
+	keys := map[string]bool{}
+	for _, p := range lib {
+		if keys[p.Key()] {
+			t.Errorf("duplicate pulse %s", p.Key())
+		}
+		keys[p.Key()] = true
+		if err := p.Waveform.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Key(), err)
+		}
+	}
+}
+
+func TestLibraryBytesTracksFormula(t *testing.T) {
+	m := Guadalupe()
+	got := float64(m.LibraryBytes())
+	want := m.TotalMemory(m.Qubits)
+	// The analytic formula uses average degree; empirical library
+	// counts exact per-qubit degrees. They must agree within 15%.
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("library bytes %.1fKB vs formula %.1fKB", got/1e3, want/1e3)
+	}
+}
+
+func TestGatePulse(t *testing.T) {
+	m := Guadalupe()
+	for _, gate := range []string{"X", "SX", "Meas"} {
+		p, err := m.GatePulse(gate, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Gate != gate || p.Qubit != 3 {
+			t.Errorf("GatePulse(%s) = %s", gate, p.Key())
+		}
+	}
+	if _, err := m.GatePulse("CX", 0, 1); err != nil {
+		t.Errorf("coupled pair rejected: %v", err)
+	}
+	if _, err := m.GatePulse("CX", 0, 15); err == nil {
+		t.Error("uncoupled pair should be rejected")
+	}
+	if _, err := m.GatePulse("H", 0, -1); err == nil {
+		t.Error("unknown gate should be rejected")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	if len(Linear(5)) != 4 {
+		t.Error("Linear(5) should have 4 edges")
+	}
+	if len(Falcon16()) != 16 {
+		t.Errorf("Falcon16 has %d edges, want 16", len(Falcon16()))
+	}
+	if len(Falcon27()) != 28 {
+		t.Errorf("Falcon27 has %d edges, want 28", len(Falcon27()))
+	}
+}
+
+func TestHeavyHexProperties(t *testing.T) {
+	for _, n := range []int{65, 127} {
+		edges := HeavyHex(n)
+		deg := make([]int, n)
+		for _, e := range edges {
+			if e[0] >= n || e[1] >= n || e[0] < 0 || e[1] < 0 {
+				t.Fatalf("HeavyHex(%d): edge %v out of range", n, e)
+			}
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		for q, d := range deg {
+			if d > 3 {
+				t.Errorf("HeavyHex(%d): qubit %d has degree %d > 3", n, q, d)
+			}
+		}
+		avg := 2 * float64(len(edges)) / float64(n)
+		if avg < 1.8 || avg > 2.6 {
+			t.Errorf("HeavyHex(%d): average degree %.2f outside heavy-hex band", n, avg)
+		}
+	}
+}
+
+func TestHeavyHexConnected(t *testing.T) {
+	n := 127
+	edges := HeavyHex(n)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, nb := range adj[q] {
+			if !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	if count != n {
+		t.Errorf("HeavyHex(%d): only %d qubits reachable", n, count)
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	edges := Grid(3, 3)
+	if len(edges) != 12 {
+		t.Errorf("Grid(3,3) has %d edges, want 12", len(edges))
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	m := Bogota()
+	if d := m.Degree(0); d != 1 {
+		t.Errorf("chain end degree %d, want 1", d)
+	}
+	if d := m.Degree(2); d != 2 {
+		t.Errorf("chain middle degree %d, want 2", d)
+	}
+	nbrs := m.Neighbors(1)
+	if len(nbrs) != 2 {
+		t.Fatalf("Neighbors(1) = %v", nbrs)
+	}
+}
+
+func TestComplexPulsesValid(t *testing.T) {
+	pulses := []*Pulse{
+		IToffoliPulse(IBMSampleRate),
+		ToffoliPulse(IBMSampleRate),
+		CCZPulse(IBMSampleRate),
+	}
+	pulses = append(pulses, FluxoniumPulses(IBMSampleRate)...)
+	for _, p := range pulses {
+		if err := p.Waveform.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Gate, err)
+		}
+		if p.Waveform.Samples() < 100 {
+			t.Errorf("%s suspiciously short: %d samples", p.Gate, p.Waveform.Samples())
+		}
+	}
+}
+
+func TestOptimalControlPulsesAreDeterministic(t *testing.T) {
+	a, b := ToffoliPulse(IBMSampleRate), ToffoliPulse(IBMSampleRate)
+	if wave.MSE(a.Waveform, b.Waveform) != 0 {
+		t.Error("Toffoli pulse not deterministic")
+	}
+}
+
+func TestErrorRatesTrackEPCTargets(t *testing.T) {
+	// Hanoi is calibrated as the best machine (Table III: 0.987
+	// baseline fidelity); its 2Q errors must be lower than Bogota's.
+	avg2q := func(m *Machine) float64 {
+		var s float64
+		for q := range m.Cal {
+			s += m.Cal[q].EPG2Q
+		}
+		return s / float64(m.Qubits)
+	}
+	if avg2q(Hanoi()) >= avg2q(Bogota()) {
+		t.Error("Hanoi should have lower 2Q error than Bogota")
+	}
+}

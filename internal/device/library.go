@@ -1,0 +1,149 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"compaqt/internal/wave"
+)
+
+// Pulse library construction. Every qubit device needs unique
+// waveforms for each basis gate plus readout (Section II-C); two-qubit
+// waveforms are unique per directed pair. The library built here is the
+// input to COMPAQT's compiler module.
+
+// Pulse is one calibrated gate waveform of a machine.
+type Pulse struct {
+	// Gate is the basis-gate name: "X", "SX", "CX", "Meas".
+	Gate string
+	// Qubit is the driven qubit.
+	Qubit int
+	// Target is the 2Q partner (CX control->target), or -1.
+	Target int
+	// Waveform is the calibrated envelope.
+	Waveform *wave.Waveform
+}
+
+// Key returns a stable identifier like "CX_q3_q5" or "X_q0".
+func (p *Pulse) Key() string {
+	if p.Target >= 0 {
+		return fmt.Sprintf("%s_q%d_q%d", p.Gate, p.Qubit, p.Target)
+	}
+	return fmt.Sprintf("%s_q%d", p.Gate, p.Qubit)
+}
+
+// XPulse builds qubit q's calibrated pi pulse (DRAG).
+func (m *Machine) XPulse(q int) *Pulse {
+	c := &m.Cal[q]
+	w := wave.DRAG(fmt.Sprintf("X_q%d", q), m.SampleRate, wave.DRAGParams{
+		Amp:      c.XAmp,
+		Duration: m.PulseDuration(m.Latency.OneQ),
+		Sigma:    c.SigmaFrac * m.Latency.OneQ,
+		Beta:     c.Beta,
+	})
+	return &Pulse{Gate: "X", Qubit: q, Target: -1, Waveform: w}
+}
+
+// SXPulse builds qubit q's calibrated pi/2 pulse (DRAG).
+func (m *Machine) SXPulse(q int) *Pulse {
+	c := &m.Cal[q]
+	w := wave.DRAG(fmt.Sprintf("SX_q%d", q), m.SampleRate, wave.DRAGParams{
+		Amp:      c.SXAmp,
+		Duration: m.PulseDuration(m.Latency.OneQ),
+		Sigma:    c.SigmaFrac * m.Latency.OneQ,
+		Beta:     c.Beta,
+	})
+	return &Pulse{Gate: "SX", Qubit: q, Target: -1, Waveform: w}
+}
+
+// CXPulse builds the cross-resonance tone driving control q toward
+// target t (flat-top GaussianSquare, Section II-A).
+func (m *Machine) CXPulse(q, t int) (*Pulse, error) {
+	c := &m.Cal[q]
+	amp, ok := c.CRAmp[t]
+	if !ok {
+		return nil, fmt.Errorf("device: %s has no coupling q%d->q%d", m.Name, q, t)
+	}
+	dur := m.PulseDuration(m.Latency.TwoQ)
+	w := wave.GaussianSquare(fmt.Sprintf("CX_q%d_q%d", q, t), m.SampleRate, wave.GaussianSquareParams{
+		Amp:      amp,
+		Duration: dur,
+		Width:    dur * 0.75,
+		Sigma:    dur * 0.04,
+		Angle:    c.CRAngle[t],
+	})
+	return &Pulse{Gate: "CX", Qubit: q, Target: t, Waveform: w}, nil
+}
+
+// MeasPulse builds qubit q's readout stimulus tone.
+func (m *Machine) MeasPulse(q int) *Pulse {
+	c := &m.Cal[q]
+	dur := m.PulseDuration(m.Latency.Readout)
+	w := wave.GaussianSquare(fmt.Sprintf("Meas_q%d", q), m.SampleRate, wave.GaussianSquareParams{
+		Amp:      c.MeasAmp,
+		Duration: dur,
+		Width:    dur * 0.8,
+		Sigma:    dur * 0.03,
+		Angle:    c.MeasAngle,
+	})
+	return &Pulse{Gate: "Meas", Qubit: q, Target: -1, Waveform: w}
+}
+
+// Library returns the machine's full pulse library: X, SX and Meas for
+// every qubit, and a CX waveform for every directed coupled pair. The
+// order is stable (qubit-major, then gate, then target).
+func (m *Machine) Library() []*Pulse {
+	var lib []*Pulse
+	for q := 0; q < m.Qubits; q++ {
+		lib = append(lib, m.XPulse(q), m.SXPulse(q))
+		nbrs := m.Neighbors(q)
+		sort.Ints(nbrs)
+		for _, t := range nbrs {
+			p, err := m.CXPulse(q, t)
+			if err != nil {
+				// Unreachable: Neighbors only returns coupled pairs.
+				panic(err)
+			}
+			lib = append(lib, p)
+		}
+		lib = append(lib, m.MeasPulse(q))
+	}
+	return lib
+}
+
+// QubitLibrary returns only the pulses driving qubit q.
+func (m *Machine) QubitLibrary(q int) []*Pulse {
+	var lib []*Pulse
+	for _, p := range m.Library() {
+		if p.Qubit == q {
+			lib = append(lib, p)
+		}
+	}
+	return lib
+}
+
+// GatePulse finds one pulse by gate name and qubits (target -1 for 1Q
+// and readout).
+func (m *Machine) GatePulse(gate string, q, t int) (*Pulse, error) {
+	switch gate {
+	case "X":
+		return m.XPulse(q), nil
+	case "SX":
+		return m.SXPulse(q), nil
+	case "CX":
+		return m.CXPulse(q, t)
+	case "Meas":
+		return m.MeasPulse(q), nil
+	}
+	return nil, fmt.Errorf("device: unknown gate %q", gate)
+}
+
+// LibraryBytes returns the uncompressed storage of the full library in
+// bytes, the empirical counterpart of MemoryPerQubit (Fig. 5a).
+func (m *Machine) LibraryBytes() int {
+	total := 0
+	for _, p := range m.Library() {
+		total += p.Waveform.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package device
+
+// Coupling-graph constructors. The small IBM machines use their
+// published coupling maps; the larger ones (65 and 127 qubits) come
+// from a parametric heavy-hex generator that reproduces the lattice's
+// degree-<=3 structure and average degree ~2.2.
+
+// Linear returns a 1-D chain coupling (IBM Bogota and similar 5-qubit
+// Falcon devices).
+func Linear(n int) [][2]int {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return edges
+}
+
+// TShape returns the 5-qubit "T" layout of IBM Lima/Belem/Quito.
+func TShape() [][2]int {
+	return [][2]int{{0, 1}, {1, 2}, {1, 3}, {3, 4}}
+}
+
+// Falcon16 returns the published 16-qubit heavy-hex coupling of IBM
+// Guadalupe.
+func Falcon16() [][2]int {
+	return [][2]int{
+		{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8},
+		{6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14},
+		{12, 13}, {12, 15}, {13, 14},
+	}
+}
+
+// Falcon27 returns the published 27-qubit heavy-hex coupling of IBM
+// Toronto/Hanoi/Montreal/Mumbai.
+func Falcon27() [][2]int {
+	return [][2]int{
+		{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8},
+		{6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14},
+		{12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19},
+		{17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+		{23, 24}, {24, 25}, {25, 26},
+	}
+}
+
+// HeavyHex generates a heavy-hex-like lattice with at least n qubits
+// and trims back to exactly n. Rows of line-connected qubits are joined
+// by bridge qubits every fourth column, offset by two on alternating
+// rows — the qualitative structure of IBM's Hummingbird (65q) and
+// Eagle (127q) chips. Max degree is 3 and the average degree ~2.2,
+// which is what the Section III capacity formula consumes.
+func HeavyHex(n int) [][2]int {
+	cols := 13
+	var edges [][2]int
+	id := 0
+	var prevRow []int
+	for rowNum := 0; id < n; rowNum++ {
+		// One row of line-connected qubits.
+		row := make([]int, 0, cols)
+		for c := 0; c < cols && id < n; c++ {
+			row = append(row, id)
+			id++
+			if c > 0 {
+				edges = append(edges, [2]int{row[c-1], row[c]})
+			}
+		}
+		// Bridge qubits to the previous row, alternating offset.
+		if prevRow != nil {
+			offset := (rowNum % 2) * 2
+			for c := offset; c < cols && id < n; c += 4 {
+				if c < len(prevRow) && c < len(row) {
+					bridge := id
+					id++
+					edges = append(edges, [2]int{prevRow[c], bridge}, [2]int{bridge, row[c]})
+				}
+			}
+		}
+		prevRow = row
+	}
+	// Trim edges touching qubits >= n (the generator may overshoot by a
+	// partial bridge).
+	out := edges[:0]
+	for _, e := range edges {
+		if e[0] < n && e[1] < n {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Grid returns a rows x cols nearest-neighbor grid (Google Sycamore
+// class devices).
+func Grid(rows, cols int) [][2]int {
+	var edges [][2]int
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{idx(r, c), idx(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{idx(r, c), idx(r+1, c)})
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/wave"
+)
+
+func TestBankedPlaybackBitExact(t *testing.T) {
+	pulses := []*wave.Fixed{
+		wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize(),
+		wave.GaussianSquare("CR", rate, wave.GaussianSquareParams{Amp: 0.3, Duration: 300e-9, Width: 225e-9, Sigma: 12e-9, Angle: 0.8}).Quantize(),
+	}
+	for _, ws := range []int{8, 16} {
+		e, err := New(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range pulses {
+			c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: ws})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := e.RunChannel(&c.I, c.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bc, err := LoadChannel(&c.I, ws, c.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := e.Play(bc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ws=%d %s: banked playback differs at %d", ws, f.Name, i)
+				}
+			}
+			// One row fetch per window: cycles == windows == rows.
+			if st.Cycles != int64(bc.Rows) {
+				t.Errorf("cycles %d != rows %d", st.Cycles, bc.Rows)
+			}
+			// Row fetches read width words each (uniform layout cost).
+			if st.MemWords != int64(bc.Rows*bc.Width) {
+				t.Errorf("mem words %d != rows*width %d", st.MemWords, bc.Rows*bc.Width)
+			}
+		}
+	}
+}
+
+func TestBankedWidthMatchesWorstWindow(t *testing.T) {
+	f := wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize()
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := LoadChannel(&c.I, 16, c.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 11/12: the banked width is the worst-case compressed window
+	// (3 for DRAG libraries), i.e. 3 BRAMs per channel.
+	if bc.Width < 2 || bc.Width > 4 {
+		t.Errorf("banked width %d, want ~3", bc.Width)
+	}
+	if bc.Array.Banks != bc.Width {
+		t.Errorf("banks %d != width %d", bc.Array.Banks, bc.Width)
+	}
+	// Per-bank read counts are balanced (every row reads every bank).
+	if _, _, err := mustEngine(t, 16).Play(bc); err != nil {
+		t.Fatal(err)
+	}
+	first := bc.Array.BankReads[0]
+	for b, n := range bc.Array.BankReads {
+		if n != first {
+			t.Errorf("bank %d reads %d, want %d (balanced)", b, n, first)
+		}
+	}
+}
+
+func mustEngine(t *testing.T, ws int) *Engine {
+	t.Helper()
+	e, err := New(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBankedRejectsAdaptive(t *testing.T) {
+	f := wave.GaussianSquare("flat", rate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 60e-9, Sigma: 5e-9, Angle: 0.5,
+	}).Quantize()
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.I.RepeatWords == 0 {
+		t.Skip("no repeats found; adaptive path unused")
+	}
+	if _, err := LoadChannel(&c.I, 16, c.Samples); err == nil {
+		t.Error("adaptive stream should be rejected by the banked loader")
+	}
+}
+
+func TestBankedPlayWindowMismatch(t *testing.T) {
+	f := wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize()
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := LoadChannel(&c.I, 8, c.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16 := mustEngine(t, 16)
+	if _, _, err := e16.Play(bc); err == nil {
+		t.Error("window mismatch should be rejected")
+	}
+}

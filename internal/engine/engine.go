@@ -1,0 +1,212 @@
+// Package engine models COMPAQT's hardware decompression pipeline
+// (Section V-A/B, Fig. 10): RLE decoder -> IDCT -> DAC buffer, with the
+// adaptive IDCT-bypass path of Section V-D (Fig. 13b).
+//
+// The engine is functionally bit-exact: the inverse transform is
+// evaluated through the canonical-signed-digit shift-add networks of
+// internal/csd — the multiplierless datapath of the int-DCT-W design —
+// and tests assert equality with the software reference
+// (compress.Decompress / dct.IntInverse).
+//
+// It is also a cycle/access model: running a compressed channel counts
+// fabric cycles, memory word fetches, IDCT invocations and bypassed
+// samples, which feed the bandwidth (Table V), power (Figs. 18-19) and
+// scalability (Fig. 17) analyses.
+package engine
+
+import (
+	"fmt"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/csd"
+	"compaqt/internal/dct"
+	"compaqt/internal/rle"
+	"compaqt/internal/wave"
+)
+
+// Stats aggregates the hardware activity of a decompression run.
+type Stats struct {
+	// Cycles is the number of fabric cycles consumed (one window or
+	// one repeat-codeword drain per cycle once the pipeline is full).
+	Cycles int64
+	// MemWords is the number of compressed words fetched from the
+	// waveform memory.
+	MemWords int64
+	// IDCTOps is the number of inverse-transform invocations.
+	IDCTOps int64
+	// BypassSamples counts samples produced by the repeat (flat-top)
+	// path with the IDCT engine idle.
+	BypassSamples int64
+	// SamplesOut is the number of samples delivered to the DAC buffer.
+	SamplesOut int64
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Cycles += s2.Cycles
+	s.MemWords += s2.MemWords
+	s.IDCTOps += s2.IDCTOps
+	s.BypassSamples += s2.BypassSamples
+	s.SamplesOut += s2.SamplesOut
+}
+
+// Engine is one decompression pipeline instance for a fixed window
+// size, holding the shift-add multiplier network shared by all rows of
+// the inverse transform.
+type Engine struct {
+	WS     int
+	matrix [][]int32
+	net    *csd.Network
+}
+
+// New builds an engine for the given window size (4, 8, 16 or 32).
+func New(ws int) (*Engine, error) {
+	if !dct.ValidWindow(ws) {
+		return nil, fmt.Errorf("engine: unsupported window size %d", ws)
+	}
+	return &Engine{
+		WS:     ws,
+		matrix: dct.Matrix(ws),
+		net:    csd.NewNetwork(dct.Coefficients(ws)),
+	}, nil
+}
+
+// IDCT evaluates the integer inverse transform through the shift-add
+// network. Bit-exact with dct.IntInverse.
+func (e *Engine) IDCT(y []int32) []int16 {
+	ws := e.WS
+	const rnd = int64(1) << (dct.InverseShift - 1)
+	x := make([]int16, ws)
+	for n := 0; n < ws; n++ {
+		var acc int64
+		for k := 0; k < ws; k++ {
+			if y[k] == 0 {
+				continue // zeroed inputs gate their adder columns off
+			}
+			acc += e.net.Multiply(e.matrix[k][n], int64(y[k]))
+		}
+		var v int64
+		if acc >= 0 {
+			v = (acc + rnd) >> dct.InverseShift
+		} else {
+			v = -((-acc + rnd) >> dct.InverseShift)
+		}
+		x[n] = clamp16(v)
+	}
+	return x
+}
+
+// RunChannel streams one compressed channel through the pipeline,
+// producing n output samples and the activity statistics. The fetch
+// stage reads the packed stream; under the FPGA uniform layout the
+// fetch of a w-word window is a single parallel row access of the
+// banked memory (1 cycle), modeled here as w word reads in one cycle.
+func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error) {
+	var st Stats
+	out := make([]int16, 0, n)
+	var last int16
+	ws := e.WS
+	i := 0
+	for i < len(ch.Stream) {
+		if k, run := rle.Decode(ch.Stream[i]); k == rle.KindRepeat {
+			// Adaptive path: one fetch, then the repeat register feeds
+			// the DAC buffer directly, ws samples per cycle, with both
+			// the memory and the IDCT idle (Fig. 13b).
+			st.MemWords++
+			st.Cycles += int64((run + ws - 1) / ws)
+			for j := 0; j < run; j++ {
+				out = append(out, last)
+			}
+			st.BypassSamples += int64(run)
+			i++
+			continue
+		}
+		// Fetch one window's words.
+		start := i
+		covered := 0
+		for covered < ws {
+			if i >= len(ch.Stream) {
+				return nil, st, fmt.Errorf("engine: truncated stream in window at word %d", start)
+			}
+			k, run := rle.Decode(ch.Stream[i])
+			switch k {
+			case rle.KindSample:
+				covered++
+			case rle.KindZeroRun:
+				covered += run
+			case rle.KindRepeat:
+				return nil, st, fmt.Errorf("engine: repeat codeword inside DCT window at word %d", i)
+			}
+			i++
+		}
+		st.MemWords += int64(i - start)
+		st.Cycles++ // pipelined: one window per fabric cycle
+
+		// RLE decode stage: expand the zero tail into the IDCT buffer.
+		y := make([]int32, ws)
+		pos := 0
+		for _, w := range ch.Stream[start:i] {
+			k, run := rle.Decode(w)
+			switch k {
+			case rle.KindSample:
+				y[pos] = int32(rle.SampleValue(w))
+				pos++
+			case rle.KindZeroRun:
+				pos += run // IDCT inputs are already zero
+			}
+		}
+
+		// IDCT stage (constant one-cycle latency, Section V-B).
+		samples := e.IDCT(y)
+		st.IDCTOps++
+		out = append(out, samples...)
+		if len(out) > n {
+			out = out[:n] // trim hold-last padding of the final window
+		}
+		last = out[len(out)-1]
+	}
+	st.SamplesOut = int64(len(out))
+	if len(out) != n {
+		return nil, st, fmt.Errorf("engine: produced %d samples, want %d", len(out), n)
+	}
+	return out, st, nil
+}
+
+// Run decompresses a full waveform (both channels) and returns the
+// reconstructed fixed-point waveform plus combined statistics.
+func (e *Engine) Run(c *compress.Compressed) (*wave.Fixed, Stats, error) {
+	if c.Variant != compress.IntDCTW {
+		return nil, Stats{}, fmt.Errorf("engine: hardware pipeline only implements int-DCT-W, got %v", c.Variant)
+	}
+	if c.WindowSize != e.WS {
+		return nil, Stats{}, fmt.Errorf("engine: window size mismatch: engine %d, waveform %d", e.WS, c.WindowSize)
+	}
+	if c.Overlapped {
+		return nil, Stats{}, fmt.Errorf("engine: overlapped-window streams are a software-evaluated extension (Section VII-B); the pipeline model implements the paper's non-overlapping layout")
+	}
+	var st Stats
+	out := &wave.Fixed{Name: c.Name, SampleRate: c.SampleRate}
+	var err error
+	var s Stats
+	out.I, s, err = e.RunChannel(&c.I, c.Samples)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(s)
+	out.Q, s, err = e.RunChannel(&c.Q, c.Samples)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(s)
+	return out, st, nil
+}
+
+func clamp16(v int64) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32767 {
+		return -32767
+	}
+	return int16(v)
+}

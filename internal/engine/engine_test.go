@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/dct"
+	"compaqt/internal/wave"
+)
+
+const rate = 4.54e9
+
+func TestNewRejectsBadWindow(t *testing.T) {
+	if _, err := New(12); err == nil {
+		t.Error("window 12 should be rejected")
+	}
+	for _, ws := range []int{4, 8, 16, 32} {
+		if _, err := New(ws); err != nil {
+			t.Errorf("New(%d): %v", ws, err)
+		}
+	}
+}
+
+func TestIDCTBitExactWithReference(t *testing.T) {
+	// The shift-add datapath must reproduce the software reference
+	// bit-for-bit (the hardware/software contract of Section V-B).
+	rng := rand.New(rand.NewSource(21))
+	for _, ws := range []int{4, 8, 16, 32} {
+		e, err := New(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			y := make([]int32, ws)
+			for i := range y {
+				if rng.Intn(3) == 0 { // sparse, like thresholded output
+					y[i] = int32(rng.Intn(65535) - 32767)
+				}
+			}
+			got := e.IDCT(y)
+			want := dct.IntInverse(y, ws)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ws=%d trial %d sample %d: engine %d != reference %d", ws, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunMatchesSoftwareDecompress(t *testing.T) {
+	pulses := []*wave.Fixed{
+		wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize(),
+		wave.GaussianSquare("CR", rate, wave.GaussianSquareParams{Amp: 0.3, Duration: 300e-9, Width: 225e-9, Sigma: 12e-9, Angle: 0.8}).Quantize(),
+	}
+	for _, ws := range []int{8, 16} {
+		e, err := New(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range pulses {
+			c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: ws})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := e.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.I {
+				if got.I[i] != want.I[i] || got.Q[i] != want.Q[i] {
+					t.Fatalf("ws=%d %s: hardware/software mismatch at sample %d", ws, f.Name, i)
+				}
+			}
+			if st.SamplesOut != int64(2*f.Samples()) {
+				t.Errorf("SamplesOut = %d, want %d", st.SamplesOut, 2*f.Samples())
+			}
+			if st.IDCTOps == 0 || st.MemWords == 0 {
+				t.Error("stats not counted")
+			}
+		}
+	}
+}
+
+func TestAdaptiveBypassStats(t *testing.T) {
+	f := wave.GaussianSquare("flat", rate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 60e-9, Sigma: 5e-9, Angle: 0.5,
+	}).Quantize()
+	e, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stPlain, err := e.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, stAdaptive, err := e.Run(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stAdaptive.BypassSamples == 0 {
+		t.Fatal("adaptive run should bypass the IDCT on the flat top")
+	}
+	if stAdaptive.IDCTOps >= stPlain.IDCTOps {
+		t.Errorf("adaptive IDCT ops %d should be < plain %d", stAdaptive.IDCTOps, stPlain.IDCTOps)
+	}
+	if stAdaptive.MemWords >= stPlain.MemWords {
+		t.Errorf("adaptive memory words %d should be < plain %d", stAdaptive.MemWords, stPlain.MemWords)
+	}
+	// The bypass output must still match the software reference.
+	want, err := adaptive.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.I {
+		if gotA.I[i] != want.I[i] {
+			t.Fatalf("adaptive mismatch at %d", i)
+		}
+	}
+}
+
+func TestRunRejectsWrongVariantAndWindow(t *testing.T) {
+	f := wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.4, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize()
+	e, _ := New(16)
+	cw, err := compress.Compress(f, compress.Options{Variant: compress.DCTW, WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(cw); err == nil {
+		t.Error("DCT-W should be rejected by the integer engine")
+	}
+	c8, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(c8); err == nil {
+		t.Error("window mismatch should be rejected")
+	}
+}
+
+func TestThroughputOneWindowPerCycle(t *testing.T) {
+	// Pipelined throughput: cycles ~= number of DCT windows (plus
+	// repeat drains). For a non-adaptive pulse, cycles == windows.
+	f := wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize()
+	e, _ := New(16)
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := e.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := int64(2 * ((f.Samples() + 15) / 16))
+	if st.Cycles != windows {
+		t.Errorf("cycles = %d, want %d (one per window)", st.Cycles, windows)
+	}
+	if st.IDCTOps != windows {
+		t.Errorf("IDCT ops = %d, want %d", st.IDCTOps, windows)
+	}
+}
+
+func TestBandwidthExpansion(t *testing.T) {
+	// The core COMPAQT claim: samples out per memory word fetched
+	// exceeds 1 — the bandwidth boost of Fig. 2b. For WS=16 with ~3
+	// words per window the expansion is ~5.3x.
+	f := wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8e-9, Beta: 0.7}).Quantize()
+	e, _ := New(16)
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := e.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansion := float64(st.SamplesOut) / float64(st.MemWords)
+	if expansion < 4 {
+		t.Errorf("bandwidth expansion %.2f, want > 4", expansion)
+	}
+}

@@ -1,0 +1,106 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Sections III, IV and VII). Each driver
+// regenerates its result as a text table; DESIGN.md maps every paper
+// artifact to its driver and EXPERIMENTS.md records paper-vs-measured.
+//
+// All drivers are deterministic: seeded device models, seeded RB
+// sampling, seeded shot noise.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated result.
+type Table struct {
+	// ID matches DESIGN.md's experiment index ("fig5a", "table7", ...).
+	ID    string
+	Title string
+	// Paper summarizes the paper's reported numbers for comparison.
+	Paper  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() (*Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func e2(v float64) string { return fmt.Sprintf("%.2e", v) }

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every driver must run cleanly and produce a non-empty table.
+func TestAllExperimentsRun(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		tab, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		if tab.ID != e.ID {
+			t.Errorf("registered id %s != table id %s", e.ID, tab.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if r := tab.Render(); !strings.Contains(r, e.ID) {
+			t.Errorf("%s: render missing id", e.ID)
+		}
+	}
+	// DESIGN.md's experiment index: every table and figure is covered.
+	for _, want := range []string{
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig7a", "fig7b", "fig7c",
+		"fig9", "fig11", "fig14", "fig15", "fig16", "fig17a", "fig17b",
+		"fig18", "fig19", "fig20",
+		"table1", "table3", "table4", "table5", "table7", "table8", "table9",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig9"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func findRow(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, r := range tab.Rows {
+		if r[0] == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: row %q not found", tab.ID, name)
+	return -1
+}
+
+func TestTableVBands(t *testing.T) {
+	tab, err := TableVQubits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 1 : 2.66 : 5.33.
+	if g := cell(t, tab, findRow(t, tab, "WS=8"), 2); g < 2.5 || g > 2.8 {
+		t.Errorf("WS=8 gain %.2f", g)
+	}
+	if g := cell(t, tab, findRow(t, tab, "WS=16"), 2); g < 5.0 || g > 5.6 {
+		t.Errorf("WS=16 gain %.2f", g)
+	}
+}
+
+func TestTableVIIBands(t *testing.T) {
+	tab, err := TableVIICompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		min, max, avg := cell(t, tab, i, 1), cell(t, tab, i, 2), cell(t, tab, i, 3)
+		if min < 5.0 || min > 6.0 {
+			t.Errorf("%s min %.2f outside [5.0, 6.0]", tab.Rows[i][0], min)
+		}
+		if max < 7.5 || max > 9.0 {
+			t.Errorf("%s max %.2f outside [7.5, 9.0]", tab.Rows[i][0], max)
+		}
+		if avg < 6.0 || avg > 7.8 {
+			t.Errorf("%s avg %.2f outside [6.0, 7.8]", tab.Rows[i][0], avg)
+		}
+	}
+}
+
+func TestFig7OverallBands(t *testing.T) {
+	tab, err := Fig7Overall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Delta ~1.9, DCT-N ~126, windowed ~4 (WS=8) / ~8 (WS=16).
+	delta := findRow(t, tab, "Delta")
+	if v := cell(t, tab, delta, 2); v < 1.0 || v > 2.5 {
+		t.Errorf("Delta overall %.1f", v)
+	}
+	// DCT-N's whole-waveform compression is an order of magnitude above
+	// the windowed variants (paper ~126; our gentler threshold lands
+	// ~40 with a correspondingly lower MSE, see EXPERIMENTS.md).
+	dctn := findRow(t, tab, "DCT-N")
+	if v := cell(t, tab, dctn, 2); v < 25 || v > 300 {
+		t.Errorf("DCT-N overall %.1f, want order-of-magnitude above windowed", v)
+	}
+	intw := findRow(t, tab, "int-DCT-W")
+	if v := cell(t, tab, intw, 1); v < 3.2 || v > 5.0 {
+		t.Errorf("int-DCT-W WS=8 overall %.1f, want ~4", v)
+	}
+	if v := cell(t, tab, intw, 2); v < 6.5 || v > 9.0 {
+		t.Errorf("int-DCT-W WS=16 overall %.1f, want ~8", v)
+	}
+}
+
+func TestFig9Bands(t *testing.T) {
+	tab, err := Fig9RB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid := findRow(t, tab, "fidelity")
+	base := cell(t, tab, fid, 1)
+	comp := cell(t, tab, fid, 2)
+	// Paper: 0.978 baseline, 0.975 compressed.
+	if base < 0.970 || base > 0.988 {
+		t.Errorf("baseline RB fidelity %.3f outside Guadalupe band", base)
+	}
+	if comp < base-0.01 || comp > base+0.005 {
+		t.Errorf("compressed RB fidelity %.3f vs baseline %.3f: compression should be ~free", comp, base)
+	}
+}
+
+func TestFig15Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity simulation in -short mode")
+	}
+	tab, err := Fig15Fidelity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: WS=16 normalized fidelity ~1.0 everywhere (<1% loss up to
+	// shot noise).
+	for i := range tab.Rows {
+		norm16 := cell(t, tab, i, 3)
+		if norm16 < 0.97 || norm16 > 1.03 {
+			t.Errorf("%s WS=16 normalized fidelity %.3f, want ~1.0", tab.Rows[i][0], norm16)
+		}
+	}
+}
+
+func TestFig16Bands(t *testing.T) {
+	tab, err := Fig16Clock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cell(t, tab, findRow(t, tab, "DCT-W WS=8"), 2); v < 0.6 || v > 0.74 {
+		t.Errorf("DCT-W ratio %.2f, paper 0.67", v)
+	}
+	if v := cell(t, tab, findRow(t, tab, "int-DCT-W WS=16"), 2); v < 0.82 || v > 0.95 {
+		t.Errorf("int WS=16 ratio %.2f, paper 0.90", v)
+	}
+}
+
+func TestFig17LogicalBands(t *testing.T) {
+	tab, err := Fig17Logical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base17 := cell(t, tab, findRow(t, tab, "Uncompressed"), 1)
+	comp17 := cell(t, tab, findRow(t, tab, "WS=16"), 1)
+	if comp17 < 5*base17 {
+		t.Errorf("logical-qubit gain %v/%v below the paper's 5x", comp17, base17)
+	}
+}
+
+func TestFig18PowerBands(t *testing.T) {
+	tab, err := Fig18Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cell(t, tab, findRow(t, tab, "Uncompressed"), 4)
+	c16 := cell(t, tab, findRow(t, tab, "WS=16"), 4)
+	if base < 11 || base > 18 {
+		t.Errorf("uncompressed total %.1f mW, paper ~14", base)
+	}
+	if base/c16 < 2.5 {
+		t.Errorf("power reduction %.1fx, paper >2.5x", base/c16)
+	}
+}
+
+func TestFig19AdaptiveBands(t *testing.T) {
+	tab, err := Fig19Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cell(t, tab, findRow(t, tab, "Uncompressed"), 4)
+	a16 := cell(t, tab, findRow(t, tab, "WS=16 adaptive"), 4)
+	if base/a16 < 3.5 {
+		t.Errorf("adaptive reduction %.1fx, paper ~4x", base/a16)
+	}
+}
+
+func TestFig5cBands(t *testing.T) {
+	tab, err := Fig5CircuitBW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: qaoa-40 894/241, surface-25 447/402, surface-81 1609/1453.
+	q := findRow(t, tab, "qaoa-40")
+	if v := cell(t, tab, q, 1); v < 894*0.8 || v > 894*1.2 {
+		t.Errorf("qaoa-40 peak %.0f, paper 894", v)
+	}
+	s81 := findRow(t, tab, "unrotated-d5")
+	if v := cell(t, tab, s81, 1); v < 1609*0.7 || v > 1609*1.2 {
+		t.Errorf("surface-81 peak %.0f, paper 1609", v)
+	}
+	if v := cell(t, tab, s81, 2); v < 1453*0.7 || v > 1453*1.2 {
+		t.Errorf("surface-81 avg %.0f, paper 1453", v)
+	}
+	// The QEC peak-vs-average gap is small; QAOA's is large (Sec. III).
+	qPeak, qAvg := cell(t, tab, q, 1), cell(t, tab, q, 2)
+	sPeak, sAvg := cell(t, tab, s81, 1), cell(t, tab, s81, 2)
+	if qAvg/qPeak > 0.5 {
+		t.Error("QAOA average should sit well below its peak")
+	}
+	if sAvg/sPeak < 0.8 {
+		t.Error("surface-code average should track its peak")
+	}
+}
+
+func TestTableIXOrdering(t *testing.T) {
+	tab, err := TableIXComplex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		r := cell(t, tab, i, 2)
+		if r < 4 || r > 10 {
+			t.Errorf("%s ratio %.2f outside the plausible band", tab.Rows[i][0], r)
+		}
+	}
+	// iToffoli (long flat-top) compresses better than the
+	// optimal-control CCZ (the paper's ordering).
+	it := cell(t, tab, findRow(t, tab, "iToffoli"), 2)
+	ccz := cell(t, tab, findRow(t, tab, "CCZ"), 2)
+	if it <= ccz {
+		t.Errorf("iToffoli (%.2f) should compress better than CCZ (%.2f)", it, ccz)
+	}
+}
+
+func TestDeterministicReruns(t *testing.T) {
+	// Two invocations must produce identical tables (seeded pipelines).
+	for _, id := range []string{"fig7b", "fig9", "table7", "fig15"} {
+		if id == "fig15" && testing.Short() {
+			continue
+		}
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Errorf("%s not deterministic", id)
+		}
+	}
+}

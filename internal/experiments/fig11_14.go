@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"sort"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+)
+
+// Figure 11 (samples-per-window histogram), Figure 14 (per-qubit basis
+// gate ratios), Table VII (per-machine min/max/avg) and Table IX
+// (complex pulses).
+
+func init() {
+	register("fig11", "Histogram of compressed samples per window", Fig11Histogram)
+	register("fig14", "Basis-gate compression ratios per Guadalupe qubit", Fig14BasisGates)
+	register("table7", "Compression ratios across five IBM machines", TableVIICompression)
+	register("table9", "Compression of complex and emerging-qubit pulses", TableIXComplex)
+}
+
+// Fig11Histogram regenerates the window-width histogram over the full
+// Guadalupe library for both window sizes.
+func Fig11Histogram() (*Table, error) {
+	m := device.Guadalupe()
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Compressed words per window (int-DCT-W, full Guadalupe library)",
+		Paper:  "dominated by 2-3 samples; worst case ~3 regardless of window size",
+		Header: []string{"words/window", "WS=8 count", "WS=16 count"},
+	}
+	hists := map[int]map[int]int{8: {}, 16: {}}
+	for _, ws := range []int{8, 16} {
+		for _, p := range m.Library() {
+			c, err := compress.Compress(p.Waveform.Quantize(), compress.Options{
+				Variant: compress.IntDCTW, WindowSize: ws,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.WindowHistogram(hists[ws])
+		}
+	}
+	var widths []int
+	seen := map[int]bool{}
+	for _, h := range hists {
+		for w := range h {
+			if !seen[w] {
+				seen[w] = true
+				widths = append(widths, w)
+			}
+		}
+	}
+	sort.Ints(widths)
+	for _, w := range widths {
+		t.AddRow(d(w), d(hists[8][w]), d(hists[16][w]))
+	}
+	return t, nil
+}
+
+// ratioFor compresses one pulse and returns its packed ratio.
+func ratioFor(p *device.Pulse, ws int) (float64, error) {
+	c, err := compress.Compress(p.Waveform.Quantize(), compress.Options{
+		Variant: compress.IntDCTW, WindowSize: ws,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return c.Ratio(compress.LayoutPacked), nil
+}
+
+// Fig14BasisGates regenerates the per-qubit SX/X/CX ratios.
+func Fig14BasisGates() (*Table, error) {
+	m := device.Guadalupe()
+	t := &Table{
+		ID:     "fig14",
+		Title:  "int-DCT-W WS=16 compression ratio of basis gates per qubit",
+		Paper:  "average >5x per qubit; CX more compressible than SX/X",
+		Header: []string{"qubit", "SX", "X", "CX (avg)"},
+	}
+	for q := 0; q < m.Qubits; q++ {
+		rsx, err := ratioFor(m.SXPulse(q), 16)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := ratioFor(m.XPulse(q), 16)
+		if err != nil {
+			return nil, err
+		}
+		var rcx float64
+		nbrs := m.Neighbors(q)
+		for _, nb := range nbrs {
+			p, err := m.CXPulse(q, nb)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ratioFor(p, 16)
+			if err != nil {
+				return nil, err
+			}
+			rcx += r
+		}
+		rcx /= float64(len(nbrs))
+		t.AddRow(d(q), f2(rsx), f2(rx), f2(rcx))
+	}
+	return t, nil
+}
+
+// TableVIICompression regenerates the five-machine min/max/avg ratios.
+func TableVIICompression() (*Table, error) {
+	t := &Table{
+		ID:     "table7",
+		Title:  "int-DCT-W WS=16 compression ratios per machine",
+		Paper:  "min 5.33, max ~8.0-8.1, avg ~6.3-6.5",
+		Header: []string{"machine", "min", "max", "avg"},
+	}
+	machines := []*device.Machine{
+		device.Toronto(), device.Montreal(), device.Mumbai(),
+		device.Guadalupe(), device.Lima(),
+	}
+	for _, m := range machines {
+		minR, maxR, sum, n := 1e18, 0.0, 0.0, 0
+		for _, p := range m.Library() {
+			r, err := ratioFor(p, 16)
+			if err != nil {
+				return nil, err
+			}
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+			sum += r
+			n++
+		}
+		t.AddRow(m.Name, f2(minR), f2(maxR), f2(sum/float64(n)))
+	}
+	return t, nil
+}
+
+// TableIXComplex regenerates the complex-pulse compressibility table.
+func TableIXComplex() (*Table, error) {
+	t := &Table{
+		ID:     "table9",
+		Title:  "int-DCT-W WS=16 ratios for complex/emerging pulses",
+		Paper:  "iToffoli 8.32, Toffoli 5.31, CCZ 5.59, fluxonium 1Q 7.2",
+		Header: []string{"pulse", "description", "R"},
+	}
+	rate := device.IBMSampleRate
+	rows := []struct {
+		p    *device.Pulse
+		desc string
+	}{
+		{device.IToffoliPulse(rate), "three-qubit gate pulse [34]"},
+		{device.ToffoliPulse(rate), "three-qubit gate pulse [81]"},
+		{device.CCZPulse(rate), "three-qubit gate pulse [81]"},
+	}
+	for _, r := range rows {
+		ratio, err := ratioFor(r.p, 16)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.p.Gate, r.desc, f2(ratio))
+	}
+	var sum float64
+	flux := device.FluxoniumPulses(rate)
+	for _, p := range flux {
+		r, err := ratioFor(p, 16)
+		if err != nil {
+			return nil, err
+		}
+		sum += r
+	}
+	t.AddRow("fluxonium 1Q", "X, X/2, Y/2, Z/2 pulses [59] (avg)", f2(sum/float64(len(flux))))
+	return t, nil
+}

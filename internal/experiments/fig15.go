@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+)
+
+// Figure 15: benchmark fidelity with compressed waveforms, normalized
+// to the uncompressed baseline (Section VII-B; 80K shots).
+
+func init() {
+	register("fig15", "Normalized benchmark fidelity (WS=8 and WS=16)", Fig15Fidelity)
+}
+
+// Fig15Shots matches the paper's shot count.
+const Fig15Shots = 80000
+
+// Fig15Fidelity regenerates the normalized-fidelity bars.
+func Fig15Fidelity() (*Table, error) {
+	m := device.Guadalupe()
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Benchmark fidelity normalized to the uncompressed baseline",
+		Paper:  "WS=16 ~1.00 everywhere (<0.5% loss); WS=8 shows losses on some benchmarks",
+		Header: []string{"benchmark", "baseline F", "WS=8 norm", "WS=16 norm"},
+	}
+	nmBase := circuit.IdentityNoise(m)
+	nm8, err := circuit.CompressionNoise(m, compress.Options{Variant: compress.IntDCTW, WindowSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	nm16, err := circuit.CompressionNoise(m, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range circuit.Benchmarks() {
+		r, err := circuit.Transpile(c, m.Qubits, m.Coupling)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		seed := int64(1500 + i)
+		base, err := circuit.Simulate(r, nmBase, Fig15Shots, seed)
+		if err != nil {
+			return nil, err
+		}
+		r8, err := circuit.Simulate(r, nm8, Fig15Shots, seed+1000)
+		if err != nil {
+			return nil, err
+		}
+		r16, err := circuit.Simulate(r, nm16, Fig15Shots, seed+2000)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name,
+			f3(base.Fidelity),
+			f3(r8.Fidelity/base.Fidelity),
+			f3(r16.Fidelity/base.Fidelity),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"compaqt/internal/circuit"
+	"compaqt/internal/controller"
+	"compaqt/internal/device"
+	"compaqt/internal/membank"
+	"compaqt/internal/surface"
+)
+
+// Figure 5: the waveform-memory bottleneck (Section III).
+
+func init() {
+	register("fig5a", "Waveform memory capacity scaling", Fig5Capacity)
+	register("fig5b", "Waveform memory bandwidth scaling", Fig5Bandwidth)
+	register("fig5c", "Peak and average bandwidth for benchmark circuits", Fig5CircuitBW)
+	register("fig5d", "Qubits supported under capacity vs bandwidth constraints", Fig5Qubits)
+	register("table1", "Per-qubit capacity and bandwidth parameters", TableIParams)
+}
+
+// TableIParams regenerates Table I's derived columns.
+func TableIParams() (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Capacity/bandwidth parameters per qubit",
+		Paper:  "IBM 18KB/qubit at 4.54GS/s x 32b; Google 3KB/qubit at 1GS/s x 28b",
+		Header: []string{"vendor", "fs (GS/s)", "Ns (bits)", "1Q/2Q/RO (ns)", "mem/qubit (KB)", "BW/qubit (GB/s)"},
+	}
+	// Toronto's heavy-hex connectivity (average degree ~2.1) reproduces
+	// Table I's 18KB/qubit; a linear chain lands lower.
+	for _, m := range []*device.Machine{device.Toronto(), device.Sycamore()} {
+		t.AddRow(string(m.Vendor),
+			f2(m.SampleRate/1e9),
+			d(m.SampleBits),
+			f1(m.Latency.OneQ*1e9)+"/"+f1(m.Latency.TwoQ*1e9)+"/"+f1(m.Latency.Readout*1e9),
+			f1(m.MemoryPerQubit()/1e3),
+			f1(m.BandwidthPerQubit()/1e9),
+		)
+	}
+	return t, nil
+}
+
+// Fig5Capacity regenerates the capacity-scaling curves.
+func Fig5Capacity() (*Table, error) {
+	t := &Table{
+		ID:     "fig5a",
+		Title:  "Waveform memory capacity vs qubits",
+		Paper:  "linear scaling; RFSoC capacity reference 7.56 MB",
+		Header: []string{"qubits", "IBM (MB)", "Google (MB)", "RFSoC cap (MB)"},
+	}
+	ibm, gg := device.Guadalupe(), device.Sycamore()
+	rfsoc := membank.DefaultRFSoC()
+	for _, n := range []int{0, 25, 50, 75, 100, 125, 150, 175, 200} {
+		t.AddRow(d(n),
+			f2(ibm.TotalMemory(n)/1e6),
+			f2(gg.TotalMemory(n)/1e6),
+			f2(rfsoc.CapacityBytes()/1e6),
+		)
+	}
+	return t, nil
+}
+
+// Fig5Bandwidth regenerates the bandwidth-scaling curve with the
+// RFSoC's 6 GS/s DACs.
+func Fig5Bandwidth() (*Table, error) {
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "Waveform memory bandwidth vs qubits (6 GS/s DACs)",
+		Paper:  "linear scaling; max RFSoC BW reference 866 GB/s",
+		Header: []string{"qubits", "WF memory BW (GB/s)", "RFSoC BW (GB/s)"},
+	}
+	rfsoc := membank.DefaultRFSoC()
+	perQubit := rfsoc.DACRate * 4 // 32-bit I/Q samples
+	for _, n := range []int{0, 25, 50, 75, 100, 125, 150, 175, 200} {
+		t.AddRow(d(n), f1(float64(n)*perQubit/1e9), f1(rfsoc.StreamBandwidth()/1e9))
+	}
+	return t, nil
+}
+
+// Fig5CircuitBW regenerates the per-benchmark peak/average bandwidth.
+func Fig5CircuitBW() (*Table, error) {
+	t := &Table{
+		ID:     "fig5c",
+		Title:  "Peak and average bandwidth for qaoa-40 / surface-25 / surface-81",
+		Paper:  "qaoa-40 894/241, surface-25 447/402, surface-81 1609/1453 GB/s",
+		Header: []string{"benchmark", "peak (GB/s)", "avg (GB/s)"},
+	}
+	// qaoa-40 routed on the 65-qubit Brooklyn machine.
+	brooklyn := device.Brooklyn()
+	r, err := circuit.Transpile(circuit.QAOA40(), brooklyn.Qubits, brooklyn.Coupling)
+	if err != nil {
+		return nil, err
+	}
+	s, err := circuit.ScheduleASAP(r.Circuit, brooklyn.Latency)
+	if err != nil {
+		return nil, err
+	}
+	bw := s.MemoryBandwidth(brooklyn)
+	t.AddRow("qaoa-40", f1(bw.PeakBps/1e9), f1(bw.AvgBps/1e9))
+
+	guad := device.Guadalupe()
+	for _, p := range []*surface.Patch{surface.Surface25(), surface.Surface81()} {
+		c := circuit.Decompose(p.SyndromeCircuit(4))
+		s, err := circuit.ScheduleASAP(c, guad.Latency)
+		if err != nil {
+			return nil, err
+		}
+		bw := s.MemoryBandwidth(guad)
+		t.AddRow(p.Name, f1(bw.PeakBps/1e9), f1(bw.AvgBps/1e9))
+	}
+	return t, nil
+}
+
+// Fig5Qubits regenerates the capacity-vs-bandwidth constraint bars.
+func Fig5Qubits() (*Table, error) {
+	t := &Table{
+		ID:     "fig5d",
+		Title:  "Qubits supported by an RFSoC under each constraint",
+		Paper:  ">200 capacity-bound, <40 bandwidth-bound (5x drop)",
+		Header: []string{"constraint", "qubits"},
+	}
+	r := controller.QICKRFSoC(device.Guadalupe())
+	capQ := r.QubitsByCapacity(1)
+	bwQ, err := r.QubitsByBandwidth()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("capacity", d(capQ))
+	t.AddRow("bandwidth", d(bwQ))
+	t.AddRow("drop", f1(float64(capQ)/float64(bwQ))+"x")
+	return t, nil
+}

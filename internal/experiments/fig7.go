@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/wave"
+)
+
+// Figure 7: compressibility and MSE of the qft-4 pulse library
+// (Section IV-D).
+
+func init() {
+	register("fig7a", "Per-waveform compression ratios (qft-4, WS=16)", Fig7PerWaveform)
+	register("fig7b", "Overall qft-4 library compression", Fig7Overall)
+	register("fig7c", "Mean squared error of DCT variants", Fig7MSE)
+}
+
+// benchmarkLibrary collects the distinct pulses a routed circuit
+// plays: X/SX per touched qubit, CX per used pair, Meas per measured
+// qubit. This is the "waveforms used for a benchmark circuit" library
+// of Section IV-D.
+func benchmarkLibrary(m *device.Machine, c *circuit.Circuit) ([]*device.Pulse, error) {
+	r, err := circuit.Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		gate string
+		a, b int
+	}
+	seen := map[key]bool{}
+	var lib []*device.Pulse
+	add := func(p *device.Pulse) {
+		lib = append(lib, p)
+	}
+	for _, g := range r.Gates {
+		switch g.Name {
+		case "x":
+			k := key{"X", g.Qubits[0], -1}
+			if !seen[k] {
+				seen[k] = true
+				add(m.XPulse(g.Qubits[0]))
+			}
+		case "sx":
+			k := key{"SX", g.Qubits[0], -1}
+			if !seen[k] {
+				seen[k] = true
+				add(m.SXPulse(g.Qubits[0]))
+			}
+		case "cx":
+			k := key{"CX", g.Qubits[0], g.Qubits[1]}
+			if !seen[k] {
+				seen[k] = true
+				p, err := m.CXPulse(g.Qubits[0], g.Qubits[1])
+				if err != nil {
+					return nil, err
+				}
+				add(p)
+			}
+		case "measure":
+			k := key{"Meas", g.Qubits[0], -1}
+			if !seen[k] {
+				seen[k] = true
+				add(m.MeasPulse(g.Qubits[0]))
+			}
+		}
+	}
+	return lib, nil
+}
+
+// variantRatio compresses a fixed waveform with one variant and
+// returns (storedWords, ratio).
+func variantWords(f *wave.Fixed, v compress.Variant, ws int) (int, error) {
+	opts := compress.Options{Variant: v}
+	if v == compress.DCTW || v == compress.IntDCTW {
+		opts.WindowSize = ws
+	}
+	c, err := compress.Compress(f, opts)
+	if err != nil {
+		return 0, err
+	}
+	return c.Words(compress.LayoutPacked), nil
+}
+
+// Fig7PerWaveform regenerates the per-waveform ratios for five
+// representative qft-4 waveforms.
+func Fig7PerWaveform() (*Table, error) {
+	m := device.Guadalupe()
+	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	if err != nil {
+		return nil, err
+	}
+	// Pick four SX pulses and one measurement pulse, as in the paper.
+	var chosen []*device.Pulse
+	for _, p := range lib {
+		if p.Gate == "SX" && len(chosen) < 4 {
+			chosen = append(chosen, p)
+		}
+	}
+	for _, p := range lib {
+		if p.Gate == "Meas" {
+			chosen = append(chosen, p)
+			break
+		}
+	}
+	t := &Table{
+		ID:     "fig7a",
+		Title:  "Compression ratio per waveform (WS=16)",
+		Paper:  "Delta ~1-2 (kills on zero crossings); DCT variants ~5-8 for 1Q, higher for measurement",
+		Header: []string{"waveform", "Delta", "DCT-N", "DCT-W", "int-DCT-W"},
+	}
+	for _, p := range chosen {
+		f := p.Waveform.Quantize()
+		orig := 2 * f.Samples()
+		row := []string{p.Key()}
+		for _, v := range []compress.Variant{compress.Delta, compress.DCTN, compress.DCTW, compress.IntDCTW} {
+			w, err := variantWords(f, v, 16)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(float64(orig)/float64(w)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig7Overall regenerates the overall qft-4 compression per variant
+// and window size.
+func Fig7Overall() (*Table, error) {
+	m := device.Guadalupe()
+	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig7b",
+		Title:  "Overall compression ratio for qft-4",
+		Paper:  "Delta ~1.9; DCT-N ~126; DCT-W/int-DCT-W ~4 (WS=8) and ~8 (WS=16)",
+		Header: []string{"variant", "WS=8", "WS=16"},
+	}
+	for _, v := range []compress.Variant{compress.Delta, compress.DCTN, compress.DCTW, compress.IntDCTW} {
+		row := []string{v.String()}
+		for _, ws := range []int{8, 16} {
+			var orig, stored int
+			for _, p := range lib {
+				f := p.Waveform.Quantize()
+				w, err := variantWords(f, v, ws)
+				if err != nil {
+					return nil, err
+				}
+				orig += 2 * f.Samples()
+				stored += w
+			}
+			row = append(row, f1(float64(orig)/float64(stored)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig7MSE regenerates the average round-trip MSE per DCT variant.
+func Fig7MSE() (*Table, error) {
+	m := device.Guadalupe()
+	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig7c",
+		Title:  "Average MSE over qft-4 waveforms (x1e-7)",
+		Paper:  "MSE between 1e-7 and 5e-6; int-DCT-W highest",
+		Header: []string{"variant", "WS=8", "WS=16"},
+	}
+	for _, v := range []compress.Variant{compress.DCTN, compress.DCTW, compress.IntDCTW} {
+		row := []string{v.String()}
+		for _, ws := range []int{8, 16} {
+			var sum float64
+			for _, p := range lib {
+				opts := compress.Options{Variant: v}
+				if v != compress.DCTN {
+					opts.WindowSize = ws
+				}
+				mse, err := compress.RoundTripMSE(p.Waveform.Quantize(), opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", p.Key(), err)
+				}
+				sum += mse
+			}
+			row = append(row, f1(sum/float64(len(lib))*1e7))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"compaqt/internal/circuit"
+	"compaqt/internal/controller"
+	"compaqt/internal/device"
+	"compaqt/internal/hwmodel"
+	"compaqt/internal/surface"
+	"compaqt/internal/wave"
+)
+
+// Figure 16 (clock frequency), Figure 17 (QEC scalability), Figures
+// 18-19 (ASIC power), Tables IV, V and VIII (hardware resources).
+
+func init() {
+	register("fig16", "Clock frequency degradation per engine", Fig16Clock)
+	register("fig17a", "Peak concurrency in d=3 syndrome extraction", Fig17Concurrency)
+	register("fig17b", "Logical qubits per RFSoC controller", Fig17Logical)
+	register("fig18", "Cryo-ASIC power: uncompressed vs compressed", Fig18Power)
+	register("fig19", "Adaptive decompression power on a flat-top", Fig19Adaptive)
+	register("table4", "IDCT engine arithmetic resources", TableIVResources)
+	register("table5", "Qubits supported (normalized)", TableVQubits)
+	register("table8", "FPGA resource usage", TableVIIIResources)
+}
+
+// Fig16Clock regenerates the normalized-fmax bars.
+func Fig16Clock() (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Normalized fmax vs the 294 MHz QICK baseline",
+		Paper:  "DCT-W 0.67; int-DCT-W: WS=8 0.92, WS=16 0.90, WS=32 0.83",
+		Header: []string{"design", "fmax (MHz)", "normalized"},
+	}
+	t.AddRow("baseline", f1(hwmodel.BaselineClock()/1e6), "1.00")
+	rw, err := hwmodel.ClockRatio(hwmodel.EngineDCTW, 8)
+	if err != nil {
+		return nil, err
+	}
+	fw, _ := hwmodel.ClockEstimate(hwmodel.EngineDCTW, 8)
+	t.AddRow("DCT-W WS=8", f1(fw/1e6), f2(rw))
+	for _, ws := range []int{8, 16, 32} {
+		r, err := hwmodel.ClockRatio(hwmodel.EngineIntDCTW, ws)
+		if err != nil {
+			return nil, err
+		}
+		f, _ := hwmodel.ClockEstimate(hwmodel.EngineIntDCTW, ws)
+		t.AddRow("int-DCT-W WS="+d(ws), f1(f/1e6), f2(r))
+	}
+	return t, nil
+}
+
+// Fig17Concurrency regenerates the syndrome-cycle concurrency bars.
+func Fig17Concurrency() (*Table, error) {
+	m := device.Guadalupe()
+	t := &Table{
+		ID:     "fig17a",
+		Title:  "Peak concurrency during d=3 syndrome extraction",
+		Paper:  ">80% of physical qubits driven concurrently",
+		Header: []string{"patch", "peak concurrent ops", "peak driven qubits", "driven fraction"},
+	}
+	for _, p := range []*surface.Patch{surface.Surface17(), surface.Surface25()} {
+		c := circuit.Decompose(p.SyndromeCircuit(1))
+		s, err := circuit.ScheduleASAP(c, m.Latency)
+		if err != nil {
+			return nil, err
+		}
+		driven := s.PeakDrivenQubits()
+		t.AddRow(p.Name, d(s.PeakConcurrentOps()), d(driven),
+			f2(float64(driven)/float64(p.Qubits)))
+	}
+	return t, nil
+}
+
+// Fig17Logical regenerates the logical-qubit capacity bars.
+func Fig17Logical() (*Table, error) {
+	m := device.Guadalupe()
+	rf := controller.QICKRFSoC(m)
+	t := &Table{
+		ID:     "fig17b",
+		Title:  "Logical qubits supported by one RFSoC",
+		Paper:  "COMPAQT supports ~5x the baseline's logical qubits (up to ~11 for surface-17 at WS=16)",
+		Header: []string{"design", "surface-17", "surface-25"},
+	}
+	// Capacity compression ratio for the compressed designs: the
+	// library-average packed ratio (~6.5 on IBM machines, Table VII).
+	const capRatio = 6.5
+	designs := []struct {
+		name string
+		d    controller.Design
+		r    float64
+	}{
+		{"Uncompressed", controller.Baseline(), 1},
+		{"WS=8", controller.COMPAQT(8), capRatio},
+		{"WS=16", controller.COMPAQT(16), capRatio},
+	}
+	for _, dd := range designs {
+		rc := rf.WithDesign(dd.d)
+		l17, err := rc.LogicalQubits(17, dd.r)
+		if err != nil {
+			return nil, err
+		}
+		l25, err := rc.LogicalQubits(25, dd.r)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(dd.name, d(l17), d(l25))
+	}
+	return t, nil
+}
+
+// crWaveform returns the Fig. 18 streaming workload: a Guadalupe CR
+// (CX) waveform.
+func crWaveform(m *device.Machine) (*wave.Waveform, error) {
+	p, err := m.CXPulse(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return p.Waveform, nil
+}
+
+// Fig18Power regenerates the ASIC power bars.
+func Fig18Power() (*Table, error) {
+	m := device.Guadalupe()
+	w, err := crWaveform(m)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Cryogenic controller power streaming a CR waveform (mW)",
+		Paper:  "uncompressed ~14 total; compressed cuts total >2.5x; IDCT overhead small",
+		Header: []string{"design", "memory", "IDCT", "DAC", "total"},
+	}
+	designs := []struct {
+		name string
+		d    controller.Design
+	}{
+		{"Uncompressed", controller.Baseline()},
+		{"WS=8", controller.COMPAQT(8)},
+		{"WS=16", controller.COMPAQT(16)},
+	}
+	for _, dd := range designs {
+		p, err := controller.NewASIC(m, dd.d).Power(w)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(dd.name, f2(p.MemoryW*1e3), f2(p.IDCTW*1e3), f2(p.DACW*1e3), f2(p.TotalW()*1e3))
+	}
+	return t, nil
+}
+
+// Fig19Adaptive regenerates the flat-top adaptive-decompression bars.
+func Fig19Adaptive() (*Table, error) {
+	m := device.Guadalupe()
+	ft := wave.GaussianSquare("flat-top-100ns", m.SampleRate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 64e-9, Sigma: 4e-9, Angle: 0.6,
+	})
+	t := &Table{
+		ID:     "fig19",
+		Title:  "Power on a 100 ns flat-top with adaptive decompression (mW)",
+		Paper:  "~4x total reduction vs uncompressed",
+		Header: []string{"design", "memory", "IDCT", "DAC", "total"},
+	}
+	designs := []struct {
+		name string
+		d    controller.Design
+	}{
+		{"Uncompressed", controller.Baseline()},
+		{"WS=8 adaptive", adaptive(controller.COMPAQT(8))},
+		{"WS=16 adaptive", adaptive(controller.COMPAQT(16))},
+	}
+	for _, dd := range designs {
+		p, err := controller.NewASIC(m, dd.d).Power(ft)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(dd.name, f2(p.MemoryW*1e3), f2(p.IDCTW*1e3), f2(p.DACW*1e3), f2(p.TotalW()*1e3))
+	}
+	return t, nil
+}
+
+func adaptive(d controller.Design) controller.Design {
+	d.Adaptive = true
+	return d
+}
+
+// TableIVResources regenerates the engine arithmetic comparison.
+func TableIVResources() (*Table, error) {
+	t := &Table{
+		ID:     "table4",
+		Title:  "IDCT engine arithmetic (structural model)",
+		Paper:  "DCT-W 8/16pt: 11/26 mult, 29/81 add; int-DCT-W 8/16pt: 50/186 add, 26/128 shift",
+		Header: []string{"variant", "WS", "multipliers", "adders", "shifters"},
+	}
+	for _, ws := range []int{8, 16} {
+		lr, err := hwmodel.LoefflerResources(ws)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("DCT-W", d(ws), d(lr.Multipliers), d(lr.Adders), d(lr.Shifters))
+		ir, err := hwmodel.IntIDCTResources(ws)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("int-DCT-W", d(ws), d(ir.Multipliers), d(ir.Adders), d(ir.Shifters))
+	}
+	return t, nil
+}
+
+// TableVQubits regenerates the normalized qubit-count table.
+func TableVQubits() (*Table, error) {
+	m := device.Guadalupe()
+	rf := controller.QICKRFSoC(m)
+	base, err := rf.QubitsByBandwidth()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "table5",
+		Title:  "Qubits supported by the FPGA design (normalized to uncompressed)",
+		Paper:  "1 : 2.66 : 5.33",
+		Header: []string{"design", "qubits", "normalized"},
+	}
+	t.AddRow("Uncompressed", d(base), "1.00")
+	for _, ws := range []int{8, 16} {
+		q, err := rf.WithDesign(controller.COMPAQT(ws)).QubitsByBandwidth()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("WS="+d(ws), d(q), f2(float64(q)/float64(base)))
+	}
+	return t, nil
+}
+
+// TableVIIIResources regenerates the FPGA utilization table.
+func TableVIIIResources() (*Table, error) {
+	t := &Table{
+		ID:     "table8",
+		Title:  "FPGA resource usage (zc7u7ev-class SoC)",
+		Paper:  "baseline 3386/6448; W8 601/266; W16 1954/671; W32 9063/1197 (LUT/FF)",
+		Header: []string{"design", "LUTs", "FFs", "% of SoC LUTs"},
+	}
+	soc := hwmodel.ZU7EVResources()
+	b := hwmodel.BaselineFPGA()
+	t.AddRow("Baseline (QICK)", d(b.LUTs), d(b.FFs), f2(100*float64(b.LUTs)/float64(soc.LUTs)))
+	for _, ws := range []int{8, 16, 32} {
+		u, err := hwmodel.IntEngineFPGA(ws)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("int-DCT-W WS="+d(ws), d(u.LUTs), d(u.FFs), f2(100*float64(u.LUTs)/float64(soc.LUTs)))
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"math"
+
+	"compaqt/internal/clifford"
+	"compaqt/internal/compress"
+	"compaqt/internal/device"
+	"compaqt/internal/quantum"
+	"compaqt/internal/wave"
+)
+
+// Figure 9 and Table III: two-qubit randomized benchmarking with and
+// without compressed waveforms (Section IV-D).
+
+func init() {
+	register("fig9", "2Q RB decay: baseline vs int-DCT-W (Guadalupe)", Fig9RB)
+	register("table3", "2Q RB fidelity on three machines x four designs", TableIIIRB)
+}
+
+// machineEPS derives the per-CX depolarizing rate that reproduces the
+// machine's calibrated error-per-Clifford operating point. For the
+// two-qubit depolarizing channel EPC = (d-1)/d * E[dep] = 0.75 * E[dep]
+// with E[dep] ~ 1.5 eps2q + ~4.9 eps1q per random Clifford (average
+// 1.5 CX and ~4.9 SX pulses).
+func machineEPS(m *device.Machine) float64 {
+	eps := (m.EPC2Q/0.75 - 4.9*3e-4) / 1.5
+	if eps < 1e-4 {
+		eps = 1e-4
+	}
+	return eps
+}
+
+// coherentErrors integrates the compression-induced error unitaries
+// for the RB pair (qubits 0-1) under the given compression options.
+func coherentErrors(m *device.Machine, opts compress.Options) (quantum.M4, quantum.M2, error) {
+	roundTrip := func(w *wave.Waveform) (*wave.Waveform, error) {
+		c, err := compress.Compress(w.Quantize(), opts)
+		if err != nil {
+			return nil, err
+		}
+		d, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		return d.Dequantize(), nil
+	}
+	cr, err := m.CXPulse(0, 1)
+	if err != nil {
+		return quantum.I4(), quantum.I2(), err
+	}
+	dcr, err := roundTrip(cr.Waveform)
+	if err != nil {
+		return quantum.I4(), quantum.I2(), err
+	}
+	eCX := quantum.CoherentErrorCR(cr.Waveform, dcr, math.Pi/4)
+	sx := m.SXPulse(0)
+	dsx, err := roundTrip(sx.Waveform)
+	if err != nil {
+		return quantum.I4(), quantum.I2(), err
+	}
+	e1 := quantum.CoherentError1Q(sx.Waveform, dsx, math.Pi/2)
+	return eCX, e1, nil
+}
+
+func rbConfigFor(m *device.Machine, seed int64) clifford.RBConfig {
+	cfg := clifford.DefaultRB(machineEPS(m), seed)
+	cfg.ReadoutError = (m.Cal[0].EPReadout + m.Cal[1].EPReadout) / 2
+	return cfg
+}
+
+// Fig9RB regenerates the RB decay curves.
+func Fig9RB() (*Table, error) {
+	m := device.Guadalupe()
+	base := rbConfigFor(m, 900)
+	rBase, err := clifford.RunRB(base)
+	if err != nil {
+		return nil, err
+	}
+	comp := rbConfigFor(m, 901)
+	eCX, e1, err := coherentErrors(m, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		return nil, err
+	}
+	comp.CoherentCX, comp.Coherent1Q = eCX, e1
+	rComp, err := clifford.RunRB(comp)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "2Q RB sequence fidelity, uncompressed vs int-DCT-W WS=16",
+		Paper:  "baseline fidelity 0.978 / EPC 1.65e-2; compressed 0.975 / EPC 1.84e-2",
+		Header: []string{"clifford length", "baseline survival", "int-DCT-W survival"},
+	}
+	for i, p := range rBase.Points {
+		t.AddRow(d(p.Length), f4(p.Survival), f4(rComp.Points[i].Survival))
+	}
+	t.AddRow("fidelity", f3(rBase.Fidelity), f3(rComp.Fidelity))
+	t.AddRow("EPC", e2(rBase.EPC), e2(rComp.EPC))
+	return t, nil
+}
+
+// TableIIIRB regenerates the three-machine, four-design RB summary.
+func TableIIIRB() (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "2Q RB fidelity (1 - EPC)",
+		Paper:  "Bogota 0.980-0.983, Guadalupe 0.975-0.978, Hanoi 0.986-0.989 across designs",
+		Header: []string{"design", "ibmq_bogota", "ibmq_guadalupe", "ibm_hanoi"},
+	}
+	designs := []struct {
+		name string
+		opts *compress.Options
+	}{
+		{"Baseline", nil},
+		{"DCT-N", &compress.Options{Variant: compress.DCTN}},
+		{"DCT-W", &compress.Options{Variant: compress.DCTW, WindowSize: 16}},
+		{"int-DCT-W", &compress.Options{Variant: compress.IntDCTW, WindowSize: 16}},
+	}
+	machines := []*device.Machine{device.Bogota(), device.Guadalupe(), device.Hanoi()}
+	for di, dsg := range designs {
+		row := []string{dsg.name}
+		for mi, m := range machines {
+			cfg := rbConfigFor(m, int64(1000+10*di+mi))
+			if dsg.opts != nil {
+				eCX, e1, err := coherentErrors(m, *dsg.opts)
+				if err != nil {
+					return nil, err
+				}
+				cfg.CoherentCX, cfg.Coherent1Q = eCX, e1
+			}
+			res, err := clifford.RunRB(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(res.Fidelity))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,32 @@
+package hwmodel
+
+import (
+	"compaqt/internal/compress"
+	"compaqt/internal/engine"
+	"compaqt/internal/wave"
+)
+
+// engineStats compresses f with int-DCT-W and streams it through the
+// hardware pipeline model, returning activity stats and the engine's
+// adder count.
+func engineStats(f *wave.Fixed, ws int, adaptive bool) (engine.Stats, int, error) {
+	c, err := compress.Compress(f, compress.Options{
+		Variant: compress.IntDCTW, WindowSize: ws, Adaptive: adaptive,
+	})
+	if err != nil {
+		return engine.Stats{}, 0, err
+	}
+	e, err := engine.New(ws)
+	if err != nil {
+		return engine.Stats{}, 0, err
+	}
+	_, st, err := e.Run(c)
+	if err != nil {
+		return engine.Stats{}, 0, err
+	}
+	r, err := IntIDCTResources(ws)
+	if err != nil {
+		return engine.Stats{}, 0, err
+	}
+	return st, r.Adders, nil
+}

@@ -1,0 +1,213 @@
+// Package hwmodel estimates the hardware cost of COMPAQT's
+// decompression engines: arithmetic resources (Table IV), FPGA LUT/FF
+// usage (Table VIII), achievable clock frequency (Fig. 16), and the
+// power of the cryogenic ASIC design point (Figs. 18-19).
+//
+// The paper obtained these numbers from Vivado synthesis and Synopsys
+// Design Compiler + Destiny/CACTI; here they derive from the structure
+// of the very networks the engine executes (internal/csd on the HEVC
+// coefficient sets) plus calibrated technology constants, documented
+// per model below. Absolute values are estimates; the comparisons the
+// paper draws (int-DCT-W ≈ free next to the baseline; WS=32 too big;
+// DCT-W multipliers cost 33% of fmax; memory power cut >2.5x) are
+// structural and survive the calibration.
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+
+	"compaqt/internal/csd"
+	"compaqt/internal/dct"
+)
+
+// Resources summarizes an IDCT engine's arithmetic (Table IV).
+type Resources struct {
+	Multipliers int
+	Adders      int
+	Shifters    int
+	// Depth is the worst-case combinational adder depth, which drives
+	// the unpipelined fmax estimate.
+	Depth int
+}
+
+// LoefflerResources returns the arithmetic of the multiplier-based
+// DCT-W engine: Loeffler's algorithm for 8 points (11 multipliers, 29
+// adders, the minimum known [42]) and its 16-point extension (26
+// multipliers, 81 adders), as cited by the paper.
+func LoefflerResources(ws int) (Resources, error) {
+	switch ws {
+	case 8:
+		return Resources{Multipliers: 11, Adders: 29, Depth: 4}, nil
+	case 16:
+		return Resources{Multipliers: 26, Adders: 81, Depth: 5}, nil
+	}
+	return Resources{}, fmt.Errorf("hwmodel: Loeffler resources defined for ws 8/16, got %d", ws)
+}
+
+// IntIDCTResources derives the shift-add arithmetic of the int-DCT-W
+// engine from the HEVC partial-butterfly structure:
+//
+//	N-point inverse = (N/2)-point inverse (even rows)
+//	               + odd part: N/2 MCM blocks + accumulation
+//	               + N output butterflies
+//
+// MCM adder/shifter counts come from the greedy CSE model in
+// internal/csd, i.e. from the same coefficient sets the engine
+// multiplies by.
+func IntIDCTResources(ws int) (Resources, error) {
+	if !dct.ValidWindow(ws) {
+		return Resources{}, fmt.Errorf("hwmodel: invalid window %d", ws)
+	}
+	return intResources(ws), nil
+}
+
+func intResources(n int) Resources {
+	if n == 2 {
+		// 2-point butterfly on the 64-coefficient: pure shifts + 2 adders.
+		return Resources{Adders: 2, Shifters: 2, Depth: 1}
+	}
+	even := intResources(n / 2)
+	odd := oddCoefficients(n)
+	mcmAdd, mcmShift := csd.MCMCost(odd)
+	half := n / 2
+	r := Resources{
+		// Each of the N/2 odd inputs feeds one MCM block; each of the
+		// N/2 odd outputs accumulates N/2 products; N final butterflies.
+		Adders:   even.Adders + half*mcmAdd + half*(half-1) + n,
+		Shifters: even.Shifters + half*mcmShift,
+	}
+	// Depth: CSD/CSE product depth (~2 levels) + accumulation tree +
+	// output butterfly, whichever half dominates.
+	oddDepth := 2 + ceilLog2(half) + 1
+	if d := even.Depth + 1; d > oddDepth {
+		r.Depth = d
+	} else {
+		r.Depth = oddDepth
+	}
+	return r
+}
+
+func ceilLog2(n int) int {
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}
+
+// oddCoefficients returns the distinct magnitudes of the odd rows of
+// the N-point HEVC matrix (the odd-part MCM constants).
+func oddCoefficients(n int) []int32 {
+	m := dct.Matrix(n)
+	seen := map[int32]bool{}
+	var out []int32
+	for k := 1; k < n; k += 2 {
+		for _, v := range m[k] {
+			if v < 0 {
+				v = -v
+			}
+			if v != 0 && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// FPGA resource model (Table VIII). Technology constants calibrated
+// against the paper's Vivado results on the Xilinx zc7u7ev:
+//
+//   - lutPerAdderBit: 6-input LUTs absorb carry logic and neighboring
+//     gates; effective cost per adder bit after packing.
+//   - datapathBits: the engine is a 16-bit datapath (Q1.15 + tag).
+const (
+	datapathBits   = 16
+	lutPerAdderBit = 0.62
+	ffPerOutputBit = 2.4 // output + pipeline + control registers per bit
+)
+
+// FPGAUtilization estimates LUT/FF usage of one int-DCT-W engine.
+type FPGAUtilization struct {
+	LUTs int
+	FFs  int
+}
+
+// IntEngineFPGA estimates the FPGA footprint of the int-DCT-W engine
+// for a window size.
+func IntEngineFPGA(ws int) (FPGAUtilization, error) {
+	r, err := IntIDCTResources(ws)
+	if err != nil {
+		return FPGAUtilization{}, err
+	}
+	luts := int(math.Round(float64(r.Adders) * datapathBits * lutPerAdderBit))
+	ffs := int(math.Round(float64(ws)*datapathBits*ffPerOutputBit)) + 3*datapathBits
+	return FPGAUtilization{LUTs: luts, FFs: ffs}, nil
+}
+
+// BaselineFPGA returns the published QICK single-qubit control block
+// footprint the paper synthesizes as the baseline (Table VIII).
+func BaselineFPGA() FPGAUtilization { return FPGAUtilization{LUTs: 3386, FFs: 6448} }
+
+// ZU7EVResources returns the total LUT/FF budget of the evaluation SoC.
+func ZU7EVResources() FPGAUtilization { return FPGAUtilization{LUTs: 230400, FFs: 460800} }
+
+// Clock-frequency model (Fig. 16). The baseline QICK design closes at
+// 294 MHz (3.4 ns critical path). Adding combinational logic in the
+// sample path stretches the path:
+//
+//   - DCT-W inserts a DSP multiplier cascade (~1.7 ns),
+//   - unpipelined int-DCT-W inserts its adder tree (fast carry chains,
+//     ~70 ps/level) plus routing pressure that grows with the engine's
+//     area (~3 ps * sqrt(LUTs)).
+const (
+	baselineClockHz   = 294e6
+	multiplierDelay   = 1.70e-9
+	adderLevelDelay   = 70e-12
+	routingPerSqrtLUT = 3.2e-12
+)
+
+// BaselineClock returns the baseline fabric clock in Hz.
+func BaselineClock() float64 { return baselineClockHz }
+
+// EngineKind selects the decompression engine flavor for timing.
+type EngineKind int
+
+const (
+	EngineDCTW EngineKind = iota
+	EngineIntDCTW
+)
+
+// ClockEstimate returns the achievable clock in Hz for the pipeline
+// with the given engine in the sample path.
+func ClockEstimate(kind EngineKind, ws int) (float64, error) {
+	base := 1 / baselineClockHz
+	switch kind {
+	case EngineDCTW:
+		return 1 / (base + multiplierDelay), nil
+	case EngineIntDCTW:
+		r, err := IntIDCTResources(ws)
+		if err != nil {
+			return 0, err
+		}
+		u, err := IntEngineFPGA(ws)
+		if err != nil {
+			return 0, err
+		}
+		extra := float64(r.Depth)*adderLevelDelay + routingPerSqrtLUT*math.Sqrt(float64(u.LUTs))
+		return 1 / (base + extra), nil
+	}
+	return 0, fmt.Errorf("hwmodel: unknown engine kind %d", kind)
+}
+
+// ClockRatio returns fmax normalized to the baseline (the y-axis of
+// Fig. 16).
+func ClockRatio(kind EngineKind, ws int) (float64, error) {
+	f, err := ClockEstimate(kind, ws)
+	if err != nil {
+		return 0, err
+	}
+	return f / baselineClockHz, nil
+}

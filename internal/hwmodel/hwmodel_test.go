@@ -1,0 +1,204 @@
+package hwmodel
+
+import (
+	"testing"
+
+	"compaqt/internal/engine"
+	"compaqt/internal/wave"
+)
+
+func TestLoefflerResources(t *testing.T) {
+	r8, err := LoefflerResources(8)
+	if err != nil || r8.Multipliers != 11 || r8.Adders != 29 {
+		t.Errorf("Loeffler 8 = %+v (%v), want 11 mult / 29 add", r8, err)
+	}
+	r16, err := LoefflerResources(16)
+	if err != nil || r16.Multipliers != 26 || r16.Adders != 81 {
+		t.Errorf("Loeffler 16 = %+v (%v), want 26 mult / 81 add", r16, err)
+	}
+	if _, err := LoefflerResources(32); err == nil {
+		t.Error("Loeffler 32 undefined, should error")
+	}
+}
+
+func TestIntIDCTResourcesShape(t *testing.T) {
+	// Table IV: the multiplierless engine uses no multipliers; WS=8
+	// lands near 50 adders / 26 shifters and WS=16 near 186 / 128.
+	// Our structural model must be multiplier-free, monotone in window
+	// size, and within ~50% of the paper's synthesis counts.
+	r8, err := IntIDCTResources(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Multipliers != 0 {
+		t.Error("int engine must be multiplierless")
+	}
+	if r8.Adders < 25 || r8.Adders > 75 {
+		t.Errorf("WS=8 adders = %d, want ~50", r8.Adders)
+	}
+	if r8.Shifters < 13 || r8.Shifters > 52 {
+		t.Errorf("WS=8 shifters = %d, want ~26", r8.Shifters)
+	}
+	r16, err := IntIDCTResources(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Adders < 93 || r16.Adders > 280 {
+		t.Errorf("WS=16 adders = %d, want ~186", r16.Adders)
+	}
+	r32, err := IntIDCTResources(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r8.Adders < r16.Adders && r16.Adders < r32.Adders) {
+		t.Errorf("adders not monotone: %d, %d, %d", r8.Adders, r16.Adders, r32.Adders)
+	}
+	if !(r8.Depth <= r16.Depth && r16.Depth <= r32.Depth) {
+		t.Errorf("depth not monotone: %d, %d, %d", r8.Depth, r16.Depth, r32.Depth)
+	}
+}
+
+func TestFPGAUtilizationShape(t *testing.T) {
+	// Table VIII: W8 601/266, W16 1954/671, W32 9063/1197. Our model
+	// must preserve the ordering and the "well under the baseline for
+	// W8/W16, several x bigger for W32" structure.
+	base := BaselineFPGA()
+	u8, err := IntEngineFPGA(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u16, err := IntEngineFPGA(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u32, err := IntEngineFPGA(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(u8.LUTs < u16.LUTs && u16.LUTs < u32.LUTs) {
+		t.Errorf("LUTs not monotone: %d, %d, %d", u8.LUTs, u16.LUTs, u32.LUTs)
+	}
+	if u8.LUTs >= base.LUTs/3 {
+		t.Errorf("W8 engine (%d LUTs) should be small next to the baseline (%d)", u8.LUTs, base.LUTs)
+	}
+	if u16.LUTs >= base.LUTs {
+		t.Errorf("W16 engine (%d LUTs) should stay below the baseline", u16.LUTs)
+	}
+	if u32.LUTs <= base.LUTs {
+		t.Errorf("W32 engine (%d LUTs) should exceed the baseline (%d) — the paper's sub-optimality argument", u32.LUTs, base.LUTs)
+	}
+	// Percent utilization on the ZU7EV stays tiny for W8/W16.
+	soc := ZU7EVResources()
+	if pct := float64(u16.LUTs) / float64(soc.LUTs); pct > 0.02 {
+		t.Errorf("W16 uses %.2f%% of SoC LUTs, want < 2%%", pct*100)
+	}
+}
+
+func TestClockRatios(t *testing.T) {
+	// Fig. 16: DCT-W ~0.67; int-DCT-W W8 ~0.92, W16 ~0.90, W32 ~0.83.
+	cases := []struct {
+		kind   EngineKind
+		ws     int
+		lo, hi float64
+	}{
+		{EngineDCTW, 8, 0.60, 0.74},
+		{EngineIntDCTW, 8, 0.86, 0.97},
+		{EngineIntDCTW, 16, 0.83, 0.95},
+		{EngineIntDCTW, 32, 0.74, 0.90},
+	}
+	var prev float64 = 1
+	for _, c := range cases[1:] { // int engines must degrade with ws
+		r, err := ClockRatio(c.kind, c.ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r >= prev {
+			t.Errorf("ws=%d ratio %.3f did not degrade (prev %.3f)", c.ws, r, prev)
+		}
+		prev = r
+	}
+	for _, c := range cases {
+		r, err := ClockRatio(c.kind, c.ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < c.lo || r > c.hi {
+			t.Errorf("kind=%d ws=%d ratio %.3f outside [%.2f, %.2f]", c.kind, c.ws, r, c.lo, c.hi)
+		}
+	}
+	// The multiplier design must be the slowest (the paper's argument
+	// for the integer engine).
+	rm, _ := ClockRatio(EngineDCTW, 8)
+	ri, _ := ClockRatio(EngineIntDCTW, 32)
+	if rm >= ri {
+		t.Errorf("DCT-W (%.3f) should be slower than even int W32 (%.3f)", rm, ri)
+	}
+}
+
+func TestUncompressedBaselinePower(t *testing.T) {
+	// Fig. 18's uncompressed operating point: ~14 mW total for one
+	// qubit streaming at 4.54 GS/s from an 18KB library.
+	capacityBits := 18.0 * 1024 * 8
+	st := UncompressedStats(100000)
+	p := ControllerPower(capacityBits, 4.54e9, st, 0)
+	if p.DACW != DACPowerW {
+		t.Error("DAC power must be the 2mW reference")
+	}
+	if p.IDCTW != 0 {
+		t.Error("baseline has no IDCT engine")
+	}
+	total := p.TotalW() * 1e3
+	if total < 11 || total > 18 {
+		t.Errorf("uncompressed total = %.1f mW, want ~14", total)
+	}
+}
+
+func TestCompressedPowerReduction(t *testing.T) {
+	// Fig. 18: compressed memory + engine cuts total power > 2.5x.
+	f := wave.GaussianSquare("CR", 4.54e9, wave.GaussianSquareParams{
+		Amp: 0.3, Duration: 300e-9, Width: 225e-9, Sigma: 12e-9, Angle: 0.8,
+	}).Quantize()
+	st, adders := compressedRun(t, f, 16, false)
+	capacityBits := 18.0 * 1024 * 8 / 5.33
+	p := ControllerPower(capacityBits, 4.54e9, st, adders)
+	base := ControllerPower(18.0*1024*8, 4.54e9, UncompressedStats(f.Samples()), 0)
+	if ratio := base.TotalW() / p.TotalW(); ratio < 2.5 {
+		t.Errorf("power reduction %.2fx, want > 2.5x", ratio)
+	}
+	if p.IDCTW <= 0 {
+		t.Error("IDCT power should be nonzero")
+	}
+	if p.IDCTW > p.MemoryW+p.DACW {
+		t.Errorf("IDCT power %.2f mW should not dominate", p.IDCTW*1e3)
+	}
+}
+
+func TestAdaptivePowerReduction(t *testing.T) {
+	// Fig. 19: adaptive decompression on a 100 ns flat-top reaches ~4x.
+	f := wave.GaussianSquare("flat", 4.54e9, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 100e-9, Width: 64e-9, Sigma: 4e-9, Angle: 0.5,
+	}).Quantize()
+	stPlain, adders := compressedRun(t, f, 16, false)
+	stAdapt, _ := compressedRun(t, f, 16, true)
+	capacityBits := 18.0 * 1024 * 8 / 5.33
+	base := ControllerPower(18.0*1024*8, 4.54e9, UncompressedStats(f.Samples()), 0)
+	pPlain := ControllerPower(capacityBits, 4.54e9, stPlain, adders)
+	pAdapt := ControllerPower(capacityBits, 4.54e9, stAdapt, adders)
+	if pAdapt.TotalW() >= pPlain.TotalW() {
+		t.Errorf("adaptive %.2f mW should beat plain %.2f mW", pAdapt.TotalW()*1e3, pPlain.TotalW()*1e3)
+	}
+	if ratio := base.TotalW() / pAdapt.TotalW(); ratio < 3.0 {
+		t.Errorf("adaptive reduction %.2fx, want >= ~4x band", ratio)
+	}
+}
+
+// compressedRun compresses f and runs it through the engine, returning
+// the stats and the engine adder count.
+func compressedRun(t *testing.T, f *wave.Fixed, ws int, adaptive bool) (engine.Stats, int) {
+	t.Helper()
+	st, adders, err := engineStats(f, ws, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, adders
+}

@@ -1,0 +1,103 @@
+package hwmodel
+
+import (
+	"math"
+
+	"compaqt/internal/engine"
+)
+
+// Cryogenic ASIC power model (Section VII-D, Figs. 18-19).
+//
+// The paper estimated SRAM power with the Destiny/CACTI cache models
+// and the IDCT engine with Synopsys DC on TSMC 40nm. This analytic
+// substitute keeps the same mechanism:
+//
+//	P_mem  = leakage(size) + accessRate * dynamicEnergy(size)
+//	P_idct = addRate * adderEnergy
+//	P_dac  = constant 2 mW (the paper's reference)
+//
+// with 40nm-class constants calibrated so the uncompressed baseline
+// dissipates ~14 mW total at IBM's 4.54 GS/s — the paper's Fig. 18
+// operating point. Compression shrinks both the access rate (R times
+// fewer words per sample) and the array (smaller => lower bitline
+// energy and leakage); adaptive decompression additionally idles the
+// memory and IDCT during flat-tops.
+
+// Technology constants (40nm-class SRAM + logic).
+const (
+	// sramLeakWPerBit is standby leakage per bit at the 4K-adjacent
+	// operating corner the paper's cryo chips report.
+	sramLeakWPerBit = 2.2e-9
+	// sramDynBaseJ is the size-independent part of a word access.
+	sramDynBaseJ = 0.35e-12
+	// sramDynPerSqrtBit scales bitline/wordline energy with array
+	// geometry (CACTI's sqrt scaling).
+	sramDynPerSqrtBitJ = 2.45e-15
+	// adderEnergyJ is the energy of one 16-bit add at 40nm.
+	adderEnergyJ = 6e-15
+	// DACPowerW is the paper's reference DAC power.
+	DACPowerW = 2e-3
+)
+
+// SRAMAccessEnergy returns joules per word access for an array of the
+// given capacity in bits.
+func SRAMAccessEnergy(capacityBits float64) float64 {
+	return sramDynBaseJ + sramDynPerSqrtBitJ*math.Sqrt(capacityBits)
+}
+
+// SRAMLeakage returns watts of standby power for the array.
+func SRAMLeakage(capacityBits float64) float64 {
+	return sramLeakWPerBit * capacityBits
+}
+
+// PowerBreakdown is one bar of Fig. 18/19.
+type PowerBreakdown struct {
+	MemoryW float64
+	IDCTW   float64
+	DACW    float64
+}
+
+// TotalW sums the components.
+func (p PowerBreakdown) TotalW() float64 { return p.MemoryW + p.IDCTW + p.DACW }
+
+// ControllerPower computes the steady-state power of one qubit-control
+// channel pair streaming waveforms continuously.
+//
+//   - capacityBits: waveform memory size for this channel's library
+//   - sampleRate: DAC rate (samples/s per channel, both I and Q run)
+//   - st: engine activity for the waveform(s) being streamed
+//   - idctAdders: adder count of the decompression engine (0 for the
+//     uncompressed baseline, which has no engine)
+//
+// Rates are derived from the engine statistics: st.MemWords fetches
+// and st.IDCTOps transforms occur over st.SamplesOut samples, which
+// stream at 2*sampleRate (two channels).
+func ControllerPower(capacityBits float64, sampleRate float64, st engine.Stats, idctAdders int) PowerBreakdown {
+	var p PowerBreakdown
+	p.DACW = DACPowerW
+	if st.SamplesOut == 0 {
+		p.MemoryW = SRAMLeakage(capacityBits)
+		return p
+	}
+	sampleRateTotal := 2 * sampleRate // I + Q channels
+	wordsPerSample := float64(st.MemWords) / float64(st.SamplesOut)
+	accessRate := wordsPerSample * sampleRateTotal
+	p.MemoryW = SRAMLeakage(capacityBits) + accessRate*SRAMAccessEnergy(capacityBits)
+	if idctAdders > 0 {
+		idctPerSample := float64(st.IDCTOps) / float64(st.SamplesOut)
+		addRate := idctPerSample * sampleRateTotal * float64(idctAdders)
+		p.IDCTW = addRate * adderEnergyJ
+	}
+	return p
+}
+
+// UncompressedStats synthesizes the engine statistics of the baseline
+// design streaming n samples: one memory word per sample per channel,
+// no IDCT, no bypass.
+func UncompressedStats(n int) engine.Stats {
+	return engine.Stats{
+		Cycles:     int64(n),
+		MemWords:   int64(2 * n),
+		SamplesOut: int64(2 * n),
+	}
+}

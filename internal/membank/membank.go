@@ -1,0 +1,210 @@
+// Package membank models the banked waveform memory of Section V-C:
+// FPGA block RAM (and URAM) arrays whose limited per-bank bandwidth is
+// the bottleneck COMPAQT attacks, plus the higher-clocked ASIC SRAM
+// arrays of Section VII-D.
+//
+// The FPGA fabric clock is ~16x slower than the DAC on QICK-class
+// platforms, so an uncompressed design must interleave every waveform
+// across clockRatio banks to sustain the DAC rate (Fig. 12a). With
+// COMPAQT the per-DAC-window fetch shrinks to the worst-case
+// compressed window width, cutting the banks per waveform and raising
+// the number of waveforms (hence qubits) a fixed bank budget can
+// stream concurrently (Fig. 12b, Table V).
+package membank
+
+import (
+	"fmt"
+	"math"
+)
+
+// BRAM36 capacity in bits (Xilinx 36Kb block RAM).
+const BRAM36Bits = 36 * 1024
+
+// URAM capacity in bits (Xilinx 288Kb UltraRAM).
+const URAMBits = 288 * 1024
+
+// StreamWordBits is the port width used for waveform streaming: the
+// BRAM's native 18-bit word (16-bit sample + codeword tag, see
+// internal/rle).
+const StreamWordBits = 18
+
+// RFSoC describes the memory resources of an RFSoC-class FPGA. The
+// defaults model the ZU28DR-class part the paper references: 7.56 MB
+// of on-chip memory and ~850 GB/s of aggregate BRAM streaming
+// bandwidth at a 300 MHz fabric clock against 6 GS/s DACs (Fig. 5's
+// reference lines).
+type RFSoC struct {
+	// BRAMs is the number of 36Kb block RAMs available for waveform
+	// memory.
+	BRAMs int
+	// URAMs is the number of 288Kb UltraRAMs (capacity only; URAM
+	// streaming is folded into the same budget).
+	URAMs int
+	// FabricClock is the FPGA clock in Hz.
+	FabricClock float64
+	// DACRate is the DAC sampling rate in samples/second.
+	DACRate float64
+}
+
+// DefaultRFSoC returns the paper's reference RFSoC configuration.
+func DefaultRFSoC() RFSoC {
+	return RFSoC{BRAMs: 1260, URAMs: 54, FabricClock: 300e6, DACRate: 6e9}
+}
+
+// CapacityBytes is the total on-chip waveform capacity (Fig. 5a's
+// 7.56 MB line).
+func (r RFSoC) CapacityBytes() float64 {
+	return float64(r.BRAMs*BRAM36Bits+r.URAMs*URAMBits) / 8
+}
+
+// StreamBandwidth is the aggregate bytes/second the BRAM array can
+// stream at the fabric clock (Fig. 5b's 866 GB/s line).
+func (r RFSoC) StreamBandwidth() float64 {
+	return float64(r.BRAMs) * float64(StreamWordBits) / 8 * r.FabricClock
+}
+
+// ClockRatio is the DAC-to-fabric clock ratio (16 on QICK).
+func (r RFSoC) ClockRatio() int {
+	return int(math.Round(r.DACRate / r.FabricClock))
+}
+
+// BanksPerChannelUncompressed is the number of BRAMs one waveform
+// channel needs so that clockRatio samples emerge per fabric cycle
+// (Fig. 12a): one bank per interleaved sample.
+func (r RFSoC) BanksPerChannelUncompressed() int { return r.ClockRatio() }
+
+// BanksPerChannelCompressed is the number of BRAMs one compressed
+// channel needs: the worst-case window width, replicated for however
+// many windows must be decompressed per fabric cycle (Fig. 12b; the
+// WS=8 example in Section V-C needs two IDCT engines and six BRAMs at
+// a 16x clock ratio).
+func (r RFSoC) BanksPerChannelCompressed(windowSize, worstWindowWords int) (int, error) {
+	if windowSize <= 0 || worstWindowWords <= 0 {
+		return 0, fmt.Errorf("membank: invalid window %d / width %d", windowSize, worstWindowWords)
+	}
+	enginesNeeded := (r.ClockRatio() + windowSize - 1) / windowSize
+	if enginesNeeded < 1 {
+		enginesNeeded = 1
+	}
+	return worstWindowWords * enginesNeeded, nil
+}
+
+// QubitCapacity returns how many qubits the bank budget can stream
+// concurrently, given banks needed per channel and channels per qubit
+// (I and Q share a bank row in the paper's accounting, so
+// channelsPerQubit is normally 1 bank-row pair; we expose it for
+// sensitivity studies).
+func (r RFSoC) QubitCapacity(banksPerChannel int) int {
+	if banksPerChannel <= 0 {
+		return 0
+	}
+	return r.BRAMs / banksPerChannel
+}
+
+// SRAM models an ASIC SRAM macro for the cryogenic controller
+// (Section VII-D). SRAM runs at the DAC rate, so no interleaving is
+// needed and compressed windows are fetched sequentially at their
+// natural (packed) width.
+type SRAM struct {
+	// CapacityBits is the macro size.
+	CapacityBits int
+	// Reads counts word accesses for the power model.
+	Reads int64
+}
+
+// Access records n word reads.
+func (s *SRAM) Access(n int) { s.Reads += int64(n) }
+
+// Array is a functional banked store used by the decompression
+// pipeline simulation: words laid out round-robin across banks, with
+// per-bank read counters to verify the banking math.
+type Array struct {
+	Banks     int
+	data      [][]uint32
+	BankReads []int64
+}
+
+// NewArray builds an array with the given number of banks.
+func NewArray(banks int) *Array {
+	if banks < 1 {
+		banks = 1
+	}
+	return &Array{
+		Banks:     banks,
+		data:      make([][]uint32, banks),
+		BankReads: make([]int64, banks),
+	}
+}
+
+// Store interleaves words across banks (Fig. 12a/c) and returns the
+// base offset of the stored region in words.
+func (a *Array) Store(words []uint32) int {
+	base := len(a.data[0])
+	// Pad all banks to a common row so a region starts row-aligned.
+	rows := 0
+	for _, b := range a.data {
+		if len(b) > rows {
+			rows = len(b)
+		}
+	}
+	for i := range a.data {
+		for len(a.data[i]) < rows {
+			a.data[i] = append(a.data[i], 0)
+		}
+	}
+	base = rows * a.Banks
+	for i, w := range words {
+		a.data[i%a.Banks] = append(a.data[i%a.Banks], w)
+	}
+	// Pad the final row.
+	last := len(a.data[0])
+	for i := range a.data {
+		for len(a.data[i]) < last {
+			a.data[i] = append(a.data[i], 0)
+		}
+	}
+	return base
+}
+
+// Read fetches the word at absolute offset (row-major across banks),
+// counting the bank access.
+func (a *Array) Read(offset int) (uint32, error) {
+	bank := offset % a.Banks
+	row := offset / a.Banks
+	if row >= len(a.data[bank]) {
+		return 0, fmt.Errorf("membank: read beyond bank %d (row %d)", bank, row)
+	}
+	a.BankReads[bank]++
+	return a.data[bank][row], nil
+}
+
+// ReadRow fetches one word from every bank at the given row — the
+// parallel fetch that feeds one decompression window per fabric cycle.
+func (a *Array) ReadRow(row int) ([]uint32, error) {
+	out := make([]uint32, a.Banks)
+	for b := 0; b < a.Banks; b++ {
+		if row >= len(a.data[b]) {
+			return nil, fmt.Errorf("membank: row %d beyond bank %d", row, b)
+		}
+		a.BankReads[b]++
+		out[b] = a.data[b][row]
+	}
+	return out, nil
+}
+
+// TotalReads sums reads across banks.
+func (a *Array) TotalReads() int64 {
+	var t int64
+	for _, r := range a.BankReads {
+		t += r
+	}
+	return t
+}
+
+// Rows returns the current depth of the array in rows.
+func (a *Array) Rows() int {
+	if len(a.data) == 0 {
+		return 0
+	}
+	return len(a.data[0])
+}

@@ -1,0 +1,137 @@
+package membank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultRFSoCMatchesPaperReferences(t *testing.T) {
+	r := DefaultRFSoC()
+	// Fig. 5a: 7.56 MB capacity line.
+	capMB := r.CapacityBytes() / 1e6
+	if math.Abs(capMB-7.56) > 0.5 {
+		t.Errorf("capacity %.2f MB, want ~7.56", capMB)
+	}
+	// Fig. 5b: 866 GB/s bandwidth line.
+	bwGB := r.StreamBandwidth() / 1e9
+	if bwGB < 800 || bwGB > 900 {
+		t.Errorf("stream bandwidth %.0f GB/s, want ~850", bwGB)
+	}
+	// QICK: DAC 16x faster than fabric.
+	if r.ClockRatio() != 20 {
+		// 6 GS/s / 300 MHz = 20; QICK's published ratio of 16 comes
+		// from a 384 MHz fabric. Either is within the paper's band.
+		t.Logf("clock ratio = %d", r.ClockRatio())
+	}
+}
+
+func TestBanksPerChannel(t *testing.T) {
+	// Section V-C's worked example: ratio 16, WS=8 needs two engines
+	// and 6 BRAMs; WS=16 needs 3 BRAMs.
+	r := RFSoC{BRAMs: 1260, URAMs: 54, FabricClock: 375e6, DACRate: 6e9} // ratio 16
+	if r.ClockRatio() != 16 {
+		t.Fatalf("ratio = %d, want 16", r.ClockRatio())
+	}
+	if r.BanksPerChannelUncompressed() != 16 {
+		t.Errorf("uncompressed banks = %d, want 16", r.BanksPerChannelUncompressed())
+	}
+	b8, err := r.BanksPerChannelCompressed(8, 3)
+	if err != nil || b8 != 6 {
+		t.Errorf("WS=8 banks = %d (%v), want 6", b8, err)
+	}
+	b16, err := r.BanksPerChannelCompressed(16, 3)
+	if err != nil || b16 != 3 {
+		t.Errorf("WS=16 banks = %d (%v), want 3", b16, err)
+	}
+	if _, err := r.BanksPerChannelCompressed(0, 3); err == nil {
+		t.Error("invalid window should error")
+	}
+}
+
+func TestQubitCapacityGain(t *testing.T) {
+	// Table V: normalized qubits 1 : 2.66 : 5.33.
+	r := RFSoC{BRAMs: 1260, URAMs: 54, FabricClock: 375e6, DACRate: 6e9}
+	base := r.QubitCapacity(r.BanksPerChannelUncompressed())
+	b8, _ := r.BanksPerChannelCompressed(8, 3)
+	b16, _ := r.BanksPerChannelCompressed(16, 3)
+	q8 := r.QubitCapacity(b8)
+	q16 := r.QubitCapacity(b16)
+	if g := float64(q8) / float64(base); math.Abs(g-2.66) > 0.2 {
+		t.Errorf("WS=8 gain %.2f, want ~2.66", g)
+	}
+	if g := float64(q16) / float64(base); math.Abs(g-5.33) > 0.4 {
+		t.Errorf("WS=16 gain %.2f, want ~5.33", g)
+	}
+}
+
+func TestArrayStoreRead(t *testing.T) {
+	a := NewArray(3)
+	words := []uint32{10, 20, 30, 40, 50}
+	base := a.Store(words)
+	if base != 0 {
+		t.Errorf("first store base = %d, want 0", base)
+	}
+	for i, want := range words {
+		got, err := a.Read(base + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+	if a.TotalReads() != int64(len(words)) {
+		t.Errorf("reads = %d, want %d", a.TotalReads(), len(words))
+	}
+}
+
+func TestArraySecondRegionRowAligned(t *testing.T) {
+	a := NewArray(4)
+	a.Store([]uint32{1, 2, 3, 4, 5}) // 2 rows (5 words in 4 banks)
+	base2 := a.Store([]uint32{9, 9})
+	if base2%a.Banks != 0 {
+		t.Errorf("second region base %d not row aligned", base2)
+	}
+	got, err := a.Read(base2)
+	if err != nil || got != 9 {
+		t.Errorf("second region read = %d (%v)", got, err)
+	}
+}
+
+func TestArrayReadRow(t *testing.T) {
+	a := NewArray(3)
+	a.Store([]uint32{1, 2, 3, 4, 5, 6})
+	row, err := a.ReadRow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 4 || row[1] != 5 || row[2] != 6 {
+		t.Errorf("row 1 = %v", row)
+	}
+	// Each bank read once more.
+	for b, n := range a.BankReads {
+		if n != 1 {
+			t.Errorf("bank %d reads = %d, want 1", b, n)
+		}
+	}
+	if _, err := a.ReadRow(99); err == nil {
+		t.Error("out-of-range row should error")
+	}
+}
+
+func TestArrayReadBeyondEnd(t *testing.T) {
+	a := NewArray(2)
+	a.Store([]uint32{1})
+	if _, err := a.Read(7); err == nil {
+		t.Error("read past end should error")
+	}
+}
+
+func TestSRAMAccessCounter(t *testing.T) {
+	s := &SRAM{CapacityBits: 1 << 20}
+	s.Access(5)
+	s.Access(3)
+	if s.Reads != 8 {
+		t.Errorf("reads = %d, want 8", s.Reads)
+	}
+}

@@ -1,0 +1,80 @@
+package quantum
+
+import "math"
+
+// Density is a two-qubit density matrix, the workhorse of the RB
+// simulations (Fig. 9, Table III): unitaries model the Clifford
+// sequence (including coherent compression error) and the depolarizing
+// channel models the device's stochastic error.
+type Density M4
+
+// NewDensity00 returns |00><00|.
+func NewDensity00() *Density {
+	var d Density
+	d[0][0] = 1
+	return &d
+}
+
+// ApplyUnitary evolves rho -> U rho U^dag.
+func (d *Density) ApplyUnitary(u M4) {
+	m := M4(*d)
+	m = Mul4(Mul4(u, m), Dag4(u))
+	*d = Density(m)
+}
+
+// Depolarize applies the two-qubit depolarizing channel with
+// probability p: rho -> (1-p) rho + p I/4.
+func (d *Density) Depolarize(p float64) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			d[i][j] *= complex(1-p, 0)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		d[i][i] += complex(p/4, 0)
+	}
+}
+
+// AmplitudeDamp applies independent single-qubit amplitude damping
+// with probability gamma to both qubits (T1 decay during a gate).
+func (d *Density) AmplitudeDamp(gamma float64) {
+	k0 := M2{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := M2{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	for q := 0; q < 2; q++ {
+		var a, b M4
+		if q == 0 {
+			a, b = Kron(I2(), k0), Kron(I2(), k1)
+		} else {
+			a, b = Kron(k0, I2()), Kron(k1, I2())
+		}
+		m := M4(*d)
+		out := addM4(Mul4(Mul4(a, m), Dag4(a)), Mul4(Mul4(b, m), Dag4(b)))
+		*d = Density(out)
+	}
+}
+
+// Population returns the diagonal probability of basis state k.
+func (d *Density) Population(k int) float64 {
+	return real(d[k][k])
+}
+
+// Trace returns the trace (should remain 1 under channels).
+func (d *Density) Trace() float64 {
+	return real(d[0][0] + d[1][1] + d[2][2] + d[3][3])
+}
+
+// Purity returns Tr(rho^2).
+func (d *Density) Purity() float64 {
+	m := M4(*d)
+	return real(Trace4(Mul4(m, m)))
+}
+
+func addM4(a, b M4) M4 {
+	var c M4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c[i][j] = a[i][j] + b[i][j]
+		}
+	}
+	return c
+}

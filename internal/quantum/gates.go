@@ -1,0 +1,103 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Standard gate set. Qubit convention: in two-qubit matrices the low
+// bit of the basis index is qubit 0 (the Kron b argument).
+
+// Pauli and Clifford generators.
+func X() M2 { return M2{{0, 1}, {1, 0}} }
+func Y() M2 { return M2{{0, -1i}, {1i, 0}} }
+func Z() M2 { return M2{{1, 0}, {0, -1}} }
+func H() M2 {
+	s := complex(1/math.Sqrt2, 0)
+	return M2{{s, s}, {s, -s}}
+}
+func S() M2   { return M2{{1, 0}, {0, 1i}} }
+func Sdg() M2 { return M2{{1, 0}, {0, -1i}} }
+
+// SX is the sqrt(X) gate, IBM's native pi/2 pulse.
+func SX() M2 {
+	return M2{
+		{0.5 + 0.5i, 0.5 - 0.5i},
+		{0.5 - 0.5i, 0.5 + 0.5i},
+	}
+}
+
+// RZ returns exp(-i theta Z / 2) — virtual (software) on IBM hardware.
+func RZ(theta float64) M2 {
+	e := cmplx.Exp(complex(0, -theta/2))
+	return M2{{e, 0}, {0, cmplx.Conj(e)}}
+}
+
+// RX returns exp(-i theta X / 2).
+func RX(theta float64) M2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return M2{{c, s}, {s, c}}
+}
+
+// RY returns exp(-i theta Y / 2).
+func RY(theta float64) M2 {
+	c := math.Cos(theta / 2)
+	s := math.Sin(theta / 2)
+	return M2{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}
+}
+
+// CX returns CNOT with the high bit (qubit 1) as control.
+func CX() M4 {
+	return M4{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	}
+}
+
+// CZ returns the controlled-Z gate.
+func CZ() M4 {
+	m := I4()
+	m[3][3] = -1
+	return m
+}
+
+// SWAP exchanges the two qubits.
+func SWAP() M4 {
+	return M4{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// ISWAP swaps with an i phase on the exchanged states.
+func ISWAP() M4 {
+	return M4{
+		{1, 0, 0, 0},
+		{0, 0, 1i, 0},
+		{0, 1i, 0, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// ZX returns the sigma_z (x) sigma_x operator, the effective
+// cross-resonance Hamiltonian axis (control = qubit 1).
+func ZX() M4 { return Kron(Z(), X()) }
+
+// RZX returns exp(-i theta ZX / 2), the native CR rotation.
+func RZX(theta float64) M4 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	zx := ZX()
+	out := I4()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[i][j] = c*out[i][j] + s*zx[i][j]
+		}
+	}
+	return out
+}

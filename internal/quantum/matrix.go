@@ -1,0 +1,151 @@
+// Package quantum provides the simulation substrate for COMPAQT's
+// fidelity evaluations: 2x2/4x4 unitary algebra, a state-vector
+// simulator for the Table VI benchmark circuits, a two-qubit density
+// matrix with noise channels for randomized benchmarking, and the
+// pulse-to-unitary integration that converts waveform distortion into
+// coherent gate error (the mechanism behind Fig. 9, Table III and
+// Fig. 15; the paper ran these on IBM hardware).
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// M2 is a 2x2 complex matrix (single-qubit operator), row-major.
+type M2 [2][2]complex128
+
+// M4 is a 4x4 complex matrix (two-qubit operator), row-major.
+type M4 [4][4]complex128
+
+// Mul2 returns a*b.
+func Mul2(a, b M2) M2 {
+	var c M2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return c
+}
+
+// Mul4 returns a*b.
+func Mul4(a, b M4) M4 {
+	var c M4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s complex128
+			for k := 0; k < 4; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+// Dag2 returns the conjugate transpose.
+func Dag2(a M2) M2 {
+	var c M2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = cmplx.Conj(a[j][i])
+		}
+	}
+	return c
+}
+
+// Dag4 returns the conjugate transpose.
+func Dag4(a M4) M4 {
+	var c M4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c[i][j] = cmplx.Conj(a[j][i])
+		}
+	}
+	return c
+}
+
+// Kron returns the tensor product a (qubit 1, high bit) x b (qubit 0,
+// low bit).
+func Kron(a, b M2) M4 {
+	var c M4
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				for l := 0; l < 2; l++ {
+					c[i*2+k][j*2+l] = a[i][j] * b[k][l]
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Trace2 and Trace4 return matrix traces.
+func Trace2(a M2) complex128 { return a[0][0] + a[1][1] }
+func Trace4(a M4) complex128 { return a[0][0] + a[1][1] + a[2][2] + a[3][3] }
+
+// I2 and I4 are identities.
+func I2() M2 { return M2{{1, 0}, {0, 1}} }
+func I4() M4 {
+	var c M4
+	for i := 0; i < 4; i++ {
+		c[i][i] = 1
+	}
+	return c
+}
+
+// AvgGateFidelity2 returns the average gate fidelity between two
+// single-qubit unitaries: F = (|Tr(U^dag V)|^2 + d) / (d(d+1)), d=2.
+func AvgGateFidelity2(u, v M2) float64 {
+	tr := Trace2(Mul2(Dag2(u), v))
+	t2 := real(tr)*real(tr) + imag(tr)*imag(tr)
+	return (t2 + 2) / 6
+}
+
+// AvgGateFidelity4 is the two-qubit version (d=4).
+func AvgGateFidelity4(u, v M4) float64 {
+	tr := Trace4(Mul4(Dag4(u), v))
+	t2 := real(tr)*real(tr) + imag(tr)*imag(tr)
+	return (t2 + 4) / 20
+}
+
+// EqualUpToPhase2 reports whether two unitaries differ only by a global
+// phase, within tol.
+func EqualUpToPhase2(a, b M2, tol float64) bool {
+	return AvgGateFidelity2(a, b) > 1-tol
+}
+
+// EqualUpToPhase4 is the two-qubit version.
+func EqualUpToPhase4(a, b M4, tol float64) bool {
+	return AvgGateFidelity4(a, b) > 1-tol
+}
+
+// PhaseKey4 produces a hashable fingerprint of a 4x4 unitary modulo
+// global phase, used to count distinct Cliffords. The matrix is
+// normalized so its first nonzero entry is real positive, then entries
+// are coarsely quantized.
+func PhaseKey4(u M4) [32]int32 {
+	var phase complex128
+	found := false
+	for i := 0; i < 4 && !found; i++ {
+		for j := 0; j < 4 && !found; j++ {
+			if cmplx.Abs(u[i][j]) > 1e-8 {
+				phase = u[i][j] / complex(cmplx.Abs(u[i][j]), 0)
+				found = true
+			}
+		}
+	}
+	var key [32]int32
+	idx := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			v := u[i][j] / phase
+			key[idx] = int32(math.Round(real(v) * 1e6))
+			key[idx+1] = int32(math.Round(imag(v) * 1e6))
+			idx += 2
+		}
+	}
+	return key
+}

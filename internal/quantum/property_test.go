@@ -1,0 +1,176 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compaqt/internal/wave"
+)
+
+// Property-based tests on the simulation substrate's invariants.
+
+// isUnitary2 checks U U^dag = I within tol.
+func isUnitary2(u M2, tol float64) bool {
+	p := Mul2(u, Dag2(u))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isUnitary4(u M4, tol float64) bool {
+	p := Mul4(u, Dag4(u))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPropertyPulseIntegrationUnitary(t *testing.T) {
+	// Any envelope integrates to a unitary (the per-step closed-form
+	// exponential is exactly unitary; products must stay unitary).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		w := &wave.Waveform{Name: "p", SampleRate: 4.54e9, I: make([]float64, n), Q: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			w.I[i] = rng.Float64()*2 - 1
+			w.Q[i] = rng.Float64()*2 - 1
+		}
+		om := 1e8 + rng.Float64()*4e8
+		return isUnitary2(Unitary1Q(w, om), 1e-9) && isUnitary4(UnitaryCR(w, om), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStateNormPreserved(t *testing.T) {
+	// Random circuits of standard gates preserve the state norm.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		s := NewState(n)
+		gates1 := []M2{X(), Y(), Z(), H(), S(), SX(), RZ(rng.Float64() * 6), RX(rng.Float64() * 6)}
+		for step := 0; step < 30; step++ {
+			if rng.Intn(3) == 0 && n >= 2 {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				s.Apply2(CX(), a, b)
+			} else {
+				s.Apply1(gates1[rng.Intn(len(gates1))], rng.Intn(n))
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDensityTracePreserved(t *testing.T) {
+	// Unitaries + channels preserve trace; depolarizing reduces purity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDensity00()
+		for step := 0; step < 10; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				d.ApplyUnitary(RZX(rng.Float64() * 3))
+			case 1:
+				d.Depolarize(rng.Float64() * 0.1)
+			case 2:
+				d.AmplitudeDamp(rng.Float64() * 0.05)
+			}
+		}
+		return math.Abs(d.Trace()-1) < 1e-9 && d.Purity() <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTVDIsAMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(28)
+		mk := func() []float64 {
+			p := make([]float64, n)
+			var sum float64
+			for i := range p {
+				p[i] = rng.Float64()
+				sum += p[i]
+			}
+			for i := range p {
+				p[i] /= sum
+			}
+			return p
+		}
+		p, q, r := mk(), mk(), mk()
+		dpq, dqr, dpr := TVD(p, q), TVD(q, r), TVD(p, r)
+		// Symmetry, bounds, identity, triangle inequality.
+		if math.Abs(dpq-TVD(q, p)) > 1e-12 {
+			return false
+		}
+		if dpq < 0 || dpq > 1 {
+			return false
+		}
+		if TVD(p, p) != 0 {
+			return false
+		}
+		return dpr <= dpq+dqr+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCoherentErrorFidelityBounds(t *testing.T) {
+	// The coherent error of any (bounded) distortion has fidelity in
+	// (0, 1], and zero distortion gives exactly 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := wave.DRAG("x", 4.54e9, wave.DRAGParams{
+			Amp: 0.2 + rng.Float64()*0.5, Duration: 35e-9, Sigma: 8e-9, Beta: rng.Float64(),
+		})
+		d := w.Clone()
+		for i := range d.I {
+			d.I[i] = clampAmp(d.I[i] + (rng.Float64()-0.5)*0.01)
+		}
+		e := CoherentError1Q(w, d, math.Pi)
+		fid := AvgGateFidelity2(e, I2())
+		return fid > 0 && fid <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampAmp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}

@@ -1,0 +1,293 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compaqt/internal/wave"
+)
+
+func TestGateAlgebra(t *testing.T) {
+	// X^2 = I, H^2 = I, S^2 = Z, SX^2 = X.
+	if !EqualUpToPhase2(Mul2(X(), X()), I2(), 1e-12) {
+		t.Error("X^2 != I")
+	}
+	if !EqualUpToPhase2(Mul2(H(), H()), I2(), 1e-12) {
+		t.Error("H^2 != I")
+	}
+	if !EqualUpToPhase2(Mul2(S(), S()), Z(), 1e-12) {
+		t.Error("S^2 != Z")
+	}
+	if !EqualUpToPhase2(Mul2(SX(), SX()), X(), 1e-12) {
+		t.Error("SX^2 != X")
+	}
+	if !EqualUpToPhase2(Mul2(S(), Sdg()), I2(), 1e-12) {
+		t.Error("S Sdg != I")
+	}
+}
+
+func TestRotationGates(t *testing.T) {
+	if !EqualUpToPhase2(RX(math.Pi), X(), 1e-12) {
+		t.Error("RX(pi) != X")
+	}
+	if !EqualUpToPhase2(RY(math.Pi), Y(), 1e-12) {
+		t.Error("RY(pi) != Y")
+	}
+	if !EqualUpToPhase2(RZ(math.Pi), Z(), 1e-12) {
+		t.Error("RZ(pi) != Z")
+	}
+	if !EqualUpToPhase2(RX(math.Pi/2), SX(), 1e-12) {
+		t.Error("RX(pi/2) != SX")
+	}
+	// IBM's universal 1Q identity: H = RZ(pi/2) SX RZ(pi/2) up to phase.
+	h := Mul2(RZ(math.Pi/2), Mul2(SX(), RZ(math.Pi/2)))
+	if !EqualUpToPhase2(h, H(), 1e-12) {
+		t.Error("RZ.SX.RZ != H")
+	}
+}
+
+func TestTwoQubitGateIdentities(t *testing.T) {
+	// CZ = (I (x) H) CX (I (x) H).
+	ih := Kron(I2(), H())
+	if !EqualUpToPhase4(Mul4(ih, Mul4(CX(), ih)), CZ(), 1e-12) {
+		t.Error("H-conjugated CX != CZ")
+	}
+	// SWAP = 3 alternating CNOTs.
+	cxr := Mul4(Mul4(Kron(H(), H()), CX()), Kron(H(), H())) // reversed CX
+	sw := Mul4(CX(), Mul4(cxr, CX()))
+	if !EqualUpToPhase4(sw, SWAP(), 1e-12) {
+		t.Error("CX.CXr.CX != SWAP")
+	}
+	// RZX(pi) = ZX rotation by pi: (ZX)^2 = I so RZX(2pi) ~ I.
+	if !EqualUpToPhase4(RZX(2*math.Pi), I4(), 1e-12) {
+		t.Error("RZX(2pi) != I")
+	}
+}
+
+func TestStateBellPair(t *testing.T) {
+	s := NewState(2)
+	s.Apply1(H(), 1)
+	s.Apply2(CX(), 1, 0)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[3]-0.5) > 1e-12 || p[1] > 1e-12 || p[2] > 1e-12 {
+		t.Errorf("Bell state probabilities = %v", p)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %g", s.Norm())
+	}
+}
+
+func TestStateGHZAndSampling(t *testing.T) {
+	n := 5
+	s := NewState(n)
+	s.Apply1(H(), 0)
+	for q := 0; q+1 < n; q++ {
+		s.Apply2(CX(), q, q+1)
+	}
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[(1<<n)-1]-0.5) > 1e-12 {
+		t.Errorf("GHZ endpoints: p0=%g pN=%g", p[0], p[(1<<n)-1])
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := Counts(s.Sample(rng, 10000), 1<<n)
+	for i, c := range counts {
+		if i != 0 && i != (1<<n)-1 && c != 0 {
+			t.Errorf("impossible outcome %d sampled %d times", i, c)
+		}
+	}
+	if counts[0] < 4500 || counts[0] > 5500 {
+		t.Errorf("outcome 0 sampled %d of 10000", counts[0])
+	}
+}
+
+func TestApply2QubitOrdering(t *testing.T) {
+	// CX with control=qubit1: |10> -> |11>.
+	s := NewState(2)
+	s.Apply1(X(), 1) // set qubit 1
+	s.Apply2(CX(), 1, 0)
+	p := s.Probabilities()
+	if math.Abs(p[3]-1) > 1e-12 {
+		t.Errorf("CX control ordering wrong: %v", p)
+	}
+	// Control=qubit0 via reversed placement: |01> -> |11>.
+	s2 := NewState(2)
+	s2.Apply1(X(), 0)
+	s2.Apply2(CX(), 0, 1)
+	p2 := s2.Probabilities()
+	if math.Abs(p2[3]-1) > 1e-12 {
+		t.Errorf("reversed CX ordering wrong: %v", p2)
+	}
+}
+
+func TestTVD(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if TVD(p, q) != 1 {
+		t.Error("TVD of disjoint distributions should be 1")
+	}
+	if TVD(p, p) != 0 {
+		t.Error("TVD of identical distributions should be 0")
+	}
+	if d := TVD([]float64{0.5, 0.5}, []float64{0.75, 0.25}); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("TVD = %g, want 0.25", d)
+	}
+}
+
+func TestDensityChannels(t *testing.T) {
+	d := NewDensity00()
+	if d.Trace() != 1 || d.Population(0) != 1 {
+		t.Fatal("initial density malformed")
+	}
+	d.ApplyUnitary(Kron(X(), I2())) // flip qubit 1 -> |10>
+	if math.Abs(d.Population(2)-1) > 1e-12 {
+		t.Errorf("population after X on qubit1: %v", d.Population(2))
+	}
+	d.Depolarize(0.1)
+	if math.Abs(d.Trace()-1) > 1e-12 {
+		t.Errorf("trace after depolarize = %g", d.Trace())
+	}
+	if math.Abs(d.Population(2)-(0.9+0.025)) > 1e-12 {
+		t.Errorf("population after depolarize = %g", d.Population(2))
+	}
+	if d.Purity() >= 1 {
+		t.Error("depolarizing should reduce purity")
+	}
+	d2 := NewDensity00()
+	d2.ApplyUnitary(Kron(X(), X()))
+	d2.AmplitudeDamp(0.2)
+	if math.Abs(d2.Trace()-1) > 1e-10 {
+		t.Errorf("trace after damping = %g", d2.Trace())
+	}
+	// Damping moves population toward |00>.
+	if d2.Population(0) <= 0 {
+		t.Error("damping should repopulate ground state")
+	}
+}
+
+func TestAvgGateFidelity(t *testing.T) {
+	if f := AvgGateFidelity2(X(), X()); math.Abs(f-1) > 1e-12 {
+		t.Errorf("F(X,X) = %g", f)
+	}
+	if f := AvgGateFidelity2(X(), Z()); f > 0.5 {
+		t.Errorf("F(X,Z) = %g, should be low", f)
+	}
+	// Global phase invariance.
+	xPhase := X()
+	for i := range xPhase {
+		for j := range xPhase[i] {
+			xPhase[i][j] *= complex(0, 1)
+		}
+	}
+	if f := AvgGateFidelity2(X(), xPhase); math.Abs(f-1) > 1e-12 {
+		t.Errorf("F not phase invariant: %g", f)
+	}
+}
+
+const rate = 4.54e9
+
+func dragX() *wave.Waveform {
+	return wave.DRAG("X", rate, wave.DRAGParams{Amp: 0.45, Duration: 35.2e-9, Sigma: 8.8e-9, Beta: 0.0})
+}
+
+func TestCalibratedPulseImplementsX(t *testing.T) {
+	w := dragX()
+	om := CalibrateOmega(w, math.Pi)
+	u := Unitary1Q(w, om)
+	if f := AvgGateFidelity2(u, X()); f < 1-1e-6 {
+		t.Errorf("calibrated pi pulse fidelity to X = %g", f)
+	}
+}
+
+func TestCalibratedHalfPulseImplementsSX(t *testing.T) {
+	w := wave.DRAG("SX", rate, wave.DRAGParams{Amp: 0.225, Duration: 35.2e-9, Sigma: 8.8e-9, Beta: 0})
+	om := CalibrateOmega(w, math.Pi/2)
+	u := Unitary1Q(w, om)
+	if f := AvgGateFidelity2(u, SX()); f < 1-1e-6 {
+		t.Errorf("calibrated pi/2 pulse fidelity to SX = %g", f)
+	}
+}
+
+func TestCRPulseImplementsRZX(t *testing.T) {
+	w := wave.GaussianSquare("CR", rate, wave.GaussianSquareParams{
+		Amp: 0.3, Duration: 300e-9, Width: 225e-9, Sigma: 12e-9,
+	})
+	om := CalibrateOmega(w, math.Pi/4)
+	u := UnitaryCR(w, om)
+	if f := AvgGateFidelity4(u, RZX(math.Pi/4)); f < 1-1e-6 {
+		t.Errorf("CR pulse fidelity to RZX(pi/4) = %g", f)
+	}
+}
+
+func TestCoherentErrorSmallForIdenticalWaveforms(t *testing.T) {
+	w := dragX()
+	e := CoherentError1Q(w, w, math.Pi)
+	if f := AvgGateFidelity2(e, I2()); f < 1-1e-12 {
+		t.Errorf("self coherent error fidelity = %g", f)
+	}
+}
+
+func TestCoherentErrorGrowsWithDistortion(t *testing.T) {
+	w := dragX()
+	perturb := func(eps float64) *wave.Waveform {
+		d := w.Clone()
+		for i := range d.I {
+			d.I[i] *= 1 + eps
+		}
+		return d
+	}
+	e1 := CoherentError1Q(w, perturb(0.001), math.Pi)
+	e2 := CoherentError1Q(w, perturb(0.01), math.Pi)
+	inf1 := 1 - AvgGateFidelity2(e1, I2())
+	inf2 := 1 - AvgGateFidelity2(e2, I2())
+	if inf2 <= inf1 {
+		t.Errorf("infidelity should grow with distortion: %g vs %g", inf1, inf2)
+	}
+	// 10x amplitude error -> ~100x infidelity (quadratic small-error).
+	ratio := inf2 / inf1
+	if ratio < 30 || ratio > 300 {
+		t.Errorf("infidelity scaling ratio %g, want ~100", ratio)
+	}
+}
+
+func TestInfidelityFromMSETracksIntegration(t *testing.T) {
+	// The analytic MSE->infidelity relation must agree with the
+	// integrated unitaries within an order of magnitude (it is the
+	// paper's empirical correlation, not an exact law).
+	w := dragX()
+	om := CalibrateOmega(w, math.Pi)
+	d := w.Clone()
+	rng := rand.New(rand.NewSource(9))
+	for i := range d.I {
+		d.I[i] += (rng.Float64() - 0.5) * 2e-3
+	}
+	mse := wave.MSE(w, d)
+	predicted := InfidelityFromMSE(mse, w.Samples(), om, rate)
+	e := CoherentError1Q(w, d, math.Pi)
+	actual := 1 - AvgGateFidelity2(e, I2())
+	if actual <= 0 || predicted <= 0 {
+		t.Fatalf("degenerate infidelities: actual=%g predicted=%g", actual, predicted)
+	}
+	ratio := predicted / actual
+	if ratio < 0.05 || ratio > 50 {
+		t.Errorf("MSE relation off by %gx (predicted %g, actual %g)", ratio, predicted, actual)
+	}
+}
+
+func TestPhaseKeyDistinguishesGates(t *testing.T) {
+	a := PhaseKey4(CX())
+	b := PhaseKey4(CZ())
+	if a == b {
+		t.Error("PhaseKey4 collides for CX and CZ")
+	}
+	// Phase invariance.
+	cxp := CX()
+	for i := range cxp {
+		for j := range cxp[i] {
+			cxp[i][j] *= complex(0.6, 0.8)
+		}
+	}
+	if PhaseKey4(CX()) != PhaseKey4(cxp) {
+		t.Error("PhaseKey4 not phase invariant")
+	}
+}

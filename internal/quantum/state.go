@@ -1,0 +1,167 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// State is an n-qubit state vector. Basis index bit q is qubit q
+// (qubit 0 = least significant bit).
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// NewState returns |0...0> on n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > 24 {
+		panic(fmt.Sprintf("quantum: state size %d out of range", n))
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<n)}
+	s.Amp[0] = 1
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{N: s.N, Amp: make([]complex128, len(s.Amp))}
+	copy(c.Amp, s.Amp)
+	return c
+}
+
+// Apply1 applies a single-qubit unitary to qubit q.
+func (s *State) Apply1(u M2, q int) {
+	if q < 0 || q >= s.N {
+		panic(fmt.Sprintf("quantum: qubit %d out of range", q))
+	}
+	bit := 1 << q
+	for i := 0; i < len(s.Amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = u[0][0]*a0 + u[0][1]*a1
+		s.Amp[j] = u[1][0]*a0 + u[1][1]*a1
+	}
+}
+
+// Apply2 applies a two-qubit unitary with qHigh as the matrix's high
+// bit and qLow as the low bit.
+func (s *State) Apply2(u M4, qHigh, qLow int) {
+	if qHigh == qLow {
+		panic("quantum: Apply2 with identical qubits")
+	}
+	if qHigh < 0 || qHigh >= s.N || qLow < 0 || qLow >= s.N {
+		panic(fmt.Sprintf("quantum: qubits %d,%d out of range", qHigh, qLow))
+	}
+	bh, bl := 1<<qHigh, 1<<qLow
+	for i := 0; i < len(s.Amp); i++ {
+		if i&bh != 0 || i&bl != 0 {
+			continue
+		}
+		i01 := i | bl
+		i10 := i | bh
+		i11 := i | bh | bl
+		a := [4]complex128{s.Amp[i], s.Amp[i01], s.Amp[i10], s.Amp[i11]}
+		for r := 0; r < 4; r++ {
+			var v complex128
+			for c := 0; c < 4; c++ {
+				v += u[r][c] * a[c]
+			}
+			switch r {
+			case 0:
+				s.Amp[i] = v
+			case 1:
+				s.Amp[i01] = v
+			case 2:
+				s.Amp[i10] = v
+			case 3:
+				s.Amp[i11] = v
+			}
+		}
+	}
+}
+
+// Probabilities returns |amp|^2 for every basis state.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.Amp))
+	for i, a := range s.Amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Norm returns the state norm (should stay 1 under unitaries).
+func (s *State) Norm() float64 {
+	var t float64
+	for _, a := range s.Amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Sample draws shot outcomes from the state's distribution.
+func (s *State) Sample(rng *rand.Rand, shots int) []int {
+	p := s.Probabilities()
+	cdf := make([]float64, len(p))
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		cdf[i] = acc
+	}
+	out := make([]int, shots)
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[k] = lo
+	}
+	return out
+}
+
+// Counts histograms sampled shots into basis-state counts.
+func Counts(outcomes []int, nStates int) []int {
+	c := make([]int, nStates)
+	for _, o := range outcomes {
+		c[o]++
+	}
+	return c
+}
+
+// TVD returns the total variational distance between two probability
+// distributions (Eq. 3's metric: F = 1 - TVD).
+func TVD(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("quantum: TVD length mismatch")
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+// CountsToProbs normalizes shot counts into a distribution.
+func CountsToProbs(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	p := make([]float64, len(counts))
+	if total == 0 {
+		return p
+	}
+	for i, c := range counts {
+		p[i] = float64(c) / float64(total)
+	}
+	return p
+}

@@ -1,0 +1,230 @@
+// Package surface generates surface-code patches and their
+// syndrome-extraction circuits, the quantum-error-correction workloads
+// of the paper's scalability analysis (Fig. 5c's surface-25/81 and
+// Fig. 17's surface-17/25 experiments).
+//
+// Two lattice families are supported:
+//
+//   - Rotated patches (surface-17): d^2 data qubits and d^2-1 ancillas,
+//     2d^2-1 qubits total — 17 for d=3.
+//   - Unrotated (planar) patches (surface-25, surface-81): qubits on a
+//     (2d-1)x(2d-1) grid — 25 for d=3 and 81 for d=5 — with data on
+//     even-parity sites and ancillas on odd-parity sites.
+//
+// A syndrome cycle is: H on X-type ancillas, four CX layers sweeping
+// the N/E/W/S data neighbors, H again, then concurrent ancilla
+// measurement. QEC runs these cycles back-to-back with maximal
+// concurrency, which is why the surface-code workloads dominate the
+// bandwidth requirements of Section III.
+package surface
+
+import (
+	"fmt"
+
+	"compaqt/internal/circuit"
+)
+
+// StabType marks the stabilizer basis of an ancilla.
+type StabType int
+
+const (
+	XStab StabType = iota
+	ZStab
+)
+
+// Ancilla is one stabilizer measurement qubit and its data neighbors.
+type Ancilla struct {
+	Qubit int
+	Type  StabType
+	// Neighbors are data-qubit indices in N, E, W, S sweep order;
+	// -1 marks a missing (boundary) neighbor.
+	Neighbors [4]int
+}
+
+// Patch is a surface-code patch.
+type Patch struct {
+	Name     string
+	Distance int
+	// Data and Ancillas partition the qubit indices [0, Qubits).
+	Data     []int
+	Ancillas []Ancilla
+	Qubits   int
+}
+
+// Rotated builds the rotated surface code of odd distance d
+// (surface-17 for d=3).
+func Rotated(d int) (*Patch, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("surface: rotated distance must be odd >= 3, got %d", d)
+	}
+	p := &Patch{Name: fmt.Sprintf("rotated-d%d", d), Distance: d}
+	// Data qubits at (r, c) for r, c in [0, d); index row-major.
+	dataIdx := func(r, c int) int { return r*d + c }
+	for i := 0; i < d*d; i++ {
+		p.Data = append(p.Data, i)
+	}
+	next := d * d
+	// Plaquette corners at (r, c) with r, c in [0, d-1]; bulk ancillas
+	// sit between four data qubits; boundary (weight-2) ancillas hang
+	// off alternating edges. Checkerboard assigns X/Z.
+	addAncilla := func(t StabType, nbrs [4]int) {
+		p.Ancillas = append(p.Ancillas, Ancilla{Qubit: next, Type: t, Neighbors: nbrs})
+		next++
+	}
+	// Bulk plaquettes.
+	for r := 0; r < d-1; r++ {
+		for c := 0; c < d-1; c++ {
+			t := XStab
+			if (r+c)%2 == 1 {
+				t = ZStab
+			}
+			addAncilla(t, [4]int{
+				dataIdx(r, c), dataIdx(r, c+1), dataIdx(r+1, c), dataIdx(r+1, c+1),
+			})
+		}
+	}
+	// Boundary weight-2 stabilizers: top/bottom get the type completing
+	// the checkerboard; (d-1)/2 on each side.
+	for c := 0; c < d-1; c += 2 {
+		addAncilla(ZStab, [4]int{dataIdx(0, c), dataIdx(0, c+1), -1, -1})
+		addAncilla(ZStab, [4]int{dataIdx(d-1, c+1), dataIdx(d-1, c+2), -1, -1})
+	}
+	for r := 1; r < d-1; r += 2 {
+		addAncilla(XStab, [4]int{dataIdx(r, 0), dataIdx(r+1, 0), -1, -1})
+		addAncilla(XStab, [4]int{dataIdx(r-1, d-1), dataIdx(r, d-1), -1, -1})
+	}
+	p.Qubits = next
+	return p, p.validate()
+}
+
+// Unrotated builds the planar surface code on a (2d-1)x(2d-1) grid
+// (surface-25 for d=3, surface-81 for d=5).
+func Unrotated(d int) (*Patch, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("surface: distance must be >= 2, got %d", d)
+	}
+	n := 2*d - 1
+	p := &Patch{Name: fmt.Sprintf("unrotated-d%d", d), Distance: d}
+	idx := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if (r+c)%2 == 0 {
+				p.Data = append(p.Data, idx(r, c))
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if (r+c)%2 == 0 {
+				continue
+			}
+			t := XStab
+			if r%2 == 0 {
+				t = ZStab
+			}
+			var nbrs [4]int
+			for i := range nbrs {
+				nbrs[i] = -1
+			}
+			if r > 0 {
+				nbrs[0] = idx(r-1, c) // N
+			}
+			if c < n-1 {
+				nbrs[1] = idx(r, c+1) // E
+			}
+			if c > 0 {
+				nbrs[2] = idx(r, c-1) // W
+			}
+			if r < n-1 {
+				nbrs[3] = idx(r+1, c) // S
+			}
+			p.Ancillas = append(p.Ancillas, Ancilla{Qubit: idx(r, c), Type: t, Neighbors: nbrs})
+		}
+	}
+	p.Qubits = n * n
+	return p, p.validate()
+}
+
+func (p *Patch) validate() error {
+	if len(p.Data)+len(p.Ancillas) != p.Qubits {
+		return fmt.Errorf("surface: %s has %d data + %d ancilla != %d qubits",
+			p.Name, len(p.Data), len(p.Ancillas), p.Qubits)
+	}
+	for _, a := range p.Ancillas {
+		weight := 0
+		for _, nb := range a.Neighbors {
+			if nb >= 0 {
+				weight++
+			}
+		}
+		if weight < 2 {
+			return fmt.Errorf("surface: %s ancilla %d has weight %d", p.Name, a.Qubit, weight)
+		}
+	}
+	return nil
+}
+
+// SyndromeCircuit builds rounds of syndrome extraction in the native
+// basis (H expanded to RZ-SX-RZ; ancilla measurement at the end of
+// each round is modeled once at the end for scheduling, matching
+// continuously-cycled QEC where readout overlaps the next round's
+// start on real systems).
+func (p *Patch) SyndromeCircuit(rounds int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("%s-syndrome", p.Name), p.Qubits)
+	for round := 0; round < rounds; round++ {
+		for _, a := range p.Ancillas {
+			if a.Type == XStab {
+				c.Add("h", 0, a.Qubit)
+			}
+		}
+		for layer := 0; layer < 4; layer++ {
+			for _, a := range p.Ancillas {
+				nb := a.Neighbors[layer]
+				if nb < 0 {
+					continue
+				}
+				if a.Type == XStab {
+					c.Add("cx", 0, a.Qubit, nb)
+				} else {
+					c.Add("cx", 0, nb, a.Qubit)
+				}
+			}
+		}
+		for _, a := range p.Ancillas {
+			if a.Type == XStab {
+				c.Add("h", 0, a.Qubit)
+			}
+		}
+	}
+	for _, a := range p.Ancillas {
+		c.Add("measure", 0, a.Qubit)
+	}
+	return c
+}
+
+// Surface17 returns the rotated d=3 patch (17 qubits).
+func Surface17() *Patch {
+	p, err := Rotated(3)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Surface25 returns the unrotated d=3 patch (25 qubits).
+func Surface25() *Patch {
+	p, err := Unrotated(3)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Surface81 returns the unrotated d=5 patch (81 qubits).
+func Surface81() *Patch {
+	p, err := Unrotated(5)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,155 @@
+package surface
+
+import (
+	"testing"
+
+	"compaqt/internal/circuit"
+	"compaqt/internal/device"
+)
+
+func TestPatchSizes(t *testing.T) {
+	// The paper's patches: surface-17 (rotated d=3), surface-25
+	// (unrotated d=3), surface-81 (unrotated d=5).
+	if p := Surface17(); p.Qubits != 17 || len(p.Data) != 9 || len(p.Ancillas) != 8 {
+		t.Errorf("surface-17: %d qubits, %d data, %d ancillas", p.Qubits, len(p.Data), len(p.Ancillas))
+	}
+	if p := Surface25(); p.Qubits != 25 || len(p.Data) != 13 || len(p.Ancillas) != 12 {
+		t.Errorf("surface-25: %d qubits, %d data, %d ancillas", p.Qubits, len(p.Data), len(p.Ancillas))
+	}
+	if p := Surface81(); p.Qubits != 81 || len(p.Data) != 41 || len(p.Ancillas) != 40 {
+		t.Errorf("surface-81: %d qubits, %d data, %d ancillas", p.Qubits, len(p.Data), len(p.Ancillas))
+	}
+}
+
+func TestRotatedRejectsBadDistance(t *testing.T) {
+	for _, d := range []int{1, 2, 4} {
+		if _, err := Rotated(d); err == nil {
+			t.Errorf("Rotated(%d) should fail", d)
+		}
+	}
+}
+
+func TestStabilizerTypesBalanced(t *testing.T) {
+	p := Surface17()
+	x, z := 0, 0
+	for _, a := range p.Ancillas {
+		if a.Type == XStab {
+			x++
+		} else {
+			z++
+		}
+	}
+	if x != 4 || z != 4 {
+		t.Errorf("surface-17 stabilizers: %d X, %d Z, want 4/4", x, z)
+	}
+}
+
+func TestAncillaNeighborsAreData(t *testing.T) {
+	for _, p := range []*Patch{Surface17(), Surface25(), Surface81()} {
+		isData := map[int]bool{}
+		for _, d := range p.Data {
+			isData[d] = true
+		}
+		for _, a := range p.Ancillas {
+			for _, nb := range a.Neighbors {
+				if nb >= 0 && !isData[nb] {
+					t.Errorf("%s: ancilla %d neighbor %d is not a data qubit", p.Name, a.Qubit, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryDataQubitCovered(t *testing.T) {
+	// Every data qubit participates in at least one stabilizer of each
+	// type in the bulk; at minimum it must be covered by some ancilla.
+	for _, p := range []*Patch{Surface17(), Surface25(), Surface81()} {
+		covered := map[int]int{}
+		for _, a := range p.Ancillas {
+			for _, nb := range a.Neighbors {
+				if nb >= 0 {
+					covered[nb]++
+				}
+			}
+		}
+		for _, d := range p.Data {
+			if covered[d] == 0 {
+				t.Errorf("%s: data qubit %d not covered by any stabilizer", p.Name, d)
+			}
+		}
+	}
+}
+
+func TestSyndromeCircuitStructure(t *testing.T) {
+	p := Surface25()
+	c := p.SyndromeCircuit(1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// CX count = total stabilizer weight.
+	weight := 0
+	for _, a := range p.Ancillas {
+		for _, nb := range a.Neighbors {
+			if nb >= 0 {
+				weight++
+			}
+		}
+	}
+	if got := c.CountGate("cx"); got != weight {
+		t.Errorf("syndrome CX count = %d, want %d", got, weight)
+	}
+	if got := c.CountGate("measure"); got != len(p.Ancillas) {
+		t.Errorf("measure count = %d, want %d", got, len(p.Ancillas))
+	}
+	// Two rounds double the CX count.
+	c2 := p.SyndromeCircuit(2)
+	if c2.CountGate("cx") != 2*weight {
+		t.Error("rounds do not scale CX count")
+	}
+}
+
+func TestSyndromeConcurrency(t *testing.T) {
+	// Section VII-C: more than 80% of physical qubits are driven
+	// concurrently during syndrome extraction.
+	lat := device.Latencies{OneQ: 30e-9, TwoQ: 300e-9, Readout: 300e-9}
+	for _, p := range []*Patch{Surface17(), Surface25(), Surface81()} {
+		c := circuit.Decompose(p.SyndromeCircuit(1))
+		s, err := circuit.ScheduleASAP(c, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driven := s.PeakDrivenQubits()
+		if frac := float64(driven) / float64(p.Qubits); frac < 0.8 {
+			t.Errorf("%s: peak driven fraction %.2f, want > 0.8", p.Name, frac)
+		}
+	}
+}
+
+func TestSurfaceBandwidthMatchesFig5c(t *testing.T) {
+	// Fig. 5c: surface-25 peak ~447 GB/s avg ~402; surface-81 peak
+	// ~1609 avg ~1453 on IBM DAC parameters. Accept the band +-25%.
+	m := device.Guadalupe()
+	cases := []struct {
+		p       *Patch
+		peakGBs float64
+		avgGBs  float64
+	}{
+		{Surface25(), 447, 402},
+		{Surface81(), 1609, 1453},
+	}
+	for _, cse := range cases {
+		c := circuit.Decompose(cse.p.SyndromeCircuit(4))
+		s, err := circuit.ScheduleASAP(c, m.Latency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := s.MemoryBandwidth(m)
+		peak, avg := bw.PeakBps/1e9, bw.AvgBps/1e9
+		if peak < cse.peakGBs*0.75 || peak > cse.peakGBs*1.25 {
+			t.Errorf("%s peak %.0f GB/s, paper %.0f", cse.p.Name, peak, cse.peakGBs)
+		}
+		if avg < cse.avgGBs*0.6 || avg > cse.avgGBs*1.25 {
+			t.Errorf("%s avg %.0f GB/s, paper %.0f", cse.p.Name, avg, cse.avgGBs)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency-division multiplexing support (Section III-B): QICK-class
+// controllers mix several qubits' pulses onto one high-bandwidth DAC
+// channel at distinct intermediate frequencies. Before mixing, every
+// multiplexed waveform must be stored and generated individually —
+// which is why FDM raises, not lowers, the waveform-memory requirement
+// COMPAQT attacks.
+
+// Tone is one FDM component: an envelope modulated to an intermediate
+// frequency.
+type Tone struct {
+	// Envelope is the baseband I/Q waveform.
+	Envelope *Waveform
+	// IFHz is the intermediate frequency the DAC synthesizes.
+	IFHz float64
+	// Start offsets the tone within the mixed frame, in samples.
+	Start int
+}
+
+// MixFDM synthesizes the multiplexed channel: each tone's complex
+// envelope is rotated by its IF and summed,
+//
+//	s(t) = sum_k (I_k + iQ_k)(t - t_k) * exp(i 2 pi f_k t)
+//
+// The result is scaled by 1/len(tones) so it cannot clip. Tones must
+// share the sample rate.
+func MixFDM(name string, rate float64, tones []Tone) (*Waveform, error) {
+	if len(tones) == 0 {
+		return nil, fmt.Errorf("wave: MixFDM of no tones")
+	}
+	n := 0
+	for _, t := range tones {
+		if t.Envelope.SampleRate != rate {
+			return nil, fmt.Errorf("wave: tone %q rate %g != channel rate %g", t.Envelope.Name, t.Envelope.SampleRate, rate)
+		}
+		if t.Start < 0 {
+			return nil, fmt.Errorf("wave: tone %q has negative start", t.Envelope.Name)
+		}
+		if end := t.Start + t.Envelope.Samples(); end > n {
+			n = end
+		}
+		if math.Abs(t.IFHz) > rate/2 {
+			return nil, fmt.Errorf("wave: tone %q IF %g exceeds Nyquist %g", t.Envelope.Name, t.IFHz, rate/2)
+		}
+	}
+	out := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	scale := 1 / float64(len(tones))
+	for _, t := range tones {
+		for i := 0; i < t.Envelope.Samples(); i++ {
+			idx := t.Start + i
+			phase := 2 * math.Pi * t.IFHz * float64(idx) / rate
+			c, s := math.Cos(phase), math.Sin(phase)
+			ei, eq := t.Envelope.I[i], t.Envelope.Q[i]
+			// (ei + i eq) * (c + i s)
+			out.I[idx] += scale * (ei*c - eq*s)
+			out.Q[idx] += scale * (ei*s + eq*c)
+		}
+	}
+	return out, nil
+}
+
+// DemodFDM extracts one tone's baseband envelope from a mixed channel
+// by rotating at -IF and low-pass filtering with a moving average of
+// the given width (samples). Used to verify multiplexing round trips.
+func DemodFDM(mixed *Waveform, ifHz float64, start, length, lpWidth int) (*Waveform, error) {
+	if start < 0 || start+length > mixed.Samples() {
+		return nil, fmt.Errorf("wave: demod window out of range")
+	}
+	if lpWidth < 1 {
+		lpWidth = 1
+	}
+	rate := mixed.SampleRate
+	rawI := make([]float64, length)
+	rawQ := make([]float64, length)
+	for i := 0; i < length; i++ {
+		idx := start + i
+		phase := -2 * math.Pi * ifHz * float64(idx) / rate
+		c, s := math.Cos(phase), math.Sin(phase)
+		mi, mq := mixed.I[idx], mixed.Q[idx]
+		rawI[i] = mi*c - mq*s
+		rawQ[i] = mi*s + mq*c
+	}
+	out := &Waveform{Name: mixed.Name + "_demod", SampleRate: rate, I: make([]float64, length), Q: make([]float64, length)}
+	for i := 0; i < length; i++ {
+		lo := i - lpWidth/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + lpWidth/2 + 1
+		if hi > length {
+			hi = length
+		}
+		var si, sq float64
+		for k := lo; k < hi; k++ {
+			si += rawI[k]
+			sq += rawQ[k]
+		}
+		out.I[i] = si / float64(hi-lo)
+		out.Q[i] = sq / float64(hi-lo)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixFDMSingleToneAtDC(t *testing.T) {
+	env := Gaussian("g", testRate, GaussianParams{Amp: 0.5, Duration: 30e-9, Sigma: 7.5e-9})
+	mixed, err := MixFDM("ch", testRate, []Tone{{Envelope: env, IFHz: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A DC tone is the envelope itself (scale 1 for a single tone).
+	for i := range env.I {
+		if math.Abs(mixed.I[i]-env.I[i]) > 1e-12 || math.Abs(mixed.Q[i]-env.Q[i]) > 1e-12 {
+			t.Fatalf("DC mix differs at %d", i)
+		}
+	}
+}
+
+func TestMixFDMTwoTonesDemodRoundTrip(t *testing.T) {
+	// Mix two qubits' pulses 400 MHz apart and recover each by
+	// demodulation — the FDM mechanism of Section III-B.
+	envA := Gaussian("a", testRate, GaussianParams{Amp: 0.6, Duration: 60e-9, Sigma: 15e-9})
+	envB := Gaussian("b", testRate, GaussianParams{Amp: 0.4, Duration: 60e-9, Sigma: 12e-9})
+	tones := []Tone{
+		{Envelope: envA, IFHz: 3e8},
+		{Envelope: envB, IFHz: 7e8},
+	}
+	mixed, err := MixFDM("ch", testRate, tones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Demodulate tone A; the low-pass must suppress tone B's image at
+	// 400 MHz separation (filter width ~ one beat period).
+	beat := float64(testRate) / 4e8
+	lp := int(beat) * 2
+	demod, err := DemodFDM(mixed, 3e8, 0, envA.Samples(), lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the scaled original away from the filter edges.
+	n := envA.Samples()
+	var maxErr float64
+	for i := n / 8; i < n-n/8; i++ {
+		if d := math.Abs(demod.I[i] - envA.I[i]/2); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.03 {
+		t.Errorf("demodulated envelope error %.3f, want < 0.03", maxErr)
+	}
+}
+
+func TestMixFDMValidation(t *testing.T) {
+	env := Gaussian("g", testRate, GaussianParams{Amp: 0.5, Duration: 30e-9, Sigma: 7.5e-9})
+	if _, err := MixFDM("ch", testRate, nil); err == nil {
+		t.Error("empty mix should error")
+	}
+	wrongRate := Gaussian("g", 1e9, GaussianParams{Amp: 0.5, Duration: 30e-9, Sigma: 7.5e-9})
+	if _, err := MixFDM("ch", testRate, []Tone{{Envelope: wrongRate}}); err == nil {
+		t.Error("rate mismatch should error")
+	}
+	if _, err := MixFDM("ch", testRate, []Tone{{Envelope: env, IFHz: testRate}}); err == nil {
+		t.Error("super-Nyquist IF should error")
+	}
+	if _, err := MixFDM("ch", testRate, []Tone{{Envelope: env, Start: -1}}); err == nil {
+		t.Error("negative start should error")
+	}
+}
+
+func TestMixFDMNeverClips(t *testing.T) {
+	// Full-scale envelopes on many tones stay within [-1, 1] thanks to
+	// the 1/N scaling.
+	var tones []Tone
+	for k := 0; k < 8; k++ {
+		env := Constant("c", testRate, 1.0, 50e-9)
+		tones = append(tones, Tone{Envelope: env, IFHz: float64(k) * 2e8})
+	}
+	mixed, err := MixFDM("ch", testRate, tones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.Validate(); err != nil {
+		t.Errorf("mixed channel clipped: %v", err)
+	}
+}
+
+func TestDemodFDMWindowValidation(t *testing.T) {
+	env := Gaussian("g", testRate, GaussianParams{Amp: 0.5, Duration: 30e-9, Sigma: 7.5e-9})
+	mixed, err := MixFDM("ch", testRate, []Tone{{Envelope: env}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DemodFDM(mixed, 0, -1, 10, 4); err == nil {
+		t.Error("negative start should error")
+	}
+	if _, err := DemodFDM(mixed, 0, 0, mixed.Samples()+1, 4); err == nil {
+		t.Error("overlong window should error")
+	}
+}
+
+func TestMixFDMStaggeredStarts(t *testing.T) {
+	env := Gaussian("g", testRate, GaussianParams{Amp: 0.5, Duration: 30e-9, Sigma: 7.5e-9})
+	mixed, err := MixFDM("ch", testRate, []Tone{
+		{Envelope: env, IFHz: 2e8},
+		{Envelope: env, IFHz: 5e8, Start: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Samples() != env.Samples()+100 {
+		t.Errorf("mixed length %d, want %d", mixed.Samples(), env.Samples()+100)
+	}
+}

@@ -1,0 +1,249 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the pulse-envelope families used by
+// superconducting control stacks (Section II-A of the paper):
+//
+//   - Gaussian:        plain 1Q envelope
+//   - DRAG:            Gaussian with a derivative quadrature component,
+//                      the standard 1Q gate pulse on IBM machines
+//   - GaussianSquare:  flat-top with Gaussian ramps, used for
+//                      cross-resonance (CX) tones and readout
+//   - CosineTapered:   flat-top with raised-cosine ramps, used for
+//                      tunable-coupler gates (Google-style)
+//   - Constant:        rectangular envelope
+//
+// All generators produce "lifted" envelopes that start and end exactly
+// at zero so the synthesized pulse has no spectral splatter from edge
+// discontinuities; this smoothness is precisely what makes the
+// waveforms highly compressible (Section IV-A).
+
+// GaussianParams describes a (lifted) Gaussian envelope.
+type GaussianParams struct {
+	// Amp is the peak amplitude in [-1, 1].
+	Amp float64
+	// Duration is the pulse length in seconds.
+	Duration float64
+	// Sigma is the Gaussian standard deviation in seconds.
+	Sigma float64
+	// Angle rotates the envelope in the I/Q plane (radians); 0 puts all
+	// energy on the I channel.
+	Angle float64
+}
+
+// Gaussian builds a lifted Gaussian envelope:
+//
+//	g(t) = Amp * (exp(-(t-c)^2 / 2s^2) - e0) / (1 - e0)
+//
+// where e0 is the edge value, so g(0) = g(T) = 0 exactly.
+func Gaussian(name string, rate float64, p GaussianParams) *Waveform {
+	n := SampleCount(rate, p.Duration)
+	w := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	center := float64(n-1) / 2
+	sig := p.Sigma * rate
+	e0 := math.Exp(-center * center / (2 * sig * sig))
+	cosA, sinA := math.Cos(p.Angle), math.Sin(p.Angle)
+	for i := 0; i < n; i++ {
+		t := float64(i) - center
+		g := (math.Exp(-t*t/(2*sig*sig)) - e0) / (1 - e0)
+		w.I[i] = p.Amp * g * cosA
+		w.Q[i] = p.Amp * g * sinA
+	}
+	return w
+}
+
+// DRAGParams describes a DRAG (Derivative Removal by Adiabatic Gate)
+// envelope: Gaussian I channel plus a scaled-derivative Q channel that
+// suppresses leakage to the |2> state.
+type DRAGParams struct {
+	Amp      float64
+	Duration float64
+	Sigma    float64
+	// Beta is the DRAG coefficient: Q(t) = Beta * dI/dt (with dI/dt in
+	// units of amplitude per sigma, the Qiskit convention).
+	Beta float64
+	// Angle rotates the whole envelope in the I/Q plane.
+	Angle float64
+}
+
+// DRAG builds a lifted DRAG envelope. The derivative channel is computed
+// analytically from the unlifted Gaussian and then lifted with the same
+// edge correction, which keeps both channels exactly zero at the ends.
+func DRAG(name string, rate float64, p DRAGParams) *Waveform {
+	n := SampleCount(rate, p.Duration)
+	w := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	center := float64(n-1) / 2
+	sig := p.Sigma * rate
+	e0 := math.Exp(-center * center / (2 * sig * sig))
+	cosA, sinA := math.Cos(p.Angle), math.Sin(p.Angle)
+	for i := 0; i < n; i++ {
+		t := float64(i) - center
+		gRaw := math.Exp(-t * t / (2 * sig * sig))
+		g := (gRaw - e0) / (1 - e0)
+		// Derivative of the raw Gaussian, in amplitude per sigma.
+		d := -(t / sig) * gRaw / (1 - e0)
+		bi := p.Amp * g
+		bq := p.Amp * p.Beta * d
+		// Rotate (bi, bq) by Angle in the I/Q plane.
+		w.I[i] = bi*cosA - bq*sinA
+		w.Q[i] = bi*sinA + bq*cosA
+	}
+	return w
+}
+
+// GaussianSquareParams describes a flat-top envelope with Gaussian
+// rise/fall ramps. Used for cross-resonance tones, measurement pulses,
+// and other long gates (Section V-D, Figure 13a).
+type GaussianSquareParams struct {
+	Amp      float64
+	Duration float64
+	// Width is the length of the flat section in seconds. The two ramps
+	// share the remaining Duration-Width equally.
+	Width float64
+	// Sigma is the ramp standard deviation in seconds.
+	Sigma float64
+	Angle float64
+}
+
+// GaussianSquare builds a lifted flat-top envelope.
+func GaussianSquare(name string, rate float64, p GaussianSquareParams) *Waveform {
+	n := SampleCount(rate, p.Duration)
+	w := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	ramp := (p.Duration - p.Width) / 2 * rate
+	if ramp < 1 {
+		ramp = 1
+	}
+	sig := p.Sigma * rate
+	riseEnd := ramp
+	fallStart := float64(n-1) - ramp
+	e0 := math.Exp(-riseEnd * riseEnd / (2 * sig * sig))
+	cosA, sinA := math.Cos(p.Angle), math.Sin(p.Angle)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		var g float64
+		switch {
+		case t < riseEnd:
+			d := t - riseEnd
+			g = (math.Exp(-d*d/(2*sig*sig)) - e0) / (1 - e0)
+		case t >= fallStart:
+			// Mirror the rise so the last sample is exactly zero.
+			d := (float64(n-1) - t) - riseEnd
+			g = (math.Exp(-d*d/(2*sig*sig)) - e0) / (1 - e0)
+		default:
+			g = 1
+		}
+		w.I[i] = p.Amp * g * cosA
+		w.Q[i] = p.Amp * g * sinA
+	}
+	return w
+}
+
+// FlatSamples returns the number of samples in the flat section of a
+// GaussianSquare built with these parameters at the given rate. Used by
+// the adaptive-decompression model (Section V-D).
+func (p GaussianSquareParams) FlatSamples(rate float64) int {
+	ramp := (p.Duration - p.Width) / 2 * rate
+	n := SampleCount(rate, p.Duration)
+	flat := n - 2*int(math.Ceil(ramp))
+	if flat < 0 {
+		flat = 0
+	}
+	return flat
+}
+
+// CosineTaperedParams describes a flat-top with raised-cosine ramps.
+type CosineTaperedParams struct {
+	Amp      float64
+	Duration float64
+	// RiseFall is the length of each cosine ramp in seconds.
+	RiseFall float64
+	Angle    float64
+}
+
+// CosineTapered builds a flat-top pulse with raised-cosine edges
+// (a Tukey window), common for flux pulses on tunable-coupler devices.
+func CosineTapered(name string, rate float64, p CosineTaperedParams) *Waveform {
+	n := SampleCount(rate, p.Duration)
+	w := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	ramp := p.RiseFall * rate
+	if ramp < 1 {
+		ramp = 1
+	}
+	cosA, sinA := math.Cos(p.Angle), math.Sin(p.Angle)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		var g float64
+		switch {
+		case t < ramp:
+			g = 0.5 * (1 - math.Cos(math.Pi*t/ramp))
+		case t >= float64(n)-ramp:
+			g = 0.5 * (1 - math.Cos(math.Pi*(float64(n)-1-t)/ramp))
+		default:
+			g = 1
+		}
+		w.I[i] = p.Amp * g * cosA
+		w.Q[i] = p.Amp * g * sinA
+	}
+	return w
+}
+
+// Constant builds a rectangular envelope (used in tests and as the
+// pathological case for compression: sharp edges are the least
+// compressible content).
+func Constant(name string, rate float64, amp, duration float64) *Waveform {
+	n := SampleCount(rate, duration)
+	w := &Waveform{Name: name, SampleRate: rate, I: make([]float64, n), Q: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		w.I[i] = amp
+	}
+	return w
+}
+
+// Sum superposes multiple envelopes sample-by-sample (e.g. a CR tone
+// plus its cancellation tone). All inputs must share length and rate;
+// the result is clamped to [-1, 1].
+func Sum(name string, ws ...*Waveform) (*Waveform, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("wave: Sum of no waveforms")
+	}
+	n := ws[0].Samples()
+	out := &Waveform{Name: name, SampleRate: ws[0].SampleRate, I: make([]float64, n), Q: make([]float64, n)}
+	for _, w := range ws {
+		if w.Samples() != n {
+			return nil, fmt.Errorf("wave: Sum length mismatch: %q has %d samples, want %d", w.Name, w.Samples(), n)
+		}
+		for i := 0; i < n; i++ {
+			out.I[i] += w.I[i]
+			out.Q[i] += w.Q[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		out.I[i] = clamp1(out.I[i])
+		out.Q[i] = clamp1(out.Q[i])
+	}
+	return out, nil
+}
+
+func clamp1(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// SampleCount converts a duration at a sampling rate to a sample count
+// (at least 1).
+func SampleCount(rate, duration float64) int {
+	n := int(math.Round(rate * duration))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
