@@ -7,9 +7,12 @@
 package compaqt_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"compaqt"
 	"compaqt/internal/compress"
 	"compaqt/internal/core"
 	"compaqt/internal/dct"
@@ -229,6 +232,32 @@ func BenchmarkCompileGuadalupeLibrary(b *testing.B) {
 		}
 	}
 }
+
+// benchServiceCompile compiles the Guadalupe library (the bench_test
+// corpus) through the public Service at a given fan-out width.
+func benchServiceCompile(b *testing.B, parallelism int) {
+	b.Helper()
+	m := device.Guadalupe()
+	svc, err := compaqt.New(compaqt.WithWindow(16), compaqt.WithParallelism(parallelism))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := svc.Compile(ctx, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(img.Stats().PackedRatio, "packed-R")
+		}
+	}
+}
+
+func BenchmarkServiceCompileSerial(b *testing.B)   { benchServiceCompile(b, 1) }
+func BenchmarkServiceCompileParallel(b *testing.B) { benchServiceCompile(b, runtime.NumCPU()) }
 
 func BenchmarkFidelityAwareCompression(b *testing.B) {
 	f := wave.DRAG("X", 4.54e9, wave.DRAGParams{

@@ -1,0 +1,71 @@
+// Package circuit is the public surface of COMPAQT's circuit layer:
+// OpenQASM 2.0 parsing and emission, basis decomposition, routing onto
+// a machine's coupling map, ASAP scheduling, noisy simulation, and the
+// Table VI benchmark circuits.
+//
+// The types are aliases of internal/circuit, so values interoperate
+// with the controller sequencer and the experiment drivers.
+package circuit
+
+import "compaqt/internal/circuit"
+
+// Gate is one circuit operation in the native basis.
+type Gate = circuit.Gate
+
+// Circuit is an ordered gate list on N logical qubits.
+type Circuit = circuit.Circuit
+
+// Routed is a circuit after decomposition and routing: physical-qubit
+// gates legal on the target coupling map.
+type Routed = circuit.Routed
+
+// Schedule is an ASAP-scheduled circuit with per-op start times and
+// the derived memory-bandwidth profile.
+type Schedule = circuit.Schedule
+
+// ScheduledOp is one scheduled gate instance.
+type ScheduledOp = circuit.ScheduledOp
+
+// Bandwidth summarizes a schedule's waveform-memory traffic.
+type Bandwidth = circuit.Bandwidth
+
+// NoiseModel carries per-gate error channels for simulation.
+type NoiseModel = circuit.NoiseModel
+
+// RunResult is a simulated execution's outcome distribution.
+type RunResult = circuit.RunResult
+
+var (
+	// New builds an empty circuit on n logical qubits.
+	New = circuit.New
+	// ParseQASM parses an OpenQASM 2.0 source.
+	ParseQASM = circuit.ParseQASM
+	// WriteQASM renders a circuit back to OpenQASM 2.0.
+	WriteQASM = circuit.WriteQASM
+	// Decompose rewrites a circuit into the native basis.
+	Decompose = circuit.Decompose
+	// Route maps logical qubits onto a coupling map, inserting swaps.
+	Route = circuit.Route
+	// Transpile decomposes and routes in one pass.
+	Transpile = circuit.Transpile
+	// ScheduleASAP schedules a circuit against gate latencies.
+	ScheduleASAP = circuit.ScheduleASAP
+	// Simulate runs a routed circuit under a noise model.
+	Simulate = circuit.Simulate
+	// IdentityNoise is device noise only.
+	IdentityNoise = circuit.IdentityNoise
+	// CompressionNoise adds compression-induced coherent errors.
+	CompressionNoise = circuit.CompressionNoise
+)
+
+// The Table VI benchmark circuits.
+var (
+	Benchmarks = circuit.Benchmarks
+	Swap       = circuit.Swap
+	Toffoli    = circuit.Toffoli
+	QFT        = circuit.QFT
+	Adder4     = circuit.Adder4
+	BV         = circuit.BV
+	QAOA       = circuit.QAOA
+	GHZ        = circuit.GHZ
+)

@@ -1,49 +1,85 @@
 // compaqt-compile runs the COMPAQT compiler module (Fig. 6): it
-// compresses a machine's calibrated pulse library with the windowed
-// integer DCT and writes the waveform-memory image that would be loaded
+// compresses a machine's calibrated pulse library with the configured
+// codec and writes the waveform-memory image that would be loaded
 // onto the controller after a calibration cycle.
 //
 // Usage:
 //
 //	compaqt-compile -machine ibmq_guadalupe -ws 16 -o guadalupe.cpqt
 //	compaqt-compile -machine ibmq_bogota -ws 8 -adaptive -mse 5e-6
+//	compaqt-compile -codecs            # list registered codecs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
-	"compaqt/internal/core"
-	"compaqt/internal/device"
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/qctrl"
 )
 
 func main() {
 	machine := flag.String("machine", "ibmq_guadalupe", "catalog machine name (see -machines)")
 	listMachines := flag.Bool("machines", false, "list machine names and exit")
+	listCodecs := flag.Bool("codecs", false, "list registered codec names and exit")
+	codecName := flag.String("codec", "intdct-w", "compression codec (see -codecs)")
 	ws := flag.Int("ws", 16, "int-DCT window size (4, 8, 16, 32)")
 	adaptive := flag.Bool("adaptive", false, "enable flat-top adaptive compression (ASIC path)")
 	mse := flag.Float64("mse", 0, "fidelity-aware MSE target (0 = fixed threshold)")
+	jobs := flag.Int("j", runtime.NumCPU(), "compile parallelism (goroutines)")
 	out := flag.String("o", "", "output image path (default: none, stats only)")
 	flag.Parse()
 
 	if *listMachines {
-		for _, n := range device.Names() {
+		for _, n := range qctrl.MachineNames() {
 			fmt.Println(n)
 		}
 		return
 	}
-	m, err := device.ByName(*machine)
+	if *listCodecs {
+		for _, n := range codec.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	m, err := qctrl.ByName(*machine)
 	if err != nil {
 		fatal(err)
 	}
-	compiler := &core.Compiler{WindowSize: *ws, TargetMSE: *mse, Adaptive: *adaptive}
-	img, err := compiler.Compile(m)
+	opts := []compaqt.Option{
+		compaqt.WithCodec(*codecName),
+		compaqt.WithAdaptive(*adaptive),
+		compaqt.WithParallelism(*jobs),
+	}
+	// Only forward -ws when set explicitly: non-windowed codecs (delta,
+	// dict, dct-n) reject a window, and windowed ones default to 16.
+	wsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ws" {
+			wsSet = true
+		}
+	})
+	if wsSet {
+		opts = append(opts, compaqt.WithWindow(*ws))
+	}
+	if *mse > 0 {
+		opts = append(opts, compaqt.WithMSETarget(*mse))
+	}
+	svc, err := compaqt.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := svc.Compile(context.Background(), m)
 	if err != nil {
 		fatal(err)
 	}
 	s := img.Stats()
 	fmt.Printf("machine:        %s (%d qubits)\n", m.Name, m.Qubits)
+	fmt.Printf("codec:          %s\n", svc.Codec().Name())
 	fmt.Printf("pulses:         %d\n", s.Entries)
 	fmt.Printf("original:       %d words (%.1f KB)\n", s.OriginalWords, float64(s.OriginalWords)*2/1024)
 	fmt.Printf("packed:         %d words  R = %.2f\n", s.PackedWords, s.PackedRatio)

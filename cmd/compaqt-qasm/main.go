@@ -11,14 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"compaqt/internal/circuit"
-	"compaqt/internal/controller"
-	"compaqt/internal/core"
-	"compaqt/internal/device"
+	"compaqt"
+	"compaqt/circuit"
+	"compaqt/qctrl"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	emit := flag.Bool("emit", false, "print the parsed circuit back as QASM and exit")
 	flag.Parse()
 
-	m, err := device.ByName(*machine)
+	m, err := qctrl.ByName(*machine)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,11 +74,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	img, err := (&core.Compiler{WindowSize: *ws}).Compile(m)
+	svc, err := compaqt.New(compaqt.WithWindow(*ws))
 	if err != nil {
 		fatal(err)
 	}
-	seq, err := controller.NewSequencer(m, img)
+	img, err := svc.Compile(context.Background(), m)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := qctrl.NewSequencer(m, img)
 	if err != nil {
 		fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 	"os"
 	"time"
 
-	"compaqt/internal/experiments"
+	"compaqt/experiments"
 )
 
 func main() {

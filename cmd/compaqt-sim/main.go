@@ -14,10 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"compaqt/internal/compress"
-	"compaqt/internal/device"
-	"compaqt/internal/engine"
-	"compaqt/internal/wave"
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "adaptive flat-top decompression")
 	flag.Parse()
 
-	m, err := device.ByName(*machine)
+	m, err := qctrl.ByName(*machine)
 	if err != nil {
 		fatal(err)
 	}
@@ -38,13 +37,15 @@ func main() {
 		fatal(err)
 	}
 	f := p.Waveform.Quantize()
-	c, err := compress.Compress(f, compress.Options{
-		Variant: compress.IntDCTW, WindowSize: *ws, Adaptive: *adaptive,
-	})
+	cdc, err := codec.New("intdct-w", codec.Params{Window: *ws, Adaptive: *adaptive})
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := engine.New(*ws)
+	c, err := cdc.Encode(f)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := qctrl.NewEngine(*ws)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ref, err := c.Decompress()
+	ref, err := cdc.Decode(c)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,15 +67,15 @@ func main() {
 
 	fmt.Printf("pulse:            %s (%d samples @ %.2f GS/s)\n", p.Key(), f.Samples(), m.SampleRate/1e9)
 	fmt.Printf("compressed:       %d -> %d words  R(packed) = %.2f, R(uniform) = %.2f\n",
-		c.OriginalWords(), c.Words(compress.LayoutPacked),
-		c.Ratio(compress.LayoutPacked), c.Ratio(compress.LayoutUniform))
+		c.OriginalWords(), c.Words(codec.LayoutPacked),
+		c.Ratio(codec.LayoutPacked), c.Ratio(codec.LayoutUniform))
 	fmt.Printf("worst window:     %d words\n", c.MaxWindowWords())
 	fmt.Printf("pipeline:         %d cycles, %d memory words, %d IDCT ops, %d bypass samples\n",
 		st.Cycles, st.MemWords, st.IDCTOps, st.BypassSamples)
 	fmt.Printf("bandwidth boost:  %.2fx (samples out per word fetched)\n",
 		float64(st.SamplesOut)/float64(st.MemWords))
 	fmt.Printf("reconstruction:   MSE %.3g, max error %.3g (amplitude units)\n",
-		wave.MSEFixed(f, got), wave.MaxAbsError(f, got))
+		waveform.MSEFixed(f, got), waveform.MaxAbsError(f, got))
 	if exact {
 		fmt.Println("hardware model:   bit-exact with software reference")
 	} else {

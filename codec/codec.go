@@ -1,0 +1,150 @@
+// Package codec defines COMPAQT's pluggable compression interface and
+// the process-wide codec registry.
+//
+// A Codec turns a quantized waveform into the compressed word-stream
+// representation the waveform memory stores (and the hardware engine
+// decompresses), and back. The five variants the paper evaluates —
+// delta, dict, dct-n, dct-w and intdct-w — are registered at init time;
+// new backends (sharded, dictionary-learned, multi-resolution, ...)
+// plug in through Register without touching the core packages.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"compaqt/internal/compress"
+	"compaqt/waveform"
+)
+
+// Compressed is a waveform after compile-time compression: the word
+// stream stored in waveform memory plus its layout metadata.
+type Compressed = compress.Compressed
+
+// Layout selects how compressed windows are accounted in memory.
+type Layout = compress.Layout
+
+const (
+	// LayoutUniform gives every window the waveform's worst-case width —
+	// deterministic bandwidth on banked FPGA memory (the RFSoC point).
+	LayoutUniform = compress.LayoutUniform
+	// LayoutPacked stores windows at natural width (the ASIC point).
+	LayoutPacked = compress.LayoutPacked
+)
+
+// Params configures a codec instance built from a registered factory.
+// The zero value is usable: windowed codecs default to Window 16, and
+// Ratio uses uniform banked-memory accounting (LayoutUniform, the
+// RFSoC design point); pass LayoutPacked for ASIC-style accounting.
+type Params struct {
+	// Window is the transform window size for windowed codecs
+	// (4, 8, 16 or 32); 0 means 16. Ignored by delta/dict/dct-n.
+	Window int
+	// Threshold is the relative coefficient threshold (fraction of full
+	// scale); 0 means the variant's default. Ignored by delta/dict.
+	Threshold float64
+	// Adaptive enables the flat-top repeat path (Section V-D).
+	Adaptive bool
+	// Layout selects the word-count accounting Ratio reports.
+	Layout Layout
+}
+
+// WindowOrDefault resolves the zero-value window default.
+func (p Params) WindowOrDefault() int {
+	if p.Window == 0 {
+		return 16
+	}
+	return p.Window
+}
+
+// Codec is one compression backend. Implementations must be safe for
+// concurrent use: the Service fans compilation out across goroutines
+// sharing one Codec value.
+type Codec interface {
+	// Name is the registry name of the backend.
+	Name() string
+	// Encode compresses a quantized waveform.
+	Encode(f *waveform.Fixed) (*Compressed, error)
+	// Decode reconstructs the (lossy) waveform from its compressed form.
+	Decode(c *Compressed) (*waveform.Fixed, error)
+	// Ratio reports the compression ratio R = old size / new size of an
+	// encoded waveform under the codec's configured layout.
+	Ratio(c *Compressed) float64
+}
+
+// FidelityEncoder is implemented by codecs that can tune themselves to
+// a per-pulse round-trip MSE target (Algorithm 1 of the paper).
+type FidelityEncoder interface {
+	Codec
+	// EncodeWithTarget compresses f, tightening the codec's lossiness
+	// until the round-trip MSE is at or below targetMSE. It returns the
+	// achieved MSE alongside the compressed waveform.
+	EncodeWithTarget(f *waveform.Fixed, targetMSE float64) (*Compressed, float64, error)
+}
+
+// Factory builds a codec instance from parameters. Factories validate
+// their parameters and return an error for unsupported combinations.
+type Factory func(p Params) (Codec, error)
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+}{factories: map[string]Factory{}}
+
+// canonical normalizes registry names: lookup is case-insensitive.
+func canonical(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// Register makes a codec factory available under the given name. It
+// panics if the name is empty, already taken, or the factory is nil —
+// registration happens at init time, where a panic is a programming
+// error surfaced immediately (the database/sql convention).
+func Register(name string, f Factory) {
+	key := canonical(name)
+	if key == "" {
+		panic("codec: Register with empty name")
+	}
+	if f == nil {
+		panic("codec: Register with nil factory for " + name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[key]; dup {
+		panic("codec: Register called twice for " + key)
+	}
+	registry.factories[key] = f
+}
+
+// Get returns the factory registered under name (case-insensitive).
+func Get(name string) (Factory, error) {
+	registry.RLock()
+	f, ok := registry.factories[canonical(name)]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown codec %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// New builds a codec instance by registry name.
+func New(name string, p Params) (Codec, error) {
+	f, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(p)
+}
+
+// Names lists the registered codec names in sorted order.
+func Names() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.factories))
+	for n := range registry.factories {
+		names = append(names, n)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}

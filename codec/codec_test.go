@@ -1,0 +1,188 @@
+package codec_test
+
+import (
+	"strings"
+	"testing"
+
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// calibrated returns a realistic calibrated pulse: a Guadalupe DRAG
+// pi-pulse, the workload every codec is evaluated on in the paper.
+func calibrated(t testing.TB) *waveform.Fixed {
+	t.Helper()
+	return qctrl.Guadalupe().XPulse(3).Waveform.Quantize()
+}
+
+// budgets holds the per-codec round-trip MSE budget (unit-amplitude
+// terms) and minimum compression ratio at default parameters. Delta is
+// lossless but barely compresses sign-changing channels; dict can even
+// expand a DRAG pulse (the paper's point about the baselines, Fig. 7a);
+// the DCT family operates in the 1e-7..5e-6 MSE band (Fig. 7c).
+var budgets = map[string]struct {
+	mse      float64
+	minRatio float64
+}{
+	"delta":    {1e-12, 1.0},
+	"dict":     {5e-2, 0.5},
+	"dct-n":    {1e-4, 2.0},
+	"dct-w":    {5e-5, 2.0},
+	"intdct-w": {5e-5, 2.0},
+}
+
+func TestRegisteredCodecsRoundTrip(t *testing.T) {
+	f := calibrated(t)
+	for _, name := range codec.Names() {
+		t.Run(name, func(t *testing.T) {
+			budget, ok := budgets[name]
+			if !ok {
+				t.Fatalf("no fidelity budget declared for registered codec %q", name)
+			}
+			c, err := codec.New(name, codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Name() != name {
+				t.Errorf("Name() = %q, want %q", c.Name(), name)
+			}
+			enc, err := c.Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := c.Ratio(enc); r < budget.minRatio {
+				t.Errorf("ratio %.3f below expected floor %.2f", r, budget.minRatio)
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Samples() != f.Samples() {
+				t.Fatalf("decoded %d samples, want %d", dec.Samples(), f.Samples())
+			}
+			if mse := waveform.MSEFixed(f, dec); mse > budget.mse {
+				t.Errorf("round-trip MSE %g exceeds budget %g", mse, budget.mse)
+			}
+		})
+	}
+}
+
+func TestFidelityEncoderMeetsTarget(t *testing.T) {
+	f := calibrated(t)
+	const target = 1e-6
+	for _, name := range []string{"intdct-w", "dct-w"} {
+		c, err := codec.New(name, codec.Params{Window: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, ok := c.(codec.FidelityEncoder)
+		if !ok {
+			t.Fatalf("%s does not implement FidelityEncoder", name)
+		}
+		enc, mse, err := fe.EncodeWithTarget(f, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse > target {
+			t.Errorf("%s: achieved MSE %g exceeds target %g", name, mse, target)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waveform.MSEFixed(f, dec); got > target {
+			t.Errorf("%s: verified MSE %g exceeds target %g", name, got, target)
+		}
+	}
+}
+
+func TestBaselinesAreNotFidelityEncoders(t *testing.T) {
+	for _, name := range []string{"delta", "dict"} {
+		c, err := codec.New(name, codec.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.(codec.FidelityEncoder); ok {
+			t.Errorf("%s has fixed lossiness and must not claim FidelityEncoder", name)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		codec   string
+		p       codec.Params
+		wantErr string
+	}{
+		{"bad window", "intdct-w", codec.Params{Window: 7}, "invalid window"},
+		{"window on delta", "delta", codec.Params{Window: 16}, "not windowed"},
+		{"negative threshold", "intdct-w", codec.Params{Threshold: -0.1}, "threshold"},
+		{"threshold too big", "dct-w", codec.Params{Threshold: 1.5}, "threshold"},
+		{"ok default", "intdct-w", codec.Params{}, ""},
+		{"ok window 8", "dct-w", codec.Params{Window: 8}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := codec.New(tc.codec, tc.p)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := codec.Get("no-such-codec"); err == nil {
+		t.Error("Get of unknown codec should fail")
+	}
+	// Lookup is case-insensitive.
+	if _, err := codec.Get("IntDCT-W"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	// All five paper variants are reachable.
+	for _, name := range []string{"delta", "dict", "dct-n", "dct-w", "intdct-w"} {
+		if _, err := codec.Get(name); err != nil {
+			t.Errorf("variant %s not registered: %v", name, err)
+		}
+	}
+	// Third-party backends plug in through Register.
+	codec.Register("test-null", func(p codec.Params) (codec.Codec, error) {
+		return nullCodec{}, nil
+	})
+	c, err := codec.New("test-null", codec.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "null" {
+		t.Errorf("custom codec Name() = %q", c.Name())
+	}
+	// Duplicate registration panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	codec.Register("test-null", func(p codec.Params) (codec.Codec, error) {
+		return nullCodec{}, nil
+	})
+}
+
+// nullCodec is a registry-plumbing stand-in.
+type nullCodec struct{}
+
+func (nullCodec) Name() string { return "null" }
+func (nullCodec) Encode(f *waveform.Fixed) (*codec.Compressed, error) {
+	return &codec.Compressed{Name: f.Name, SampleRate: f.SampleRate, Samples: f.Samples()}, nil
+}
+func (nullCodec) Decode(c *codec.Compressed) (*waveform.Fixed, error) {
+	return &waveform.Fixed{Name: c.Name, SampleRate: c.SampleRate}, nil
+}
+func (nullCodec) Ratio(c *codec.Compressed) float64 { return 1 }

@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"fmt"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/dct"
+	"compaqt/waveform"
+)
+
+// Built-in codecs: the five compression variants the paper evaluates
+// (Table II plus the Delta and Dict baselines of Section IV-B), exposed
+// through the registry under their lowercase paper names.
+//
+//	delta     sign-magnitude delta encoding
+//	dict      block-dictionary baseline
+//	dct-n     whole-waveform floating-point DCT
+//	dct-w     windowed floating-point DCT
+//	intdct-w  windowed HEVC-style integer DCT (the hardware variant)
+func init() {
+	for _, v := range []struct {
+		name    string
+		variant compress.Variant
+	}{
+		{"delta", compress.Delta},
+		{"dict", compress.Dict},
+		{"dct-n", compress.DCTN},
+		{"dct-w", compress.DCTW},
+		{"intdct-w", compress.IntDCTW},
+	} {
+		variant := v.variant
+		name := v.name
+		Register(name, func(p Params) (Codec, error) {
+			vc, err := newVariantCodec(name, variant, p)
+			if err != nil {
+				return nil, err
+			}
+			// Only the thresholded transforms can honor a fidelity
+			// target (Algorithm 1 tunes a threshold delta/dict lack).
+			switch variant {
+			case compress.DCTN, compress.DCTW, compress.IntDCTW:
+				return &thresholdedCodec{*vc}, nil
+			}
+			return vc, nil
+		})
+	}
+}
+
+// variantCodec adapts one compress.Variant to the Codec interface. It
+// is stateless after construction and safe for concurrent use.
+type variantCodec struct {
+	name   string
+	opts   compress.Options
+	layout compress.Layout
+}
+
+func newVariantCodec(name string, v compress.Variant, p Params) (*variantCodec, error) {
+	opts := compress.Options{
+		Variant:   v,
+		Threshold: p.Threshold,
+		Adaptive:  p.Adaptive,
+	}
+	switch v {
+	case compress.DCTW, compress.IntDCTW:
+		opts.WindowSize = p.WindowOrDefault()
+		if !dct.ValidWindow(opts.WindowSize) {
+			return nil, fmt.Errorf("codec: %s: invalid window size %d (want 4, 8, 16 or 32)", name, opts.WindowSize)
+		}
+	default:
+		if p.Window != 0 {
+			return nil, fmt.Errorf("codec: %s is not windowed; leave Window unset", name)
+		}
+	}
+	if p.Threshold < 0 || p.Threshold >= 1 {
+		return nil, fmt.Errorf("codec: %s: threshold %g outside [0, 1)", name, p.Threshold)
+	}
+	return &variantCodec{name: name, opts: opts, layout: p.Layout}, nil
+}
+
+func (vc *variantCodec) Name() string { return vc.name }
+
+func (vc *variantCodec) Encode(f *waveform.Fixed) (*Compressed, error) {
+	return compress.Compress(f, vc.opts)
+}
+
+func (vc *variantCodec) Decode(c *Compressed) (*waveform.Fixed, error) {
+	return c.Decompress()
+}
+
+func (vc *variantCodec) Ratio(c *Compressed) float64 {
+	return c.Ratio(vc.layout)
+}
+
+// thresholdedCodec wraps the variants whose lossiness is driven by a
+// coefficient threshold, adding fidelity targeting. The baselines
+// (delta, dict) have fixed lossiness and deliberately do not implement
+// FidelityEncoder.
+type thresholdedCodec struct {
+	variantCodec
+}
+
+// EncodeWithTarget implements FidelityEncoder via Algorithm 1: the
+// threshold is halved from its aggressive start until the round-trip
+// MSE meets the target.
+func (tc *thresholdedCodec) EncodeWithTarget(f *waveform.Fixed, targetMSE float64) (*Compressed, float64, error) {
+	res, err := compress.FidelityAware(f, tc.opts, targetMSE)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Compressed, res.MSE, nil
+}

@@ -1,0 +1,234 @@
+// Tests for the public compaqt API: functional-option validation, the
+// parallel compile fan-out's determinism, the streaming image
+// round-trip, and playback through the engine model.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []compaqt.Option
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+		{"explicit good", []compaqt.Option{
+			compaqt.WithCodec("intdct-w"), compaqt.WithWindow(8),
+			compaqt.WithFidelityTarget(0.999), compaqt.WithParallelism(4),
+		}, ""},
+		{"all five codecs reachable", []compaqt.Option{compaqt.WithCodec("dct-n")}, ""},
+		{"adaptive", []compaqt.Option{compaqt.WithAdaptive(true), compaqt.WithLayout(codec.LayoutPacked)}, ""},
+		{"unknown codec", []compaqt.Option{compaqt.WithCodec("zstd")}, "unknown codec"},
+		{"bad window", []compaqt.Option{compaqt.WithWindow(13)}, "invalid window"},
+		{"zero parallelism", []compaqt.Option{compaqt.WithParallelism(0)}, "parallelism"},
+		{"negative parallelism", []compaqt.Option{compaqt.WithParallelism(-2)}, "parallelism"},
+		{"threshold out of range", []compaqt.Option{compaqt.WithThreshold(1.2)}, "threshold"},
+		{"fidelity target at 1", []compaqt.Option{compaqt.WithFidelityTarget(1)}, "fidelity target"},
+		{"fidelity target at 0", []compaqt.Option{compaqt.WithFidelityTarget(0)}, "fidelity target"},
+		{"bad mse target", []compaqt.Option{compaqt.WithMSETarget(-1e-6)}, "MSE target"},
+		{"threshold conflicts with target", []compaqt.Option{
+			compaqt.WithThreshold(0.01), compaqt.WithMSETarget(1e-6),
+		}, "mutually exclusive"},
+		{"window on non-windowed codec", []compaqt.Option{
+			compaqt.WithCodec("delta"), compaqt.WithWindow(16),
+		}, "not windowed"},
+		{"fidelity target on baseline codec", []compaqt.Option{
+			compaqt.WithCodec("delta"), compaqt.WithMSETarget(1e-6),
+		}, "does not support fidelity targeting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := compaqt.New(tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParallelCompileDeterministic: the acceptance property that the
+// fan-out is invisible — entries in library order with identical
+// streams at every parallelism.
+func TestParallelCompileDeterministic(t *testing.T) {
+	m := qctrl.Bogota()
+	imgs := make([]*compaqt.Image, 0, 3)
+	for _, par := range []int{1, 3, 16} {
+		svc, err := compaqt.New(compaqt.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := svc.Compile(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs = append(imgs, img)
+	}
+	for i, img := range imgs[1:] {
+		if !reflect.DeepEqual(imgs[0], img) {
+			t.Errorf("image at parallelism index %d differs from serial compile", i+1)
+		}
+	}
+	lib := m.Library()
+	if len(imgs[0].Entries) != len(lib) {
+		t.Fatalf("compiled %d entries, want %d", len(imgs[0].Entries), len(lib))
+	}
+	for i, p := range lib {
+		if imgs[0].Entries[i].Key != p.Key() {
+			t.Errorf("entry %d is %s, want library order %s", i, imgs[0].Entries[i].Key, p.Key())
+		}
+	}
+}
+
+func TestServiceImageRoundTripAndPlay(t *testing.T) {
+	m := qctrl.Bogota()
+	svc, err := compaqt.New(compaqt.WithWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := svc.CompileTo(context.Background(), m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	compiled := svc.Image()
+
+	// A fresh service opens the serialized image and plays from it.
+	player, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := player.OpenImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Entries) != len(compiled.Entries) {
+		t.Fatalf("reopened image has %d entries, want %d", len(img.Entries), len(compiled.Entries))
+	}
+
+	key := m.XPulse(2).Key()
+	out, st, err := player.Play(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SamplesOut == 0 || st.MemWords == 0 {
+		t.Errorf("playback stats empty: %+v", st)
+	}
+	// Playback through the engine is bit-exact with the software
+	// decompression of the originally compiled entry.
+	e, err := compiled.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Compressed.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.I, ref.I) || !reflect.DeepEqual(out.Q, ref.Q) {
+		t.Error("played waveform is not bit-exact with the software reference")
+	}
+
+	if _, _, err := player.Play(context.Background(), "no_such_key"); err == nil {
+		t.Error("Play of missing key should fail")
+	}
+	fresh, _ := compaqt.New()
+	if _, _, err := fresh.Play(context.Background(), key); err == nil {
+		t.Error("Play with no image loaded should fail")
+	}
+}
+
+// TestBaselineCodecImageGuards: non-int-DCT-W images must be rejected
+// at serialization (the wire format cannot carry their side data) and
+// at playback (the hardware engine only implements int-DCT-W), rather
+// than silently corrupting.
+func TestBaselineCodecImageGuards(t *testing.T) {
+	m := qctrl.Bogota()
+	svc, err := compaqt.New(compaqt.WithCodec("delta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := svc.Compile(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.WindowSize != 0 {
+		t.Errorf("delta image WindowSize = %d, want 0 (not windowed)", img.WindowSize)
+	}
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err == nil || !strings.Contains(err.Error(), "int-DCT-W only") {
+		t.Errorf("serializing a delta image should fail clearly, got %v", err)
+	}
+	if _, _, err := svc.Play(context.Background(), m.XPulse(0).Key()); err == nil ||
+		!strings.Contains(err.Error(), "windowed codec") {
+		t.Errorf("playing a delta image should fail clearly, got %v", err)
+	}
+	// The baseline still round-trips in memory through its own codec.
+	e, err := img.Lookup(m.XPulse(0).Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := svc.Codec().Decode(e.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := waveform.MSEFixed(m.XPulse(0).Waveform.Quantize(), d); mse > 1e-12 {
+		t.Errorf("delta round trip MSE %g, want lossless", mse)
+	}
+}
+
+func TestCompileHonorsFidelityTarget(t *testing.T) {
+	const target = 1e-6
+	m := qctrl.Bogota()
+	svc, err := compaqt.New(compaqt.WithMSETarget(target), compaqt.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := svc.Compile(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Library() {
+		e, err := img.Lookup(p.Key())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := e.Compressed.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse := waveform.MSEFixed(p.Waveform.Quantize(), d); mse > target {
+			t.Errorf("%s: MSE %g exceeds target %g", p.Key(), mse, target)
+		}
+	}
+}
+
+func TestCompileCancellation(t *testing.T) {
+	m := qctrl.Guadalupe()
+	svc, err := compaqt.New(compaqt.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Compile(ctx, m); err == nil {
+		t.Error("Compile with cancelled context should fail")
+	}
+	if _, _, err := svc.Play(ctx, "X_q0"); err == nil {
+		t.Error("Play with cancelled context should fail")
+	}
+}

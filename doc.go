@@ -2,18 +2,43 @@
 // Architecture for Scalable Qubit Control" (Maurya & Tannu, MICRO
 // 2022, arXiv:2212.03897) as a production-quality Go library.
 //
-// The implementation lives under internal/:
+// The root package is the compile/playback front end: a Service built
+// from functional options pairs a pluggable compression codec with a
+// concurrent compile pipeline and the hardware decompression-engine
+// model.
 //
-//   - core: the public facade — compiler, memory-image format, playback
-//   - wave, device: waveform shapes and calibrated machine models
-//   - dct, csd, rle, compress: the compression stack
-//   - membank, engine, hwmodel, controller: the microarchitecture and
-//     its resource/timing/power models
-//   - quantum, clifford, circuit, surface: the fidelity-evaluation
-//     substrate (state vectors, RB, benchmark circuits, QEC patches)
+//	svc, err := compaqt.New(
+//		compaqt.WithCodec("intdct-w"),
+//		compaqt.WithWindow(16),
+//		compaqt.WithMSETarget(5e-6),
+//		compaqt.WithParallelism(runtime.NumCPU()),
+//	)
+//	img, err := svc.Compile(ctx, qctrl.Guadalupe())
+//	n, err := svc.CompileTo(ctx, m, file)       // serialize the image
+//	img, err = svc.OpenImage(file)              // ... and load it back
+//	wave, stats, err := svc.Play(ctx, "X_q3")   // hardware-model playback
+//
+// The public subpackages:
+//
+//   - codec: the Codec interface, the process-wide registry, and the
+//     five paper variants (delta, dict, dct-n, dct-w, intdct-w); new
+//     backends plug in via codec.Register
+//   - waveform: calibrated pulse envelopes (DRAG, GaussianSquare, ...),
+//     fixed-point quantization, FDM, error metrics
+//   - qctrl: the evaluated machines with seeded calibrations, the RFSoC
+//     and cryo-ASIC controller models, banked waveform memory, and the
+//     decompression engine
+//   - circuit: OpenQASM 2.0, transpilation, routing, scheduling,
+//     simulation, and the Table VI benchmarks
+//   - qec: surface-code patches and syndrome-extraction workloads
+//   - fidelity: randomized benchmarking and coherent-error integration
 //   - experiments: one driver per table and figure of the paper
 //
+// The implementation lives under internal/ (wave, device, dct, csd,
+// rle, compress, membank, engine, hwmodel, controller, quantum,
+// clifford, circuit, surface, core, experiments); the public packages
+// alias those types, so values flow freely across the boundary.
+//
 // Run `go test -bench=. -benchmem` (or cmd/compaqt-report) to
-// regenerate the paper's evaluation; see DESIGN.md for the experiment
-// index and EXPERIMENTS.md for paper-vs-measured results.
+// regenerate the paper's evaluation; see README.md for a quickstart.
 package compaqt

@@ -9,37 +9,36 @@ import (
 	"fmt"
 	"log"
 
-	"compaqt/internal/controller"
-	"compaqt/internal/device"
-	"compaqt/internal/wave"
+	"compaqt/qctrl"
+	"compaqt/waveform"
 )
 
 func main() {
-	m := device.Guadalupe()
+	m := qctrl.Guadalupe()
 
 	cr, err := m.CXPulse(0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	flat := wave.GaussianSquare("flat-top-100ns", m.SampleRate, wave.GaussianSquareParams{
+	flat := waveform.GaussianSquare("flat-top-100ns", m.SampleRate, waveform.GaussianSquareParams{
 		Amp: 0.4, Duration: 100e-9, Width: 64e-9, Sigma: 4e-9, Angle: 0.6,
 	})
 
-	adaptive16 := controller.COMPAQT(16)
+	adaptive16 := qctrl.COMPAQT(16)
 	adaptive16.Adaptive = true
 	designs := []struct {
 		name string
-		d    controller.Design
+		d    qctrl.Design
 	}{
-		{"uncompressed", controller.Baseline()},
-		{"COMPAQT WS=8", controller.COMPAQT(8)},
-		{"COMPAQT WS=16", controller.COMPAQT(16)},
+		{"uncompressed", qctrl.Baseline()},
+		{"COMPAQT WS=8", qctrl.COMPAQT(8)},
+		{"COMPAQT WS=16", qctrl.COMPAQT(16)},
 		{"COMPAQT WS=16 + adaptive", adaptive16},
 	}
 
 	for _, workload := range []struct {
 		name string
-		w    *wave.Waveform
+		w    *waveform.Waveform
 	}{
 		{"cross-resonance (CX) tone", cr.Waveform},
 		{"100 ns flat-top", flat},
@@ -48,7 +47,7 @@ func main() {
 		fmt.Printf("  %-26s %8s %8s %8s %8s\n", "design", "mem mW", "idct mW", "dac mW", "total")
 		var base float64
 		for i, d := range designs {
-			p, err := controller.NewASIC(m, d.d).Power(workload.w)
+			p, err := qctrl.NewASIC(m, d.d).Power(workload.w)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -11,19 +11,17 @@ import (
 	"fmt"
 	"log"
 
-	"compaqt/internal/circuit"
-	"compaqt/internal/controller"
-	"compaqt/internal/device"
-	"compaqt/internal/membank"
-	"compaqt/internal/surface"
+	"compaqt/circuit"
+	"compaqt/qctrl"
+	"compaqt/qec"
 )
 
 func main() {
-	m := device.Guadalupe()
-	rfsoc := membank.DefaultRFSoC()
+	m := qctrl.Guadalupe()
+	rfsoc := qctrl.DefaultRFSoC()
 
 	fmt.Println("syndrome-extraction bandwidth demand (4 rounds):")
-	patches := []*surface.Patch{surface.Surface17(), surface.Surface25(), surface.Surface81()}
+	patches := []*qec.Patch{qec.Surface17(), qec.Surface25(), qec.Surface81()}
 	for _, p := range patches {
 		c := circuit.Decompose(p.SyndromeCircuit(4))
 		s, err := circuit.ScheduleASAP(c, m.Latency)
@@ -38,15 +36,15 @@ func main() {
 	fmt.Printf("  RFSoC aggregate BRAM bandwidth: %.0f GB/s\n\n", rfsoc.StreamBandwidth()/1e9)
 
 	fmt.Println("logical qubits per RFSoC controller:")
-	qick := controller.QICKRFSoC(m)
+	qick := qctrl.QICKRFSoC(m)
 	designs := []struct {
 		name     string
-		d        controller.Design
+		d        qctrl.Design
 		capRatio float64
 	}{
-		{"uncompressed", controller.Baseline(), 1},
-		{"COMPAQT WS=8", controller.COMPAQT(8), 6.5},
-		{"COMPAQT WS=16", controller.COMPAQT(16), 6.5},
+		{"uncompressed", qctrl.Baseline(), 1},
+		{"COMPAQT WS=8", qctrl.COMPAQT(8), 6.5},
+		{"COMPAQT WS=16", qctrl.COMPAQT(16), 6.5},
 	}
 	fmt.Printf("  %-16s %12s %12s %12s\n", "design", "phys qubits", "surface-17", "surface-25")
 	for _, d := range designs {

@@ -1,56 +1,64 @@
-// Quickstart: compress one calibrated qubit control pulse with
-// COMPAQT's int-DCT-W pipeline, decompress it through the hardware
-// engine model, and print the compression ratio, reconstruction error
-// and bandwidth boost — the whole COMPAQT story on a single waveform.
+// Quickstart: compress a machine's calibrated pulse library with the
+// public compaqt API, stream one pulse back through the hardware
+// decompression engine model, and print the compression ratio,
+// reconstruction error and bandwidth boost — the whole COMPAQT story
+// in a dozen lines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
-	"compaqt/internal/compress"
-	"compaqt/internal/device"
-	"compaqt/internal/engine"
-	"compaqt/internal/wave"
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
 )
 
 func main() {
 	// A 16-qubit IBM-class machine with seeded per-qubit calibrations.
-	m := device.Guadalupe()
+	m := qctrl.Guadalupe()
 
-	// Qubit 3's pi pulse: a DRAG envelope at 4.54 GS/s.
-	pulse := m.XPulse(3)
-	fixed := pulse.Waveform.Quantize()
-	fmt.Printf("pulse %s: %d samples, %d bytes uncompressed\n",
-		pulse.Key(), fixed.Samples(), fixed.Bits()/8)
-
-	// Compile-time compression (software side, Fig. 6).
-	c, err := compress.Compress(fixed, compress.Options{
-		Variant:    compress.IntDCTW,
-		WindowSize: 16,
-	})
+	// A compile/playback service: windowed integer DCT, window 16,
+	// pulses fanned out across all cores.
+	svc, err := compaqt.New(
+		compaqt.WithCodec("intdct-w"),
+		compaqt.WithWindow(16),
+		compaqt.WithParallelism(runtime.NumCPU()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compressed: %d words -> R = %.2fx packed, %.2fx uniform (worst window %d)\n",
-		c.Words(compress.LayoutPacked),
-		c.Ratio(compress.LayoutPacked),
-		c.Ratio(compress.LayoutUniform),
-		c.MaxWindowWords())
 
-	// Runtime decompression (hardware side, Fig. 10): multiplierless
-	// shift-add IDCT, one window per fabric cycle.
-	eng, err := engine.New(16)
+	// Compile the machine's full library (X, SX, CX, readout for every
+	// qubit and coupled pair) into a waveform-memory image.
+	img, err := svc.Compile(context.Background(), m)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, stats, err := eng.Run(c)
+	s := img.Stats()
+	fmt.Printf("compiled %d pulses on %s: %d -> %d words, R = %.2fx packed / %.2fx uniform\n",
+		s.Entries, m.Name, s.OriginalWords, s.PackedWords, s.PackedRatio, s.UniformRatio)
+
+	// Play qubit 3's pi pulse back through the decompression pipeline
+	// model (Fig. 10): multiplierless shift-add IDCT, one window per
+	// fabric cycle.
+	key := m.XPulse(3).Key()
+	out, stats, err := svc.Play(context.Background(), key)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("pipeline: %d cycles, %d words fetched, %d IDCT ops\n",
-		stats.Cycles, stats.MemWords, stats.IDCTOps)
+	fmt.Printf("played %s: %d cycles, %d words fetched, %d IDCT ops\n",
+		key, stats.Cycles, stats.MemWords, stats.IDCTOps)
 	fmt.Printf("bandwidth boost: %.2fx samples per fetched word\n",
 		float64(stats.SamplesOut)/float64(stats.MemWords))
-	fmt.Printf("reconstruction MSE: %.3g (unit amplitude)\n", wave.MSEFixed(fixed, out))
+
+	// Reconstruction error against the original quantized envelope.
+	fixed := m.XPulse(3).Waveform.Quantize()
+	fmt.Printf("reconstruction MSE: %.3g (unit amplitude)\n", waveform.MSEFixed(fixed, out))
+
+	// Every registered codec is one option away.
+	fmt.Printf("registered codecs: %v\n", codec.Names())
 }

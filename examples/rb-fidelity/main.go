@@ -10,36 +10,39 @@ import (
 	"log"
 	"math"
 
-	"compaqt/internal/clifford"
-	"compaqt/internal/compress"
-	"compaqt/internal/device"
-	"compaqt/internal/quantum"
-	"compaqt/internal/wave"
+	"compaqt/codec"
+	"compaqt/fidelity"
+	"compaqt/qctrl"
+	"compaqt/waveform"
 )
 
 func main() {
-	m := device.Guadalupe()
+	m := qctrl.Guadalupe()
 
 	// Baseline: device noise only.
-	base := clifford.DefaultRB((m.EPC2Q/0.75-4.9*3e-4)/1.5, 42)
-	rBase, err := clifford.RunRB(base)
+	base := fidelity.DefaultRB((m.EPC2Q/0.75-4.9*3e-4)/1.5, 42)
+	rBase, err := fidelity.RunRB(base)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Compressed: add the coherent error of int-DCT-W WS=16 round trips
 	// on the CR and SX pulses of the RB pair.
+	cdc, err := codec.New("intdct-w", codec.Params{Window: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
 	comp := base
 	comp.Seed = 43
 	cr, err := m.CXPulse(0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	crRT := roundTrip(cr.Waveform)
-	comp.CoherentCX = quantum.CoherentErrorCR(cr.Waveform, crRT, math.Pi/4)
+	crRT := roundTrip(cdc, cr.Waveform)
+	comp.CoherentCX = fidelity.CoherentErrorCR(cr.Waveform, crRT, math.Pi/4)
 	sx := m.SXPulse(0)
-	comp.Coherent1Q = quantum.CoherentError1Q(sx.Waveform, roundTrip(sx.Waveform), math.Pi/2)
-	rComp, err := clifford.RunRB(comp)
+	comp.Coherent1Q = fidelity.CoherentError1Q(sx.Waveform, roundTrip(cdc, sx.Waveform), math.Pi/2)
+	rComp, err := fidelity.RunRB(comp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,16 +57,14 @@ func main() {
 	fmt.Println("=> compression is fidelity-neutral within run-to-run variation")
 }
 
-// roundTrip compresses and decompresses an envelope with int-DCT-W
-// WS=16, returning the distorted waveform the DAC would actually play.
-func roundTrip(w *wave.Waveform) *wave.Waveform {
-	c, err := compress.Compress(w.Quantize(), compress.Options{
-		Variant: compress.IntDCTW, WindowSize: 16,
-	})
+// roundTrip encodes and decodes an envelope through the codec,
+// returning the distorted waveform the DAC would actually play.
+func roundTrip(cdc codec.Codec, w *waveform.Waveform) *waveform.Waveform {
+	c, err := cdc.Encode(w.Quantize())
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := c.Decompress()
+	d, err := cdc.Decode(c)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,25 +9,24 @@ import (
 	"fmt"
 	"log"
 
-	"compaqt/internal/controller"
-	"compaqt/internal/device"
+	"compaqt/qctrl"
 )
 
 func main() {
-	m := device.Guadalupe()
-	rfsoc := controller.QICKRFSoC(m)
+	m := qctrl.Guadalupe()
+	rfsoc := qctrl.QICKRFSoC(m)
 
 	capQ := rfsoc.QubitsByCapacity(1)
 	fmt.Printf("on-chip capacity alone would allow %d qubits\n", capQ)
 
 	designs := []struct {
 		name     string
-		design   controller.Design
+		design   qctrl.Design
 		capRatio float64
 	}{
-		{"uncompressed baseline", controller.Baseline(), 1},
-		{"COMPAQT WS=8", controller.COMPAQT(8), 6.5},
-		{"COMPAQT WS=16", controller.COMPAQT(16), 6.5},
+		{"uncompressed baseline", qctrl.Baseline(), 1},
+		{"COMPAQT WS=8", qctrl.COMPAQT(8), 6.5},
+		{"COMPAQT WS=16", qctrl.COMPAQT(16), 6.5},
 	}
 	var base int
 	for i, d := range designs {

@@ -1,0 +1,20 @@
+// Package experiments is the public surface of COMPAQT's evaluation
+// drivers: one registered experiment per table and figure of the MICRO
+// 2022 paper, each returning a rendered text table with the paper's
+// reference numbers alongside.
+package experiments
+
+import "compaqt/internal/experiments"
+
+// Experiment is one registered table/figure driver.
+type Experiment = experiments.Experiment
+
+// Table is a rendered experiment result.
+type Table = experiments.Table
+
+var (
+	// All lists every registered experiment in registration order.
+	All = experiments.All
+	// ByID finds one experiment by its id (e.g. "fig9", "table5").
+	ByID = experiments.ByID
+)

@@ -1,0 +1,43 @@
+// Package fidelity is the public surface of COMPAQT's gate-quality
+// evaluation: randomized benchmarking (Fig. 9 / Table III) and the
+// unitary integration that turns a compressed pulse's envelope
+// distortion into a coherent error channel.
+package fidelity
+
+import (
+	"compaqt/internal/clifford"
+	"compaqt/internal/quantum"
+)
+
+// RBConfig parameterizes a two-qubit randomized-benchmarking run.
+type RBConfig = clifford.RBConfig
+
+// RBPoint is one sequence-length survival measurement.
+type RBPoint = clifford.RBPoint
+
+// RBResult is a fitted RB decay: per-length survivals, fidelity, EPC.
+type RBResult = clifford.RBResult
+
+var (
+	// DefaultRB builds the paper's RB configuration for a two-qubit
+	// error rate and RNG seed.
+	DefaultRB = clifford.DefaultRB
+	// RunRB executes the RB experiment and fits the decay.
+	RunRB = clifford.RunRB
+)
+
+// CoherentError1Q integrates an original vs distorted 1Q envelope pair
+// into the residual unitary the distortion applies (Section IV-C).
+var CoherentError1Q = quantum.CoherentError1Q
+
+// CoherentErrorCR does the same for a cross-resonance (ZX) tone.
+var CoherentErrorCR = quantum.CoherentErrorCR
+
+// AvgGateFidelity2 and AvgGateFidelity4 score a residual unitary
+// against a target (identity for pure compression error).
+var (
+	AvgGateFidelity2 = quantum.AvgGateFidelity2
+	AvgGateFidelity4 = quantum.AvgGateFidelity4
+	I2               = quantum.I2
+	I4               = quantum.I4
+)

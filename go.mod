@@ -1,0 +1,3 @@
+module compaqt
+
+go 1.24

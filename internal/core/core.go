@@ -198,8 +198,17 @@ const (
 	version = 1
 )
 
-// WriteTo serializes the image.
+// WriteTo serializes the image. The wire format stores only the
+// int-DCT-W word stream (the representation the hardware consumes);
+// images compiled with other variants are rejected rather than
+// silently dropping their side data.
 func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	for i := range img.Entries {
+		if v := img.Entries[i].Compressed.Variant; v != compress.IntDCTW {
+			return 0, fmt.Errorf("core: image format stores int-DCT-W only; entry %q is %v",
+				img.Entries[i].Key, v)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	n := &countWriter{w: bw}
 	write := func(v any) error { return binary.Write(n, binary.LittleEndian, v) }

@@ -1,0 +1,68 @@
+package qctrl
+
+import (
+	"compaqt/internal/controller"
+	"compaqt/internal/engine"
+	"compaqt/internal/hwmodel"
+	"compaqt/internal/membank"
+)
+
+// Design describes one waveform-memory design point (uncompressed
+// baseline, or COMPAQT at a window size, optionally adaptive).
+type Design = controller.Design
+
+var (
+	// Baseline is the uncompressed waveform-memory design.
+	Baseline = controller.Baseline
+	// COMPAQT is the compressed design at a given window size.
+	COMPAQT = controller.COMPAQT
+)
+
+// RFSoC models a Xilinx RFSoC-class controller (the QICK platform of
+// the paper's FPGA evaluation) with a pluggable memory design.
+type RFSoC = controller.RFSoC
+
+// QICKRFSoC builds the paper's RFSoC controller for a machine class.
+var QICKRFSoC = controller.QICKRFSoC
+
+// ASIC models the cryogenic (4 K) controller design point whose power
+// budget Figs. 18-19 evaluate.
+type ASIC = controller.ASIC
+
+// NewASIC builds a cryo-ASIC model for a machine and memory design.
+var NewASIC = controller.NewASIC
+
+// Sequencer streams a routed, scheduled circuit's waveforms through a
+// compiled image and the decompression pipeline.
+type Sequencer = controller.Sequencer
+
+// NewSequencer pairs a machine with a compiled waveform-memory image.
+var NewSequencer = controller.NewSequencer
+
+// SequencerStats aggregates a circuit playback run.
+type SequencerStats = controller.PlayStats
+
+// PowerBreakdown itemizes a controller's power draw in watts.
+type PowerBreakdown = hwmodel.PowerBreakdown
+
+// MemBank models the banked BRAM waveform memory of the RFSoC
+// (Section V-C): capacity, streaming bandwidth, and the banks-per-
+// channel arithmetic behind the bandwidth wall.
+type MemBank = membank.RFSoC
+
+// DefaultRFSoC returns the ZCU216-class memory parameters the paper
+// evaluates against.
+var DefaultRFSoC = membank.DefaultRFSoC
+
+// Engine is one hardware decompression pipeline instance (Fig. 10):
+// RLE decode, multiplierless shift-add IDCT, DAC buffer. Engines are
+// immutable after construction and safe for concurrent use.
+type Engine = engine.Engine
+
+// NewEngine builds a decompression engine for a window size.
+var NewEngine = engine.New
+
+// EngineStats aggregates the hardware activity of a decompression run:
+// fabric cycles, memory words fetched, IDCT invocations, bypassed
+// samples, samples delivered.
+type EngineStats = engine.Stats

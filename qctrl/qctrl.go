@@ -1,0 +1,66 @@
+// Package qctrl is the public surface of COMPAQT's quantum-control
+// models: the calibrated machines the paper evaluates (seeded IBM- and
+// Google-class devices with per-qubit pulse libraries), the RFSoC and
+// cryo-ASIC controller designs that bound how many qubits one box can
+// drive, the banked waveform-memory model behind the bandwidth wall,
+// and the hardware decompression engine.
+//
+// The types are aliases of internal/device, internal/controller,
+// internal/membank and internal/engine, so values interoperate with
+// the rest of the library.
+package qctrl
+
+import (
+	"compaqt/internal/device"
+)
+
+// Vendor identifies the control-stack parameter family of Table I.
+type Vendor = device.Vendor
+
+const (
+	IBM    Vendor = device.IBM
+	Google Vendor = device.Google
+)
+
+// Machine is one control target: a quantum chip, its coupling map and
+// per-qubit calibrations, plus the DAC parameters of its control stack.
+type Machine = device.Machine
+
+// QubitCal is the calibrated per-qubit pulse parameterization.
+type QubitCal = device.QubitCal
+
+// Latencies holds gate durations in seconds (Table I).
+type Latencies = device.Latencies
+
+// Pulse is one calibrated gate waveform of a machine.
+type Pulse = device.Pulse
+
+// Catalog: the evaluated machines, regenerated deterministically from
+// seeded calibrations.
+var (
+	Bogota     = device.Bogota
+	Lima       = device.Lima
+	Guadalupe  = device.Guadalupe
+	Toronto    = device.Toronto
+	Montreal   = device.Montreal
+	Mumbai     = device.Mumbai
+	Hanoi      = device.Hanoi
+	Brooklyn   = device.Brooklyn
+	Washington = device.Washington
+	Sycamore   = device.Sycamore
+
+	// ByName finds a catalog machine by its backend name.
+	ByName = device.ByName
+	// MachineNames lists the catalog backend names.
+	MachineNames = device.Names
+)
+
+// Coupling-topology constructors for custom machines.
+var (
+	Linear   = device.Linear
+	TShape   = device.TShape
+	Falcon16 = device.Falcon16
+	Falcon27 = device.Falcon27
+	HeavyHex = device.HeavyHex
+	Grid     = device.Grid
+)

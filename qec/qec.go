@@ -1,0 +1,29 @@
+// Package qec is the public surface of COMPAQT's quantum-error-
+// correction workload models: rotated and unrotated surface-code
+// patches and their syndrome-extraction circuits — the always-on
+// workload that defines a controller's bandwidth requirement
+// (Section VII-C of the paper).
+package qec
+
+import "compaqt/internal/surface"
+
+// Patch is one surface-code patch: data qubits, ancillas and the
+// stabilizers each ancilla measures.
+type Patch = surface.Patch
+
+// Ancilla is one syndrome-measurement qubit and its data neighbors.
+type Ancilla = surface.Ancilla
+
+// StabType distinguishes X from Z stabilizers.
+type StabType = surface.StabType
+
+var (
+	// Rotated builds a rotated surface-code patch of odd distance d.
+	Rotated = surface.Rotated
+	// Unrotated builds an unrotated patch of odd distance d.
+	Unrotated = surface.Unrotated
+	// Surface17, Surface25 and Surface81 are the paper's three patches.
+	Surface17 = surface.Surface17
+	Surface25 = surface.Surface25
+	Surface81 = surface.Surface81
+)

@@ -1,0 +1,287 @@
+package compaqt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"compaqt/codec"
+	"compaqt/internal/core"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// Image is a compiled waveform-memory image: the compressed pulse
+// library that is loaded onto the controller after a calibration cycle.
+type Image = core.Image
+
+// Entry is one compressed pulse in an image.
+type Entry = core.Entry
+
+// Stats aggregates an image's compression statistics.
+type Stats = core.Stats
+
+// ReadImage deserializes an image written by Image.WriteTo or
+// Service.CompileTo.
+var ReadImage = core.ReadImage
+
+// Service is the compile/playback front end of the library. It pairs a
+// configured codec with a machine-independent compile pipeline (fanned
+// out across goroutines) and a playback path through the hardware
+// decompression-engine model.
+//
+// A Service is safe for concurrent use: compilation shares the
+// stateless codec, and playback state (the active image and the engine
+// cache) is guarded internally.
+type Service struct {
+	cfg config
+	cdc codec.Codec
+
+	mu      sync.RWMutex
+	img     *Image
+	engines map[int]*qctrl.Engine
+}
+
+// New builds a Service from functional options. With no options it
+// compiles with int-DCT-W, window 16, the default threshold, and
+// NumCPU-wide parallelism.
+func New(opts ...Option) (*Service, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	cdc, err := codec.New(cfg.codecName, cfg.params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.targetMSE > 0 {
+		if cfg.params.Threshold != 0 {
+			return nil, fmt.Errorf("compaqt: WithThreshold and a fidelity/MSE target are mutually exclusive")
+		}
+		if _, ok := cdc.(codec.FidelityEncoder); !ok {
+			return nil, fmt.Errorf("compaqt: codec %q does not support fidelity targeting", cdc.Name())
+		}
+	}
+	return &Service{cfg: cfg, cdc: cdc, engines: map[int]*qctrl.Engine{}}, nil
+}
+
+// Codec returns the service's configured compression backend.
+func (s *Service) Codec() codec.Codec { return s.cdc }
+
+// Parallelism returns the compile fan-out width.
+func (s *Service) Parallelism() int { return s.cfg.parallelism }
+
+// Compile compresses the machine's full calibrated pulse library into
+// an image, fanning pulses out across the configured number of
+// goroutines. The result is deterministic: entries appear in library
+// order regardless of parallelism. The image is also installed as the
+// service's active playback image.
+func (s *Service) Compile(ctx context.Context, m *qctrl.Machine) (*Image, error) {
+	return s.CompilePulses(ctx, m.Name, m.Library())
+}
+
+// CompilePulses compresses an explicit pulse list under the given
+// library name.
+func (s *Service) CompilePulses(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
+	img, err := s.compile(ctx, name, pulses)
+	if err != nil {
+		return nil, err
+	}
+	s.Use(img)
+	return img, nil
+}
+
+// CompileTo compiles the machine's library and streams the serialized
+// image to w, returning the number of bytes written.
+func (s *Service) CompileTo(ctx context.Context, m *qctrl.Machine, w io.Writer) (int64, error) {
+	img, err := s.Compile(ctx, m)
+	if err != nil {
+		return 0, err
+	}
+	return img.WriteTo(w)
+}
+
+// OpenImage deserializes an image from r and installs it as the
+// service's active playback image.
+func (s *Service) OpenImage(r io.Reader) (*Image, error) {
+	img, err := core.ReadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	s.Use(img)
+	return img, nil
+}
+
+// Use installs img as the active playback image.
+func (s *Service) Use(img *Image) {
+	s.mu.Lock()
+	s.img = img
+	s.mu.Unlock()
+}
+
+// Image returns the active playback image, or nil if none is loaded.
+func (s *Service) Image() *Image {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.img
+}
+
+// Play streams one entry of the active image through the hardware
+// decompression pipeline model, returning the reconstructed waveform
+// and the engine activity statistics.
+func (s *Service) Play(ctx context.Context, key string) (*waveform.Fixed, qctrl.EngineStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, qctrl.EngineStats{}, err
+	}
+	img := s.Image()
+	if img == nil {
+		return nil, qctrl.EngineStats{}, fmt.Errorf("compaqt: no image loaded (Compile or OpenImage first)")
+	}
+	e, err := img.Lookup(key)
+	if err != nil {
+		return nil, qctrl.EngineStats{}, err
+	}
+	if img.WindowSize == 0 {
+		return nil, qctrl.EngineStats{}, fmt.Errorf(
+			"compaqt: image %q was not compiled with a windowed codec; playback requires intdct-w", img.Machine)
+	}
+	eng, err := s.engine(img.WindowSize)
+	if err != nil {
+		return nil, qctrl.EngineStats{}, err
+	}
+	return eng.Run(e.Compressed)
+}
+
+// engine returns the cached decompression engine for a window size,
+// building it on first use. Engines are immutable and shared across
+// goroutines.
+func (s *Service) engine(ws int) (*qctrl.Engine, error) {
+	s.mu.RLock()
+	eng := s.engines[ws]
+	s.mu.RUnlock()
+	if eng != nil {
+		return eng, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eng = s.engines[ws]; eng != nil {
+		return eng, nil
+	}
+	eng, err := qctrl.NewEngine(ws)
+	if err != nil {
+		return nil, err
+	}
+	s.engines[ws] = eng
+	return eng, nil
+}
+
+// compile runs the per-pulse fan-out: a bounded worker pool pulls
+// pulse indices from a feed channel and writes entries by index, so
+// the output order is the library order at any parallelism. The first
+// error cancels the remaining work.
+func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
+	img := &Image{Machine: name}
+	if len(pulses) == 0 {
+		return img, nil
+	}
+	workers := s.cfg.parallelism
+	if workers > len(pulses) {
+		workers = len(pulses)
+	}
+
+	entries := make([]Entry, len(pulses))
+	if workers <= 1 {
+		for i, p := range pulses {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			e, err := s.compileOne(p)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = e
+		}
+		return s.finish(img, entries), nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range pulses {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				e, err := s.compileOne(pulses[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				entries[i] = e
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.finish(img, entries), nil
+}
+
+// finish attaches the entries and stamps the image's window size from
+// the compressed streams themselves: windowed variants record their
+// window, non-windowed ones (delta, dict, dct-n) leave it 0, which
+// marks the image as not playable through the hardware engine.
+func (s *Service) finish(img *Image, entries []Entry) *Image {
+	img.Entries = entries
+	if len(entries) > 0 {
+		img.WindowSize = entries[0].Compressed.WindowSize
+	}
+	return img
+}
+
+// compileOne compresses a single pulse through the configured codec,
+// applying fidelity-aware tuning when a target is set.
+func (s *Service) compileOne(p *qctrl.Pulse) (Entry, error) {
+	f := p.Waveform.Quantize()
+	var (
+		cc  *codec.Compressed
+		err error
+	)
+	if s.cfg.targetMSE > 0 {
+		fe := s.cdc.(codec.FidelityEncoder) // checked in New
+		cc, _, err = fe.EncodeWithTarget(f, s.cfg.targetMSE)
+	} else {
+		cc, err = s.cdc.Encode(f)
+	}
+	if err != nil {
+		return Entry{}, fmt.Errorf("compaqt: compiling %s: %w", p.Key(), err)
+	}
+	return Entry{Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: cc}, nil
+}

@@ -1,0 +1,61 @@
+// Package waveform is the public surface of COMPAQT's pulse-envelope
+// types: analytic calibrated shapes (DRAG, GaussianSquare, ...), the
+// fixed-point quantization the DACs play, frequency-division
+// multiplexing helpers, and the error metrics the compression stack is
+// evaluated against.
+//
+// The types are aliases of the implementation in internal/wave, so
+// values flow freely between the public API and the internal
+// compression and experiment drivers.
+package waveform
+
+import "compaqt/internal/wave"
+
+// FullScale is the fixed-point full-scale value: unit amplitude
+// quantizes to this sample value.
+const FullScale = wave.FullScale
+
+// Waveform is a complex baseband envelope sampled at a DAC rate: two
+// float64 channels (I, Q) in unit-amplitude terms.
+type Waveform = wave.Waveform
+
+// Fixed is a quantized waveform: two int16 channels as stored in
+// waveform memory and consumed by the DACs.
+type Fixed = wave.Fixed
+
+// Tone is one frequency-multiplexed component for MixFDM.
+type Tone = wave.Tone
+
+// Shape parameter structs for the calibrated pulse families.
+type (
+	GaussianParams       = wave.GaussianParams
+	DRAGParams           = wave.DRAGParams
+	GaussianSquareParams = wave.GaussianSquareParams
+	CosineTaperedParams  = wave.CosineTaperedParams
+)
+
+// Constructors for the calibrated pulse families (Section II of the
+// paper: DRAG 1Q gates, GaussianSquare cross-resonance and readout).
+var (
+	Gaussian       = wave.Gaussian
+	DRAG           = wave.DRAG
+	GaussianSquare = wave.GaussianSquare
+	CosineTapered  = wave.CosineTapered
+	Constant       = wave.Constant
+	Sum            = wave.Sum
+	SampleCount    = wave.SampleCount
+	QuantizeSample = wave.QuantizeSample
+)
+
+// FDM mixing and demodulation (Section VII-B extension).
+var (
+	MixFDM   = wave.MixFDM
+	DemodFDM = wave.DemodFDM
+)
+
+// Error metrics (Fig. 7c / Fig. 8 reporting).
+var (
+	MSE         = wave.MSE
+	MSEFixed    = wave.MSEFixed
+	MaxAbsError = wave.MaxAbsError
+)
