@@ -259,6 +259,61 @@ func benchServiceCompile(b *testing.B, parallelism int) {
 func BenchmarkServiceCompileSerial(b *testing.B)   { benchServiceCompile(b, 1) }
 func BenchmarkServiceCompileParallel(b *testing.B) { benchServiceCompile(b, runtime.NumCPU()) }
 
+// BenchmarkServiceCompileCached is BenchmarkServiceCompileSerial with
+// the content-addressed compile cache on, measured in the steady state
+// (cache warmed before the timer): the workload every calibration
+// cycle presents when the pulse library barely changes. The time/op
+// delta against Serial is the cache win on fully-repeated content.
+func BenchmarkServiceCompileCached(b *testing.B) {
+	m := device.Guadalupe()
+	svc, err := compaqt.New(compaqt.WithWindow(16), compaqt.WithParallelism(1), compaqt.WithCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Compile(ctx, m); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Compile(ctx, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(svc.CacheStats().HitRate(), "hit-rate")
+}
+
+// BenchmarkServiceCompileBatch compiles a batch with 75% repeated
+// pulses (the Guadalupe library replicated 4x): within-batch dedup
+// alone — no cross-call cache — so each iteration encodes one library
+// but emits four copies' worth of entries.
+func BenchmarkServiceCompileBatch(b *testing.B) {
+	m := device.Guadalupe()
+	lib := m.Library()
+	pulses := make([]*device.Pulse, 0, 4*len(lib))
+	for r := 0; r < 4; r++ {
+		pulses = append(pulses, lib...)
+	}
+	svc, err := compaqt.New(compaqt.WithWindow(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := svc.CompileBatch(ctx, m.Name, pulses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(img.Entries)), "entries")
+		}
+	}
+}
+
 func BenchmarkFidelityAwareCompression(b *testing.B) {
 	f := wave.DRAG("X", 4.54e9, wave.DRAGParams{
 		Amp: 0.45, Duration: 35.2e-9, Sigma: 8.8e-9, Beta: 0.6,

@@ -3,6 +3,23 @@
 // a machine's coupling map, ASAP scheduling, noisy simulation, and the
 // Table VI benchmark circuits.
 //
+// The flow mirrors a control-stack compiler: ParseQASM (or a builtin
+// from Benchmarks) yields a Circuit; Transpile decomposes it into the
+// native basis (rz/sx/x/cx) and routes it onto a qctrl.Machine's
+// coupling map, inserting swaps; ScheduleASAP assigns start times
+// against the machine's gate latencies. A Schedule's Bandwidth profile
+// is the paper's Fig. 5 argument in miniature: every scheduled gate
+// streams its calibrated waveform from memory, and the peak
+// words-per-second demand is what the (delta / dict / DCT-N / DCT-W /
+// int-DCT-W) compression variants divide down — the makespan itself is
+// what qctrl.Sequencer plays through the decompression engine.
+//
+// Simulate executes a routed circuit under a NoiseModel;
+// CompressionNoise layers the coherent error a lossy codec's envelope
+// distortion induces (via compaqt/fidelity) on top of device noise,
+// which is how the paper's end-to-end fidelity figures (Fig. 15) are
+// produced.
+//
 // The types are aliases of internal/circuit, so values interoperate
 // with the controller sequencer and the experiment drivers.
 package circuit

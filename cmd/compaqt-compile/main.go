@@ -7,6 +7,7 @@
 //
 //	compaqt-compile -machine ibmq_guadalupe -ws 16 -o guadalupe.cpqt
 //	compaqt-compile -machine ibmq_bogota -ws 8 -adaptive -mse 5e-6
+//	compaqt-compile -machine ibmq_guadalupe -batch 8 -cache 4096
 //	compaqt-compile -codecs            # list registered codecs
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"compaqt"
 	"compaqt/codec"
@@ -31,6 +33,8 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "enable flat-top adaptive compression (ASIC path)")
 	mse := flag.Float64("mse", 0, "fidelity-aware MSE target (0 = fixed threshold)")
 	jobs := flag.Int("j", runtime.NumCPU(), "compile parallelism (goroutines)")
+	batch := flag.Int("batch", 0, "submit the library as one deduplicated batch replicated N times (0 = per-pulse compile)")
+	cacheSize := flag.Int("cache", 0, "content-addressed compile cache capacity in entries (0 = disabled)")
 	out := flag.String("o", "", "output image path (default: none, stats only)")
 	flag.Parse()
 
@@ -69,11 +73,31 @@ func main() {
 	if *mse > 0 {
 		opts = append(opts, compaqt.WithMSETarget(*mse))
 	}
+	if *cacheSize > 0 {
+		opts = append(opts, compaqt.WithCache(*cacheSize))
+	}
 	svc, err := compaqt.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	img, err := svc.Compile(context.Background(), m)
+	var img *compaqt.Image
+	libLen := 0
+	start := time.Now()
+	if *batch > 0 {
+		// A batch of N library replicas stands in for N calibration
+		// cycles / shot batches whose pulse content largely repeats:
+		// CompileBatch encodes each distinct waveform once.
+		lib := m.Library()
+		libLen = len(lib)
+		pulses := make([]*qctrl.Pulse, 0, *batch*libLen)
+		for i := 0; i < *batch; i++ {
+			pulses = append(pulses, lib...)
+		}
+		img, err = svc.CompileBatch(context.Background(), m.Name, pulses)
+	} else {
+		img, err = svc.Compile(context.Background(), m)
+	}
+	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,6 +105,17 @@ func main() {
 	fmt.Printf("machine:        %s (%d qubits)\n", m.Name, m.Qubits)
 	fmt.Printf("codec:          %s\n", svc.Codec().Name())
 	fmt.Printf("pulses:         %d\n", s.Entries)
+	if *batch > 0 {
+		fmt.Printf("batch:          %d replicas of %d pulses, compiled in %v\n",
+			*batch, libLen, elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Printf("compile time:   %v\n", elapsed.Round(time.Microsecond))
+	}
+	if *cacheSize > 0 {
+		cs := svc.CacheStats()
+		fmt.Printf("cache:          %d hits, %d misses, %d evictions, %.1f KB saved (%.0f%% hit rate)\n",
+			cs.Hits, cs.Misses, cs.Evictions, float64(cs.BytesSaved)/1024, 100*cs.HitRate())
+	}
 	fmt.Printf("original:       %d words (%.1f KB)\n", s.OriginalWords, float64(s.OriginalWords)*2/1024)
 	fmt.Printf("packed:         %d words  R = %.2f\n", s.PackedWords, s.PackedRatio)
 	fmt.Printf("uniform:        %d words  R = %.2f (worst window %d)\n", s.UniformWords, s.UniformRatio, s.WorstWindow)

@@ -26,6 +26,8 @@ func main() {
 	ws := flag.Int("ws", 16, "int-DCT window size")
 	builtin := flag.String("builtin", "", "run a bundled Table VI benchmark instead of a file (e.g. qft-4, qaoa-6)")
 	emit := flag.Bool("emit", false, "print the parsed circuit back as QASM and exit")
+	batch := flag.Bool("batch", false, "compile only the circuit's pulses as one deduplicated batch (instead of the full library)")
+	cacheSize := flag.Int("cache", 0, "content-addressed compile cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	m, err := qctrl.ByName(*machine)
@@ -74,13 +76,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc, err := compaqt.New(compaqt.WithWindow(*ws))
+	opts := []compaqt.Option{compaqt.WithWindow(*ws)}
+	if *cacheSize > 0 {
+		opts = append(opts, compaqt.WithCache(*cacheSize))
+	}
+	svc, err := compaqt.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	img, err := svc.Compile(context.Background(), m)
-	if err != nil {
-		fatal(err)
+	var img *compaqt.Image
+	if *batch {
+		// Compile only what the schedule plays: one pulse reference per
+		// scheduled op, deduplicated by content inside CompileBatch.
+		pulses, err := scheduledPulses(m, sched)
+		if err != nil {
+			fatal(err)
+		}
+		img, err = svc.CompileBatch(context.Background(), m.Name, pulses)
+		if err != nil {
+			fatal(err)
+		}
+		uniq := map[string]bool{}
+		for _, p := range pulses {
+			uniq[p.Key()] = true
+		}
+		// CompileBatch dedups by content, not key; with the cache on,
+		// its miss count is the number of waveforms actually encoded.
+		if *cacheSize > 0 {
+			fmt.Printf("batch compile:    %d pulse refs, %d distinct gates, %d waveforms encoded\n",
+				len(pulses), len(uniq), svc.CacheStats().Misses)
+		} else {
+			fmt.Printf("batch compile:    %d pulse refs, %d distinct gates\n", len(pulses), len(uniq))
+		}
+	} else {
+		img, err = svc.Compile(context.Background(), m)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	seq, err := qctrl.NewSequencer(m, img)
 	if err != nil {
@@ -101,6 +133,39 @@ func main() {
 	fmt.Printf("memory traffic:   %d words compressed vs %d uncompressed (%.2fx reduction)\n",
 		st.Engine.MemWords, st.UncompressedWords, st.BandwidthReduction())
 	fmt.Printf("engines at peak:  %d concurrent decompression pipelines\n", st.PeakConcurrentEngines)
+}
+
+// scheduledPulses maps every scheduled op to the calibrated pulse(s)
+// it plays (mirroring the sequencer's gate -> waveform-key mapping),
+// with repeats preserved — CompileBatch dedups them by content.
+func scheduledPulses(m *qctrl.Machine, sched *circuit.Schedule) ([]*qctrl.Pulse, error) {
+	var pulses []*qctrl.Pulse
+	for _, op := range sched.Ops {
+		g := op.Gate
+		var (
+			p   *qctrl.Pulse
+			err error
+		)
+		switch g.Name {
+		case "rz":
+			continue // virtual
+		case "x":
+			p = m.XPulse(g.Qubits[0])
+		case "sx":
+			p = m.SXPulse(g.Qubits[0])
+		case "cx":
+			p, err = m.CXPulse(g.Qubits[0], g.Qubits[1])
+		case "measure":
+			p = m.MeasPulse(g.Qubits[0])
+		default:
+			return nil, fmt.Errorf("cannot map gate %q to a pulse", g.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pulses = append(pulses, p)
+	}
+	return pulses, nil
 }
 
 func fatal(err error) {

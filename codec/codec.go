@@ -74,6 +74,20 @@ type Codec interface {
 	Ratio(c *Compressed) float64
 }
 
+// Fingerprinter is implemented by codecs whose identity and parameters
+// reduce to a stable fingerprint. The compaqt Service keys its
+// content-addressed compile cache by CacheKey plus pulse content, so
+// two codec instances with equal CacheKey must produce byte-identical
+// encodings for the same input. Codecs that do not implement it are
+// fingerprinted by Name alone — safe within one Service (which holds a
+// single codec configuration) but not across differently-parameterized
+// instances sharing a cache.
+type Fingerprinter interface {
+	// CacheKey returns a stable fingerprint of the codec's identity and
+	// of every parameter that affects its encoded output.
+	CacheKey() string
+}
+
 // FidelityEncoder is implemented by codecs that can tune themselves to
 // a per-pulse round-trip MSE target (Algorithm 1 of the paper).
 type FidelityEncoder interface {

@@ -1,0 +1,48 @@
+package codec_test
+
+import (
+	"fmt"
+	"log"
+
+	"compaqt/codec"
+	"compaqt/waveform"
+)
+
+// renamedCodec shows the shape of a third-party backend: it wraps the
+// built-in lossless delta codec under its own registry name. A real
+// backend would implement Encode/Decode/Ratio itself.
+type renamedCodec struct{ codec.Codec }
+
+func (renamedCodec) Name() string { return "delta-wrapped" }
+
+// ExampleRegister plugs a new compression backend into the process-wide
+// registry and builds a Service-compatible codec from it, without
+// touching any core package.
+func ExampleRegister() {
+	codec.Register("delta-wrapped", func(p codec.Params) (codec.Codec, error) {
+		inner, err := codec.New("delta", p)
+		if err != nil {
+			return nil, err
+		}
+		return renamedCodec{inner}, nil
+	})
+
+	c, err := codec.New("delta-wrapped", codec.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := waveform.Gaussian("X", 4.5e9, waveform.GaussianParams{
+		Amp: 0.5, Duration: 32e-9, Sigma: 8e-9,
+	}).Quantize()
+	enc, err := c.Encode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s round-trips %d samples losslessly: %t\n",
+		c.Name(), f.Samples(), waveform.MSEFixed(f, dec) == 0)
+	// Output: delta-wrapped round-trips 144 samples losslessly: true
+}

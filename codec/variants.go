@@ -79,6 +79,14 @@ func newVariantCodec(name string, v compress.Variant, p Params) (*variantCodec, 
 
 func (vc *variantCodec) Name() string { return vc.name }
 
+// CacheKey implements Fingerprinter: the registry name plus every
+// option that shapes the encoded stream (window, effective threshold,
+// adaptive path). Layout is excluded — it only affects Ratio
+// accounting, not the encoding.
+func (vc *variantCodec) CacheKey() string {
+	return vc.name + "/" + vc.opts.Fingerprint()
+}
+
 func (vc *variantCodec) Encode(f *waveform.Fixed) (*Compressed, error) {
 	return compress.Compress(f, vc.opts)
 }

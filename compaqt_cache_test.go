@@ -1,0 +1,260 @@
+// Tests for the content-addressed compile cache and the batch compile
+// pipeline: cached results must be byte-identical to fresh compiles for
+// every registered codec, CompileBatch must be order-stable and
+// equivalent to per-pulse compilation, and the cache must stay
+// consistent under concurrent compiles (run with -race).
+package compaqt_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/qctrl"
+)
+
+// TestCachedCompileByteIdentical compiles the same library cold, warm
+// (cache populated) and hot (all hits) for every registered codec and
+// requires bit-equality throughout — a cache hit must be
+// indistinguishable from a fresh compile.
+func TestCachedCompileByteIdentical(t *testing.T) {
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	for _, name := range codec.Names() {
+		t.Run(name, func(t *testing.T) {
+			cold, err := compaqt.New(compaqt.WithCodec(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := cold.Compile(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cached, err := compaqt.New(compaqt.WithCodec(name), compaqt.WithCache(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := cached.Compile(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, first) {
+				t.Error("cache-miss compile differs from uncached compile")
+			}
+			second, err := cached.Compile(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, second) {
+				t.Error("cache-hit compile differs from uncached compile")
+			}
+
+			st := cached.CacheStats()
+			n := uint64(len(ref.Entries))
+			if st.Misses != n {
+				t.Errorf("misses = %d, want %d (one per pulse on the first compile)", st.Misses, n)
+			}
+			if st.Hits != n {
+				t.Errorf("hits = %d, want %d (every pulse served from cache on the second)", st.Hits, n)
+			}
+			if st.BytesSaved == 0 {
+				t.Error("BytesSaved should be nonzero after a fully-hit compile")
+			}
+		})
+	}
+}
+
+// TestCachedFidelityCompile covers the Algorithm 1 path: the fidelity
+// target participates in the digest, and cached tuned encodings are
+// byte-identical to fresh ones.
+func TestCachedFidelityCompile(t *testing.T) {
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	cold, err := compaqt.New(compaqt.WithMSETarget(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cold.Compile(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := compaqt.New(compaqt.WithMSETarget(1e-6), compaqt.WithCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		img, err := cached.Compile(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, img) {
+			t.Fatalf("fidelity-targeted compile %d differs from uncached reference", i)
+		}
+	}
+	if st := cached.CacheStats(); st.Hits != uint64(len(ref.Entries)) {
+		t.Errorf("hits = %d, want %d", st.Hits, len(ref.Entries))
+	}
+}
+
+// TestCompileBatchOrderStableAndByteIdentical: a batch with heavy
+// duplication (the library forward + reversed) must produce entries
+// aligned with the inputs and byte-identical to per-pulse compilation,
+// with and without the cross-call cache.
+func TestCompileBatchOrderStableAndByteIdentical(t *testing.T) {
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	lib := m.Library()
+	pulses := make([]*qctrl.Pulse, 0, 2*len(lib))
+	pulses = append(pulses, lib...)
+	for i := len(lib) - 1; i >= 0; i-- {
+		pulses = append(pulses, lib[i])
+	}
+
+	refSvc, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSvc.CompilePulses(ctx, m.Name, pulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range map[string][]compaqt.Option{
+		"no cache":   nil,
+		"with cache": {compaqt.WithCache(0)},
+	} {
+		svc, err := compaqt.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := svc.CompileBatch(ctx, m.Name, pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img.Entries) != len(pulses) {
+			t.Fatalf("batch produced %d entries for %d pulses", len(img.Entries), len(pulses))
+		}
+		for i, p := range pulses {
+			if img.Entries[i].Key != p.Key() {
+				t.Fatalf("entry %d is %s, want input order %s", i, img.Entries[i].Key, p.Key())
+			}
+		}
+		if !reflect.DeepEqual(ref, img) {
+			t.Error("CompileBatch image differs from per-pulse CompilePulses")
+		}
+		if got := svc.Image(); got != img {
+			t.Error("CompileBatch should install the image as active")
+		}
+	}
+}
+
+// TestCompileBatchDedupAcrossCalls: with the cache enabled, the first
+// batch pays one miss per unique waveform and the second batch is
+// served entirely from cache.
+func TestCompileBatchDedupAcrossCalls(t *testing.T) {
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	lib := m.Library()
+	batch := append(append([]*qctrl.Pulse{}, lib...), lib...) // 50% repeats
+
+	svc, err := compaqt.New(compaqt.WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CompileBatch(ctx, m.Name, batch); err != nil {
+		t.Fatal(err)
+	}
+	st1 := svc.CacheStats()
+	if st1.Misses == 0 || st1.Misses > uint64(len(lib)) {
+		t.Errorf("first batch misses = %d, want in (0, %d]: one per unique waveform", st1.Misses, len(lib))
+	}
+	if st1.Hits != 0 {
+		t.Errorf("first batch hits = %d, want 0", st1.Hits)
+	}
+
+	if _, err := svc.CompileBatch(ctx, m.Name, batch); err != nil {
+		t.Fatal(err)
+	}
+	st2 := svc.CacheStats()
+	if st2.Misses != st1.Misses {
+		t.Errorf("second batch added %d misses, want 0", st2.Misses-st1.Misses)
+	}
+	if st2.Hits != st1.Misses {
+		t.Errorf("second batch hits = %d, want %d (every unique waveform cached)", st2.Hits, st1.Misses)
+	}
+}
+
+func TestCompileBatchEmptyAndCancelled(t *testing.T) {
+	m := qctrl.Guadalupe()
+	svc, err := compaqt.New(compaqt.WithParallelism(4), compaqt.WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := svc.CompileBatch(context.Background(), "empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Entries) != 0 || img.Machine != "empty" {
+		t.Errorf("empty batch produced %+v", img)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.CompileBatch(ctx, m.Name, m.Library()); err == nil {
+		t.Error("CompileBatch with cancelled context should fail")
+	}
+}
+
+// TestCacheConcurrentCompiles stresses a small shared cache (evictions
+// churning) from parallel Compile and CompileBatch callers; run with
+// -race. Every result must match the uncached reference.
+func TestCacheConcurrentCompiles(t *testing.T) {
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	refSvc, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSvc.Compile(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capacity below the library size forces concurrent eviction.
+	svc, err := compaqt.New(compaqt.WithCache(16), compaqt.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	imgs := make([]*compaqt.Image, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				imgs[w], errs[w] = svc.CompilePulses(ctx, m.Name, m.Library())
+			} else {
+				imgs[w], errs[w] = svc.CompileBatch(ctx, m.Name, m.Library())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(ref.Entries, imgs[w].Entries) {
+			t.Errorf("worker %d image differs from uncached reference", w)
+		}
+	}
+	st := svc.CacheStats()
+	if st.Entries > 16+15 { // capacity rounds up to at most one extra entry per shard
+		t.Errorf("cache holds %d entries, capacity 16 (plus shard rounding)", st.Entries)
+	}
+}

@@ -12,11 +12,23 @@
 //		compaqt.WithWindow(16),
 //		compaqt.WithMSETarget(5e-6),
 //		compaqt.WithParallelism(runtime.NumCPU()),
+//		compaqt.WithCache(4096),                // content-addressed compile cache
 //	)
 //	img, err := svc.Compile(ctx, qctrl.Guadalupe())
+//	img, err = svc.CompileBatch(ctx, m.Name, pulses) // dedup within the batch
+//	st := svc.CacheStats()                      // hits, misses, bytes saved
 //	n, err := svc.CompileTo(ctx, m, file)       // serialize the image
 //	img, err = svc.OpenImage(file)              // ... and load it back
 //	wave, stats, err := svc.Play(ctx, "X_q3")   // hardware-model playback
+//
+// Pulse libraries are highly redundant — the same calibrated waveforms
+// recur across circuits, shots and calibration cycles — so WithCache
+// hashes each quantized pulse together with the codec's fingerprint
+// (and fidelity target) into a sharded LRU; repeated content skips the
+// encoders and is byte-identical to a fresh compile. CompileBatch
+// additionally deduplicates inside one submission before fanning the
+// unique work out to the worker pool. See ARCHITECTURE.md for the
+// layer diagram and data flow.
 //
 // The public subpackages:
 //
@@ -35,7 +47,7 @@
 //   - experiments: one driver per table and figure of the paper
 //
 // The implementation lives under internal/ (wave, device, dct, csd,
-// rle, compress, membank, engine, hwmodel, controller, quantum,
+// rle, compress, cache, membank, engine, hwmodel, controller, quantum,
 // clifford, circuit, surface, core, experiments); the public packages
 // alias those types, so values flow freely across the boundary.
 //

@@ -1,0 +1,69 @@
+// Runnable godoc examples for the public compile/playback API; go test
+// executes them and checks the Output comments, so the documentation
+// cannot drift from the code.
+package compaqt_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"compaqt"
+	"compaqt/qctrl"
+)
+
+// ExampleNew builds a Service the way a controller deployment would:
+// the hardware codec (windowed integer DCT), an explicit window, and
+// the content-addressed compile cache for repeated calibration cycles.
+func ExampleNew() {
+	svc, err := compaqt.New(
+		compaqt.WithCodec("intdct-w"),
+		compaqt.WithWindow(16),
+		compaqt.WithCache(1024),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(svc.Codec().Name())
+	// Output: intdct-w
+}
+
+// ExampleService_Compile compresses a machine's full calibrated pulse
+// library into a waveform-memory image.
+func ExampleService_Compile() {
+	m := qctrl.Bogota()
+	svc, err := compaqt.New(compaqt.WithWindow(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := svc.Compile(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := img.Stats()
+	fmt.Printf("%s: %d pulses, R = %.1fx packed\n", img.Machine, s.Entries, s.PackedRatio)
+	// Output: ibmq_bogota: 23 pulses, R = 7.7x packed
+}
+
+// ExampleService_CompileBatch submits a batch with heavy repetition —
+// two copies of the library, as recurring shots would — and lets the
+// content-addressed pipeline deduplicate: every distinct waveform is
+// encoded once, and the cache stats show exactly how much work was
+// avoided.
+func ExampleService_CompileBatch() {
+	m := qctrl.Bogota()
+	svc, err := compaqt.New(compaqt.WithCache(0)) // 0 = DefaultCacheSize
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := m.Library()
+	batch := append(append([]*qctrl.Pulse{}, lib...), lib...)
+
+	img, err := svc.CompileBatch(context.Background(), m.Name, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := svc.CacheStats()
+	fmt.Printf("%d entries from %d unique encodes\n", len(img.Entries), st.Misses)
+	// Output: 46 entries from 23 unique encodes
+}

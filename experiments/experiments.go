@@ -2,6 +2,20 @@
 // drivers: one registered experiment per table and figure of the MICRO
 // 2022 paper, each returning a rendered text table with the paper's
 // reference numbers alongside.
+//
+// Experiments are addressed by id — "fig5a" through "fig20", "table1"
+// through "table9" — via ByID, or enumerated in registration order via
+// All. Each driver regenerates its artifact from first principles:
+// the memory/bandwidth walls (Fig. 5), compression ratios of all five
+// variants — delta, dict, DCT-N, DCT-W, int-DCT-W — across window
+// sizes (Fig. 7), fidelity under compression (Fig. 9, Fig. 15, Table
+// III), the per-window word histograms behind the uniform layout
+// (Fig. 11), decompression-engine microarchitecture numbers (Fig. 16,
+// Table IV), QEC scaling (Fig. 17, Table V), and the power and
+// adaptive-ASIC results (Fig. 18-20). The cmd/compaqt-report binary
+// prints them all; bench_test.go wraps each driver in a benchmark so
+// `go test -bench=.` reproduces the evaluation with headline numbers
+// as metrics.
 package experiments
 
 import "compaqt/internal/experiments"

@@ -2,6 +2,21 @@
 // evaluation: randomized benchmarking (Fig. 9 / Table III) and the
 // unitary integration that turns a compressed pulse's envelope
 // distortion into a coherent error channel.
+//
+// The question the paper must answer is whether lossy compression —
+// the thresholded DCT-N/DCT-W/int-DCT-W variants (delta and dict are
+// the lossless/fixed baselines) — degrades gates. CoherentError1Q and
+// CoherentErrorCR integrate an original-vs-distorted envelope pair
+// into the residual unitary the distortion applies (Section IV-C);
+// AvgGateFidelity2/AvgGateFidelity4 score that unitary against the
+// identity. RunRB then closes the loop experimentally: DefaultRB
+// builds the paper's two-qubit randomized-benchmarking configuration,
+// and the fitted RBResult decay (per-sequence-length survivals,
+// fidelity, error-per-Clifford) shows compressed and uncompressed
+// libraries are statistically indistinguishable at the paper's
+// operating thresholds. compaqt.WithFidelityTarget / WithMSETarget
+// (Algorithm 1) is the knob that keeps each pulse inside the MSE
+// budget these metrics validate.
 package fidelity
 
 import (

@@ -1,0 +1,214 @@
+// Package cache implements the content-addressed compile cache behind
+// Service.Compile and Service.CompileBatch (and the digest that keys
+// it). The paper's premise is that pulse libraries are highly
+// redundant — the same calibrated waveforms recur across circuits,
+// shots and calibration cycles — so the compiler front end hashes each
+// quantized waveform together with the codec's identity and parameters
+// and looks the digest up in a sharded, mutex-striped LRU before
+// running the DCT/dict/delta encoders.
+//
+// The cache stores opaque values (the Service stores *codec.Compressed)
+// and treats them as immutable: a hit hands back the same value that
+// was inserted, shared across callers and goroutines.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"compaqt/internal/wave"
+)
+
+// Key is the 256-bit content digest addressing one cached encoding.
+// Build one with DigestWaveform.
+type Key [32]byte
+
+// numShards stripes the LRU across independently locked shards so
+// concurrent compile workers do not serialize on one mutex. Must be a
+// power of two (the shard index is a mask of the digest's low bits).
+const numShards = 16
+
+// entry is one cached value plus the byte cost it stands in for.
+type entry struct {
+	key Key
+	val any
+	// size is the caller-declared cost of recomputing the value (the
+	// Service passes the uncompressed waveform's byte footprint); every
+	// hit adds it to Stats.BytesSaved.
+	size int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+// LRU is a sharded, mutex-striped, fixed-capacity LRU map from content
+// digests to immutable values. All methods are safe for concurrent use.
+type LRU struct {
+	shards      [numShards]shard
+	capPerShard int
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	bytesSaved atomic.Uint64
+}
+
+// NewLRU builds an LRU holding about capacity entries in total. The
+// capacity is split evenly across the shards (rounded up, so the
+// effective total is at most numShards-1 entries above the request);
+// capacities below one entry per shard are raised to one.
+func NewLRU(capacity int) *LRU {
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	l := &LRU{capPerShard: per}
+	for i := range l.shards {
+		l.shards[i].ll = list.New()
+		l.shards[i].items = make(map[Key]*list.Element)
+	}
+	return l
+}
+
+func (l *LRU) shardFor(k Key) *shard {
+	return &l.shards[binary.LittleEndian.Uint64(k[:8])&(numShards-1)]
+}
+
+// Get returns the value cached under k, marking it most recently used.
+func (l *LRU) Get(k Key) (any, bool) {
+	s := l.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		l.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	ent := el.Value.(*entry)
+	v, size := ent.val, ent.size
+	s.mu.Unlock()
+	l.hits.Add(1)
+	l.bytesSaved.Add(uint64(size))
+	return v, true
+}
+
+// Add inserts v under k with the given recompute cost in bytes,
+// evicting least-recently-used entries from k's shard as needed. Adding
+// an existing key refreshes its value and recency.
+func (l *LRU) Add(k Key, v any, size int64) {
+	s := l.shardFor(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		ent := el.Value.(*entry)
+		ent.val, ent.size = v, size
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[k] = s.ll.PushFront(&entry{key: k, val: v, size: size})
+	evicted := uint64(0)
+	for s.ll.Len() > l.capPerShard {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*entry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		l.evictions.Add(evicted)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (l *LRU) Len() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	// Hits and Misses count Get outcomes since construction.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to stay within capacity.
+	Evictions uint64
+	// Entries is the current cached-entry count.
+	Entries int
+	// BytesSaved accumulates, over all hits, the caller-declared
+	// recompute cost of the hit entries — for the compile cache, the
+	// uncompressed waveform bytes that did not have to be re-encoded.
+	BytesSaved uint64
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters. The snapshot is not atomic across
+// fields, but each field is individually consistent.
+func (l *LRU) Stats() Stats {
+	return Stats{
+		Hits:       l.hits.Load(),
+		Misses:     l.misses.Load(),
+		Evictions:  l.evictions.Load(),
+		Entries:    l.Len(),
+		BytesSaved: l.bytesSaved.Load(),
+	}
+}
+
+// DigestWaveform hashes everything that determines a pulse's encoding:
+// the codec fingerprint (identity plus parameters, see
+// codec.Fingerprinter), the fidelity target driving Algorithm 1 (0 when
+// fixed-threshold), and the waveform content itself (sample rate and
+// both quantized channels). The pulse name is deliberately excluded —
+// identical content under different gate names shares one entry, and
+// the Service restores the name on a hit.
+func DigestWaveform(fingerprint string, targetMSE float64, f *wave.Fixed) Key {
+	h := sha256.New()
+	writeUint64(h, uint64(len(fingerprint)))
+	io.WriteString(h, fingerprint)
+	writeUint64(h, math.Float64bits(targetMSE))
+	writeUint64(h, math.Float64bits(f.SampleRate))
+	writeChannel(h, f.I)
+	writeChannel(h, f.Q)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func writeUint64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// writeChannel hashes one int16 channel, length-prefixed so adjacent
+// fields cannot alias across channel boundaries.
+func writeChannel(h hash.Hash, samples []int16) {
+	writeUint64(h, uint64(len(samples)))
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(s))
+	}
+	h.Write(buf)
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"compaqt/internal/wave"
+)
+
+// shardKey builds a key that lands in shard `shard` with a unique tail,
+// so eviction order can be tested deterministically within one shard.
+func shardKey(shard, id int) Key {
+	var k Key
+	binary.LittleEndian.PutUint64(k[:8], uint64(shard)&(numShards-1))
+	binary.LittleEndian.PutUint64(k[8:16], uint64(id))
+	return k
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// numShards*3 total capacity = 3 entries per shard; all keys in
+	// shard 0 so the LRU order is exercised on one list.
+	l := NewLRU(numShards * 3)
+	k1, k2, k3, k4 := shardKey(0, 1), shardKey(0, 2), shardKey(0, 3), shardKey(0, 4)
+	l.Add(k1, "a", 1)
+	l.Add(k2, "b", 1)
+	l.Add(k3, "c", 1)
+
+	// Touch k1 so k2 becomes the least recently used.
+	if _, ok := l.Get(k1); !ok {
+		t.Fatal("k1 should be cached")
+	}
+	l.Add(k4, "d", 1)
+
+	if _, ok := l.Get(k2); ok {
+		t.Error("k2 should have been evicted as least recently used")
+	}
+	for _, k := range []Key{k1, k3, k4} {
+		if _, ok := l.Get(k); !ok {
+			t.Errorf("key %x should have survived eviction", k[:2])
+		}
+	}
+	if st := l.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLRUCapacityBound(t *testing.T) {
+	const capacity = 32
+	l := NewLRU(capacity)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		var k Key
+		rng.Read(k[:])
+		l.Add(k, i, 1)
+	}
+	if n := l.Len(); n > capacity {
+		t.Errorf("Len() = %d exceeds capacity %d", n, capacity)
+	}
+	st := l.Stats()
+	if st.Entries != l.Len() {
+		t.Errorf("Stats().Entries = %d, Len() = %d", st.Entries, l.Len())
+	}
+	if st.Evictions == 0 {
+		t.Error("500 inserts into a 32-entry cache should evict")
+	}
+}
+
+func TestLRUAddExistingRefreshes(t *testing.T) {
+	l := NewLRU(numShards) // one entry per shard
+	k := shardKey(3, 1)
+	l.Add(k, "old", 10)
+	l.Add(k, "new", 20)
+	if n := l.Len(); n != 1 {
+		t.Fatalf("Len() = %d after re-adding the same key, want 1", n)
+	}
+	v, ok := l.Get(k)
+	if !ok || v.(string) != "new" {
+		t.Errorf("Get = %v, %t; want refreshed value \"new\"", v, ok)
+	}
+}
+
+func TestLRUStatsAccounting(t *testing.T) {
+	l := NewLRU(64)
+	k := shardKey(0, 1)
+	if _, ok := l.Get(k); ok {
+		t.Fatal("empty cache should miss")
+	}
+	l.Add(k, "v", 100)
+	l.Get(k)
+	l.Get(k)
+	st := l.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.BytesSaved != 200 {
+		t.Errorf("BytesSaved = %d, want 200 (two hits at size 100)", st.BytesSaved)
+	}
+	if got, want := st.HitRate(), 2.0/3.0; got != want {
+		t.Errorf("HitRate = %g, want %g", got, want)
+	}
+}
+
+// TestLRUConcurrent hammers overlapping keys from many goroutines; run
+// with -race (CI does) to verify the striped locking.
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU(128)
+	const (
+		workers = 8
+		ops     = 2000
+		keySet  = 300 // > capacity, so eviction churns concurrently
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := shardKey(rng.Intn(numShards), rng.Intn(keySet))
+				if v, ok := l.Get(k); ok {
+					if v.(int) != int(binary.LittleEndian.Uint64(k[8:16])) {
+						t.Error("cache returned a value inserted under a different key")
+						return
+					}
+				} else {
+					l.Add(k, int(binary.LittleEndian.Uint64(k[8:16])), 4)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if l.Len() > 128 {
+		t.Errorf("Len() = %d exceeds capacity after concurrent churn", l.Len())
+	}
+}
+
+func TestDigestWaveform(t *testing.T) {
+	f := &wave.Fixed{Name: "X_q0", SampleRate: 4.9152e9, I: []int16{1, 2, 3}, Q: []int16{-1, 0, 1}}
+	base := DigestWaveform("intdct-w/ws=16", 0, f)
+
+	renamed := *f
+	renamed.Name = "X_q7"
+	if DigestWaveform("intdct-w/ws=16", 0, &renamed) != base {
+		t.Error("digest must ignore the pulse name (content addressing)")
+	}
+
+	cases := map[string]Key{
+		"codec fingerprint": DigestWaveform("intdct-w/ws=8", 0, f),
+		"fidelity target":   DigestWaveform("intdct-w/ws=16", 1e-6, f),
+		"sample rate": DigestWaveform("intdct-w/ws=16", 0,
+			&wave.Fixed{SampleRate: 2e9, I: f.I, Q: f.Q}),
+		"samples": DigestWaveform("intdct-w/ws=16", 0,
+			&wave.Fixed{SampleRate: f.SampleRate, I: []int16{1, 2, 4}, Q: f.Q}),
+		// Channel boundaries are length-prefixed: moving a sample from Q
+		// to I must change the digest.
+		"channel split": DigestWaveform("intdct-w/ws=16", 0,
+			&wave.Fixed{SampleRate: f.SampleRate, I: []int16{1, 2, 3, -1}, Q: []int16{0, 1}}),
+	}
+	for name, k := range cases {
+		if k == base {
+			t.Errorf("digest must depend on %s", name)
+		}
+	}
+}

@@ -98,6 +98,17 @@ func (o Options) threshold() float64 {
 	return o.Threshold
 }
 
+// Fingerprint renders the options that determine Compress output —
+// variant, window, effective threshold, adaptive — as a stable string
+// for content-addressed cache keying. Two Options with equal
+// fingerprints produce byte-identical streams for the same input.
+// Layout is excluded on purpose: it only changes Ratio accounting,
+// never the encoded stream.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%v/ws=%d/thr=%g/adaptive=%t",
+		o.Variant, o.WindowSize, o.threshold(), o.Adaptive)
+}
+
 // Channel is one compressed I or Q stream.
 type Channel struct {
 	// Stream is the word sequence as stored in memory: DCT windows

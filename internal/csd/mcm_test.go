@@ -5,8 +5,8 @@ import "testing"
 func TestMCMCostNeverExceedsNaive(t *testing.T) {
 	// CSE can only remove adders relative to independent CSD forms.
 	sets := [][]int32{
-		{89, 75, 50, 18},            // HEVC 8-point odd coefficients
-		{64, 83, 36},                // HEVC 4-point set
+		{89, 75, 50, 18},                // HEVC 8-point odd coefficients
+		{64, 83, 36},                    // HEVC 4-point set
 		{90, 87, 80, 70, 57, 43, 25, 9}, // HEVC 16-point odd set
 		{3, 5, 7, 9},
 		{1},

@@ -17,6 +17,9 @@ type config struct {
 	targetMSE float64
 	// parallelism is the compile fan-out width; 1 means serial.
 	parallelism int
+	// cacheSize is the compile-cache capacity in entries; 0 disables
+	// the cache (the default).
+	cacheSize int
 }
 
 func defaultConfig() config {
@@ -117,6 +120,43 @@ func WithLayout(l codec.Layout) Option {
 			return nil
 		}
 		return fmt.Errorf("compaqt: unknown layout %d", int(l))
+	}
+}
+
+// DefaultCacheSize is the compile-cache capacity (in cached waveform
+// encodings) that WithCache(0) selects. At typical calibrated-pulse
+// lengths it bounds the cache to a few MB of compressed streams.
+const DefaultCacheSize = 4096
+
+// WithCache enables the content-addressed compile cache with room for
+// n compressed waveforms (n == 0 selects DefaultCacheSize). Pulses are
+// digested over their quantized samples plus the codec's identity and
+// parameters (and the fidelity target, when set), so repeated content
+// across Compile and CompileBatch calls is encoded once and served
+// from the cache thereafter — the paper's observation that calibrated
+// waveforms recur across circuits and shots, turned into compile
+// throughput. The cache is per-Service and safe for concurrent use;
+// inspect it with Service.CacheStats. The default is no cache.
+func WithCache(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("compaqt: cache size %d must not be negative", n)
+		}
+		if n == 0 {
+			n = DefaultCacheSize
+		}
+		c.cacheSize = n
+		return nil
+	}
+}
+
+// WithCacheDisabled turns the compile cache off, undoing an earlier
+// WithCache. (Off is also the default; the option exists so callers
+// assembling option lists programmatically can state it explicitly.)
+func WithCacheDisabled() Option {
+	return func(c *config) error {
+		c.cacheSize = 0
+		return nil
 	}
 }
 

@@ -5,6 +5,23 @@
 // drive, the banked waveform-memory model behind the bandwidth wall,
 // and the hardware decompression engine.
 //
+// A Machine carries a chip's coupling map and per-qubit calibrations
+// (Table I parameters); Machine.Library enumerates its Pulses — one
+// calibrated waveform per gate per qubit (X, SX, directed CX, Meas) —
+// which is exactly the input compaqt.Service.Compile compresses into a
+// waveform-memory image. Pulse.Key ("CX_q3_q5", "X_q0") is the stable
+// identifier entries are looked up and played back by.
+//
+// The Engine models the hardware decompression pipeline of Fig. 10:
+// RLE codeword decode feeding a multiplierless shift-add inverse
+// integer DCT. It reconstructs int-DCT-W streams bit-exactly against
+// the software reference in internal/compress; the other variants
+// (delta, dict, DCT-N, DCT-W) exist for the paper's comparisons and
+// are rejected at playback. EngineStats reports cycles, memory words
+// fetched and samples produced — the bandwidth-expansion numbers the
+// paper's microarchitecture claims rest on. The Sequencer drives a
+// scheduled circuit through the engine, entry by entry.
+//
 // The types are aliases of internal/device, internal/controller,
 // internal/membank and internal/engine, so values interoperate with
 // the rest of the library.

@@ -3,6 +3,21 @@
 // patches and their syndrome-extraction circuits — the always-on
 // workload that defines a controller's bandwidth requirement
 // (Section VII-C of the paper).
+//
+// A Patch of distance d lays out data qubits and Ancillas, each ancilla
+// measuring one X or Z stabilizer (StabType) over its data neighbors.
+// Syndrome extraction runs continuously — every ancilla fires its
+// CX/H/measure pulse sequence each round — so unlike an algorithmic
+// circuit there is no idle time for waveform memory to catch up: the
+// patch's full pulse traffic is the controller's steady-state
+// bandwidth floor. That makes QEC the workload where compression
+// matters most; the paper's scaling result (Fig. 17b, Table V: how
+// many logical qubits one controller can drive at a given int-DCT-W
+// window) is computed over Surface17, Surface25 and Surface81, and is
+// exercised here through the experiments drivers and the qec-scaling
+// example. Compiling a patch's pulse working set through
+// compaqt.Service.CompileBatch deduplicates the heavily repeated
+// syndrome pulses before they ever reach the encoder.
 package qec
 
 import "compaqt/internal/surface"

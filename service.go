@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"compaqt/codec"
+	"compaqt/internal/cache"
 	"compaqt/internal/core"
 	"compaqt/qctrl"
 	"compaqt/waveform"
@@ -32,11 +33,21 @@ var ReadImage = core.ReadImage
 // decompression-engine model.
 //
 // A Service is safe for concurrent use: compilation shares the
-// stateless codec, and playback state (the active image and the engine
-// cache) is guarded internally.
+// stateless codec, the compile cache is internally striped, and
+// playback state (the active image and the engine cache) is guarded
+// internally.
 type Service struct {
 	cfg config
 	cdc codec.Codec
+
+	// cache, when non-nil, is the content-addressed compile cache
+	// (WithCache): quantized waveforms are digested together with
+	// fingerprint and looked up before the codec runs. Cached
+	// Compressed values are immutable and shared across hits.
+	cache *cache.LRU
+	// fingerprint is the codec's stable cache identity (codec name +
+	// params); it is folded into every content digest.
+	fingerprint string
 
 	mu      sync.RWMutex
 	img     *Image
@@ -65,7 +76,23 @@ func New(opts ...Option) (*Service, error) {
 			return nil, fmt.Errorf("compaqt: codec %q does not support fidelity targeting", cdc.Name())
 		}
 	}
-	return &Service{cfg: cfg, cdc: cdc, engines: map[int]*qctrl.Engine{}}, nil
+	s := &Service{cfg: cfg, cdc: cdc, engines: map[int]*qctrl.Engine{}}
+	s.fingerprint = codecFingerprint(cdc)
+	if cfg.cacheSize > 0 {
+		s.cache = cache.NewLRU(cfg.cacheSize)
+	}
+	return s, nil
+}
+
+// codecFingerprint resolves a codec's cache identity: CacheKey for
+// Fingerprinter implementations, the registry name otherwise. The name
+// fallback is safe because a Service's cache and batch dedup never mix
+// codec configurations — each Service holds exactly one codec instance.
+func codecFingerprint(c codec.Codec) string {
+	if f, ok := c.(codec.Fingerprinter); ok {
+		return f.CacheKey()
+	}
+	return c.Name()
 }
 
 // Codec returns the service's configured compression backend.
@@ -73,6 +100,20 @@ func (s *Service) Codec() codec.Codec { return s.cdc }
 
 // Parallelism returns the compile fan-out width.
 func (s *Service) Parallelism() int { return s.cfg.parallelism }
+
+// CacheStats is a snapshot of the compile cache's activity: hits,
+// misses, evictions, resident entries, and the uncompressed bytes whose
+// re-encoding the hits avoided.
+type CacheStats = cache.Stats
+
+// CacheStats reports compile-cache activity. It returns the zero Stats
+// when the cache is disabled (the default — see WithCache).
+func (s *Service) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
 
 // Compile compresses the machine's full calibrated pulse library into
 // an image, fanning pulses out across the configured number of
@@ -178,33 +219,162 @@ func (s *Service) engine(ws int) (*qctrl.Engine, error) {
 	return eng, nil
 }
 
-// compile runs the per-pulse fan-out: a bounded worker pool pulls
-// pulse indices from a feed channel and writes entries by index, so
-// the output order is the library order at any parallelism. The first
-// error cancels the remaining work.
+// compile runs the per-pulse fan-out over the worker pool: entries are
+// written by index, so the output order is the library order at any
+// parallelism.
 func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
 	img := &Image{Machine: name}
 	if len(pulses) == 0 {
 		return img, nil
 	}
-	workers := s.cfg.parallelism
-	if workers > len(pulses) {
-		workers = len(pulses)
+	entries := make([]Entry, len(pulses))
+	err := s.runPool(ctx, len(pulses), func(i int) error {
+		e, err := s.compileOne(pulses[i])
+		if err != nil {
+			return err
+		}
+		entries[i] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(img, entries), nil
+}
+
+// CompileBatch compresses an explicit pulse list like CompilePulses,
+// but deduplicates identical pulse content before any encoder runs:
+// every distinct waveform (quantized samples + codec identity/params +
+// fidelity target) is compressed exactly once — served from the compile
+// cache when one is enabled — and all duplicates reuse that result.
+// The returned image's entries align one-to-one with pulses, in input
+// order, and each is byte-identical to what a per-pulse Compile would
+// have produced. Unique work is fanned out across the configured worker
+// pool; the image is installed as the active playback image.
+func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
+	img := &Image{Machine: name}
+	if len(pulses) == 0 {
+		s.Use(img)
+		return img, nil
 	}
 
-	entries := make([]Entry, len(pulses))
-	if workers <= 1 {
-		for i, p := range pulses {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			e, err := s.compileOne(p)
-			if err != nil {
-				return nil, err
-			}
-			entries[i] = e
+	// Quantize and digest every input in parallel. The digest is the
+	// dedup key whether or not the cross-call cache is enabled.
+	// Pointer-identical pulses (callers often build batches by
+	// replicating a library slice) share one quantize+digest.
+	fixed := make([]*waveform.Fixed, len(pulses))
+	keys := make([]cache.Key, len(pulses))
+	owner := make([]int, len(pulses))
+	seen := make(map[*qctrl.Pulse]int, len(pulses))
+	uniq := make([]int, 0, len(pulses))
+	for i, p := range pulses {
+		if j, ok := seen[p]; ok {
+			owner[i] = j
+			continue
 		}
-		return s.finish(img, entries), nil
+		seen[p] = i
+		owner[i] = i
+		uniq = append(uniq, i)
+	}
+	err := s.runPool(ctx, len(uniq), func(j int) error {
+		i := uniq[j]
+		fixed[i] = pulses[i].Waveform.Quantize()
+		keys[i] = cache.DigestWaveform(s.fingerprint, s.cfg.targetMSE, fixed[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range owner {
+		if j != i {
+			fixed[i], keys[i] = fixed[j], keys[j]
+		}
+	}
+
+	// Unique digests in first-seen order; rep maps each digest to the
+	// index of its first occurrence (the representative that is encoded).
+	rep := make(map[cache.Key]int, len(pulses))
+	order := make([]cache.Key, 0, len(pulses))
+	for i, k := range keys {
+		if _, ok := rep[k]; !ok {
+			rep[k] = i
+			order = append(order, k)
+		}
+	}
+
+	// Resolve unique digests: cache hits first (one lookup per digest,
+	// not per duplicate), then fan the remaining encodes out.
+	encoded := make(map[cache.Key]*codec.Compressed, len(order))
+	work := order
+	if s.cache != nil {
+		work = work[:0:0]
+		for _, k := range order {
+			if v, ok := s.cache.Get(k); ok {
+				encoded[k] = v.(*codec.Compressed)
+			} else {
+				work = append(work, k)
+			}
+		}
+	}
+	results := make([]*codec.Compressed, len(work))
+	err = s.runPool(ctx, len(work), func(j int) error {
+		i := rep[work[j]]
+		cc, err := s.encode(fixed[i])
+		if err != nil {
+			return fmt.Errorf("compaqt: compiling %s: %w", pulses[i].Key(), err)
+		}
+		results[j] = cc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, k := range work {
+		encoded[k] = results[j]
+		if s.cache != nil {
+			s.cache.Add(k, results[j], int64(4*fixed[rep[k]].Samples()))
+		}
+	}
+
+	// Reassemble per-input entries in input order, restoring each
+	// pulse's own name on shared encodings.
+	entries := make([]Entry, len(pulses))
+	for i, p := range pulses {
+		entries[i] = Entry{
+			Key:        p.Key(),
+			Gate:       p.Gate,
+			Qubit:      p.Qubit,
+			Target:     p.Target,
+			Compressed: withName(encoded[keys[i]], fixed[i].Name),
+		}
+	}
+	s.finish(img, entries)
+	s.Use(img)
+	return img, nil
+}
+
+// runPool runs fn(0..n-1) across the configured parallelism: a bounded
+// worker pool pulls indices from a feed channel, so callers writing
+// results by index get deterministic output at any width. The first
+// error cancels the remaining work.
+func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := s.cfg.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -213,7 +383,7 @@ func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Puls
 	feed := make(chan int)
 	go func() {
 		defer close(feed)
-		for i := range pulses {
+		for i := 0; i < n; i++ {
 			select {
 			case feed <- i:
 			case <-ctx.Done():
@@ -232,26 +402,21 @@ func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Puls
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				e, err := s.compileOne(pulses[i])
-				if err != nil {
+				if err := fn(i); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						cancel()
 					})
 					return
 				}
-				entries[i] = e
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return s.finish(img, entries), nil
+	return ctx.Err()
 }
 
 // finish attaches the entries and stamps the image's window size from
@@ -266,22 +431,56 @@ func (s *Service) finish(img *Image, entries []Entry) *Image {
 	return img
 }
 
-// compileOne compresses a single pulse through the configured codec,
-// applying fidelity-aware tuning when a target is set.
+// compileOne compresses a single pulse through the configured codec
+// (by way of the compile cache, when enabled).
 func (s *Service) compileOne(p *qctrl.Pulse) (Entry, error) {
-	f := p.Waveform.Quantize()
-	var (
-		cc  *codec.Compressed
-		err error
-	)
-	if s.cfg.targetMSE > 0 {
-		fe := s.cdc.(codec.FidelityEncoder) // checked in New
-		cc, _, err = fe.EncodeWithTarget(f, s.cfg.targetMSE)
-	} else {
-		cc, err = s.cdc.Encode(f)
-	}
+	cc, err := s.encodeCached(p.Waveform.Quantize())
 	if err != nil {
 		return Entry{}, fmt.Errorf("compaqt: compiling %s: %w", p.Key(), err)
 	}
 	return Entry{Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: cc}, nil
+}
+
+// encodeCached encodes f, consulting the content-addressed cache when
+// one is enabled. A hit returns the cached encoding under f's own name;
+// a miss encodes and populates the cache, charging the entry with the
+// uncompressed byte footprint it will save on future hits.
+func (s *Service) encodeCached(f *waveform.Fixed) (*codec.Compressed, error) {
+	if s.cache == nil {
+		return s.encode(f)
+	}
+	k := cache.DigestWaveform(s.fingerprint, s.cfg.targetMSE, f)
+	if v, ok := s.cache.Get(k); ok {
+		return withName(v.(*codec.Compressed), f.Name), nil
+	}
+	cc, err := s.encode(f)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Add(k, cc, int64(4*f.Samples()))
+	return cc, nil
+}
+
+// encode runs the configured codec, applying fidelity-aware tuning
+// (Algorithm 1) when a target is set.
+func (s *Service) encode(f *waveform.Fixed) (*codec.Compressed, error) {
+	if s.cfg.targetMSE > 0 {
+		fe := s.cdc.(codec.FidelityEncoder) // checked in New
+		cc, _, err := fe.EncodeWithTarget(f, s.cfg.targetMSE)
+		return cc, err
+	}
+	return s.cdc.Encode(f)
+}
+
+// withName returns cc carrying the given pulse name, so a cache or
+// dedup hit is byte-identical to a fresh compile of the same content
+// under a different name. The compressed payload is shared, never
+// copied — Compressed values are immutable after compile.
+func withName(cc *codec.Compressed, name string) *codec.Compressed {
+	if cc.Name == name {
+		return cc
+	}
+	clone := *cc
+	clone.Name = name
+	return &clone
 }

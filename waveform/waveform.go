@@ -4,6 +4,23 @@
 // multiplexing helpers, and the error metrics the compression stack is
 // evaluated against.
 //
+// A Waveform is a complex baseband envelope — two float64 channels, I
+// and Q, in unit-amplitude terms — synthesized from a calibrated shape
+// family: DRAG for 1Q gates, GaussianSquare for cross-resonance and
+// readout tones (Section II of the paper). Quantize turns it into a
+// Fixed, the pair of int16 sample streams that waveform memory stores
+// and every compression variant (delta, dict, DCT-N, DCT-W, int-DCT-W;
+// see compaqt/codec) consumes. FullScale is the fixed-point scale: a
+// unit-amplitude sample quantizes to this value, and the codecs'
+// relative thresholds are fractions of it.
+//
+// MSE, MSEFixed and MaxAbsError are the round-trip error metrics the
+// paper reports (Fig. 7c, Fig. 8); fidelity-aware compression
+// (compaqt.WithMSETarget, Algorithm 1) drives a codec's threshold
+// until MSEFixed of the round trip meets the budget. MixFDM and
+// DemodFDM implement the frequency-division-multiplexing extension of
+// Section VII-B, where several qubits share one DAC channel.
+//
 // The types are aliases of the implementation in internal/wave, so
 // values flow freely between the public API and the internal
 // compression and experiment drivers.
