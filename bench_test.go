@@ -138,6 +138,108 @@ func BenchmarkTableIX(b *testing.B)   { benchExperiment(b, "table9") }
 
 // Microbenchmarks of the hot paths.
 
+// BenchmarkIntForward measures the integer forward transform kernel
+// (the Into variant the compile loop runs) at every supported window
+// size. 0 allocs/op is part of the contract.
+func BenchmarkIntForward(b *testing.B) {
+	for _, ws := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("ws%d", ws), func(b *testing.B) {
+			x := make([]int16, ws)
+			y := make([]int32, ws)
+			for i := range x {
+				x[i] = int16(900*i - 8000)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dct.IntForwardInto(y, x, ws)
+			}
+		})
+	}
+}
+
+// BenchmarkIntInverse measures the integer inverse transform kernel
+// (the Into variant the decompress loop runs) at every supported window
+// size. 0 allocs/op is part of the contract.
+func BenchmarkIntInverse(b *testing.B) {
+	for _, ws := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("ws%d", ws), func(b *testing.B) {
+			y := make([]int32, ws)
+			x := make([]int16, ws)
+			y[0], y[1], y[2] = 20000, -3000, 400
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dct.IntInverseInto(x, y, ws)
+			}
+		})
+	}
+}
+
+// BenchmarkForwardFast measures the plan-cached float DCT-II kernel
+// (ForwardInto): the cosine-table path at window sizes, the FFT path at
+// whole-waveform lengths. 0 allocs/op once the plan is cached (the FFT
+// scratch is pooled, so steady state reports 0).
+func BenchmarkForwardFast(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 256, 1024, 2752} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%17) / 17
+			}
+			dct.ForwardInto(y, x) // warm the plan cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dct.ForwardInto(y, x)
+			}
+		})
+	}
+}
+
+// BenchmarkForward measures the float DCT-II at window sizes and at the
+// long whole-waveform lengths the DCT-N variant transforms (2752 is the
+// Guadalupe CR pulse length — deliberately not a power of two).
+func BenchmarkForward(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 256, 1024, 2752} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%17) / 17
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dct.Forward(x)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunChannel streams a compressed CR pulse channel
+// through the decompression pipeline model.
+func BenchmarkEngineRunChannel(b *testing.B) {
+	m := device.Guadalupe()
+	p, err := m.CXPulse(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := p.Waveform.Quantize()
+	c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunChannel(&c.I, f.Samples()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkIntDCTForward16(b *testing.B) {
 	x := make([]int16, 16)
 	for i := range x {
@@ -234,11 +336,11 @@ func BenchmarkCompileGuadalupeLibrary(b *testing.B) {
 }
 
 // benchServiceCompile compiles the Guadalupe library (the bench_test
-// corpus) through the public Service at a given fan-out width.
-func benchServiceCompile(b *testing.B, parallelism int) {
+// corpus) through the public Service with the given options.
+func benchServiceCompile(b *testing.B, opts ...compaqt.Option) {
 	b.Helper()
 	m := device.Guadalupe()
-	svc, err := compaqt.New(compaqt.WithWindow(16), compaqt.WithParallelism(parallelism))
+	svc, err := compaqt.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -256,8 +358,21 @@ func benchServiceCompile(b *testing.B, parallelism int) {
 	}
 }
 
-func BenchmarkServiceCompileSerial(b *testing.B)   { benchServiceCompile(b, 1) }
-func BenchmarkServiceCompileParallel(b *testing.B) { benchServiceCompile(b, runtime.NumCPU()) }
+func BenchmarkServiceCompileSerial(b *testing.B) {
+	benchServiceCompile(b, compaqt.WithWindow(16), compaqt.WithParallelism(1))
+}
+
+func BenchmarkServiceCompileParallel(b *testing.B) {
+	benchServiceCompile(b, compaqt.WithWindow(16), compaqt.WithParallelism(runtime.NumCPU()))
+}
+
+// BenchmarkServiceCompileSerialDCTN is the cold-compile workload the
+// whole-waveform float DCT dominates: every pulse of the library —
+// including the >2700-sample CR pulses — goes through a full-length
+// DCT-II per channel.
+func BenchmarkServiceCompileSerialDCTN(b *testing.B) {
+	benchServiceCompile(b, compaqt.WithCodec("dct-n"), compaqt.WithParallelism(1))
+}
 
 // BenchmarkServiceCompileCached is BenchmarkServiceCompileSerial with
 // the content-addressed compile cache on, measured in the steady state

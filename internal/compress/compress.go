@@ -207,6 +207,9 @@ func compressWindowed(f *wave.Fixed, opts Options) (*Compressed, error) {
 }
 
 // compressChannel compresses one channel with the windowed transform.
+// The whole channel runs in fixed stack scratch (ws <= 32) with the
+// stream and WindowWords grown by amortized append — O(1) amortized
+// allocations per window.
 func compressChannel(samples []int16, ws int, thr int32, opts Options) (*Channel, error) {
 	ch := &Channel{}
 	n := len(samples)
@@ -215,15 +218,18 @@ func compressChannel(samples []int16, ws int, thr int32, opts Options) (*Channel
 	// Adaptive path: mark windows fully covered by a flat run that
 	// begins strictly before them, so the "hold previous sample"
 	// semantics reproduce the flat value (Section V-D).
-	repeatWin := make([]bool, numWin)
+	var repeatWin []bool
 	if opts.Adaptive {
+		repeatWin = make([]bool, numWin)
 		markRepeatWindows(samples, ws, repeatWin)
 	}
 
-	win := make([]int16, ws)
+	var winBuf [32]int16
+	win := winBuf[:ws]
+	ch.WindowWords = make([]int, 0, numWin)
 	w := 0
 	for w < numWin {
-		if repeatWin[w] {
+		if repeatWin != nil && repeatWin[w] {
 			// Coalesce consecutive repeat windows into one run.
 			start := w
 			for w < numWin && repeatWin[w] {
@@ -233,9 +239,9 @@ func compressChannel(samples []int16, ws int, thr int32, opts Options) (*Channel
 			if end := start*ws + run; end > n {
 				run -= end - n
 			}
-			words := rle.EncodeRepeatRun(run)
-			ch.Stream = append(ch.Stream, words...)
-			ch.RepeatWords += len(words)
+			before := len(ch.Stream)
+			ch.Stream = rle.AppendRepeatRun(ch.Stream, run)
+			ch.RepeatWords += len(ch.Stream) - before
 			ch.RepeatSamples += run
 			continue
 		}
@@ -251,23 +257,29 @@ func compressChannel(samples []int16, ws int, thr int32, opts Options) (*Channel
 				win[i] = samples[n-1]
 			}
 		}
-		enc, err := encodeDCTWindow(win, ws, thr, opts.Variant)
+		before := len(ch.Stream)
+		stream, err := appendDCTWindow(ch.Stream, win, ws, thr, opts.Variant)
 		if err != nil {
 			return nil, err
 		}
-		ch.Stream = append(ch.Stream, enc...)
-		ch.WindowWords = append(ch.WindowWords, len(enc))
+		ch.Stream = stream
+		ch.WindowWords = append(ch.WindowWords, len(stream)-before)
 		w++
 	}
 	return ch, nil
 }
 
-// encodeDCTWindow transforms, thresholds and RLE-encodes one window.
-func encodeDCTWindow(win []int16, ws int, thr int32, v Variant) ([]rle.Word, error) {
-	coeffs := make([]int16, ws)
+// appendDCTWindow transforms, thresholds and RLE-encodes one window,
+// appending the encoding to dst. All transform scratch lives in fixed
+// stack buffers, so the only heap traffic is dst's amortized growth.
+func appendDCTWindow(dst []rle.Word, win []int16, ws int, thr int32, v Variant) ([]rle.Word, error) {
+	var coefBuf [32]int16
+	coeffs := coefBuf[:ws]
 	switch v {
 	case IntDCTW:
-		y := dct.IntForward(win, ws)
+		var yBuf [32]int32
+		y := yBuf[:ws]
+		dct.IntForwardInto(y, win, ws)
 		for k, c := range y {
 			if abs32(c) < thr {
 				c = 0
@@ -277,15 +289,16 @@ func encodeDCTWindow(win []int16, ws int, thr int32, v Variant) ([]rle.Word, err
 	case DCTW:
 		// Float DCT with fixed scaling sqrt(ws): coefficients of a
 		// unit-amplitude window fit 16 bits exactly.
-		xf := make([]float64, ws)
+		var xfBuf, yfBuf [32]float64
+		xf, yf := xfBuf[:ws], yfBuf[:ws]
 		for i, s := range win {
 			xf[i] = float64(s)
 		}
-		y := dct.Forward(xf)
+		dct.ForwardInto(yf, xf)
 		// Fixed scaling sqrt(ws) puts the stored coefficients in the
 		// same units as the integer path, so the same threshold applies.
 		scale := math.Sqrt(float64(ws))
-		for k, c := range y {
+		for k, c := range yf {
 			q := int32(math.Round(c / scale))
 			if abs32(q) < thr {
 				q = 0
@@ -293,9 +306,9 @@ func encodeDCTWindow(win []int16, ws int, thr int32, v Variant) ([]rle.Word, err
 			coeffs[k] = clampCoeff(q)
 		}
 	default:
-		return nil, fmt.Errorf("encodeDCTWindow: bad variant %v", v)
+		return dst, fmt.Errorf("appendDCTWindow: bad variant %v", v)
 	}
-	return rle.EncodeWindow(coeffs), nil
+	return rle.AppendWindow(dst, coeffs), nil
 }
 
 // Decompress reconstructs the waveform. For IntDCTW this is exactly the
@@ -338,29 +351,42 @@ func (c *Compressed) Decompress() (*wave.Fixed, error) {
 }
 
 // decompressChannel walks the stream: repeat codewords hold the last
-// emitted sample; anything else begins a DCT window.
+// emitted sample; anything else begins a DCT window. Per-window scratch
+// lives in fixed stack buffers; the only allocation is the returned
+// sample slice.
 func decompressChannel(ch *Channel, ws, n int, v Variant) ([]int16, error) {
-	out := make([]int16, 0, n)
+	// n samples plus room for the hold-last padding of a final partial
+	// window (trimmed before return), so decoding never regrows out.
+	out := make([]int16, 0, n+ws-1)
 	var last int16
+	var yBuf [32]int32
+	var sBuf [32]int16
+	var yfBuf, xfBuf [32]float64
+	scale := math.Sqrt(float64(ws))
 	i := 0
 	for i < len(ch.Stream) {
 		if k, run := rle.Decode(ch.Stream[i]); k == rle.KindRepeat {
-			for j := 0; j < run; j++ {
-				out = append(out, last)
-			}
+			out = rle.AppendRun(out, last, run)
 			i++
 			continue
 		}
-		// Collect one DCT window: words until ws samples are covered.
+		// Decode one DCT window straight into the coefficient buffer:
+		// words until ws samples are covered.
+		y := yBuf[:ws]
+		for k := range y {
+			y[k] = 0
+		}
 		start := i
 		covered := 0
 		for covered < ws {
 			if i >= len(ch.Stream) {
 				return nil, fmt.Errorf("truncated stream in window starting at word %d", start)
 			}
-			k, run := rle.Decode(ch.Stream[i])
+			w := ch.Stream[i]
+			k, run := rle.Decode(w)
 			switch k {
 			case rle.KindSample:
+				y[covered] = int32(rle.SampleValue(w))
 				covered++
 			case rle.KindZeroRun:
 				covered += run
@@ -369,26 +395,19 @@ func decompressChannel(ch *Channel, ws, n int, v Variant) ([]int16, error) {
 			}
 			i++
 		}
-		coeffs, err := rle.DecodeWindow(ch.Stream[start:i], ws)
-		if err != nil {
-			return nil, err
+		if covered != ws {
+			return nil, fmt.Errorf("rle: window decodes to %d samples, want %d", covered, ws)
 		}
-		var samples []int16
+		samples := sBuf[:ws]
 		switch v {
 		case IntDCTW:
-			y := make([]int32, ws)
-			for k, cf := range coeffs {
-				y[k] = int32(cf)
-			}
-			samples = dct.IntInverse(y, ws)
+			dct.IntInverseInto(samples, y, ws)
 		case DCTW:
-			yf := make([]float64, ws)
-			scale := math.Sqrt(float64(ws))
-			for k, cf := range coeffs {
+			yf, xf := yfBuf[:ws], xfBuf[:ws]
+			for k, cf := range y {
 				yf[k] = float64(cf) * scale
 			}
-			xf := dct.Inverse(yf)
-			samples = make([]int16, ws)
+			dct.InverseInto(xf, yf)
 			for k, x := range xf {
 				samples[k] = clamp16(int64(math.Round(x)))
 			}

@@ -44,11 +44,16 @@ func compressDCTN(f *wave.Fixed, opts Options) (*Compressed, error) {
 
 func compressDCTNChannel(samples []int16, thr float64) (*Channel, error) {
 	n := len(samples)
-	xf := make([]float64, n)
+	xf := getFloats(n)
+	defer putFloats(xf)
+	y := getFloats(n)
+	defer putFloats(y)
 	for i, s := range samples {
 		xf[i] = float64(s)
 	}
-	y := dct.Forward(xf)
+	// Whole-waveform transform: the plan-cached O(n log n) path — the
+	// dominant term of a DCT-N cold compile.
+	dct.ForwardInto(y, xf)
 
 	// Threshold at the same absolute coefficient scale the WS=16
 	// windowed variants use (orthonormal coefficients scale as
@@ -65,7 +70,8 @@ func compressDCTNChannel(samples []int16, thr float64) (*Channel, error) {
 			maxAbs = a
 		}
 	}
-	coeffs := make([]int16, n)
+	coeffs := getInt16s(n)
+	defer putInt16s(coeffs)
 	scale := maxAbs / wave.FullScale
 	if scale == 0 {
 		scale = 1
@@ -84,16 +90,19 @@ func compressDCTNChannel(samples []int16, thr float64) (*Channel, error) {
 
 func decompressDCTN(c *Compressed) (*wave.Fixed, error) {
 	out := &wave.Fixed{Name: c.Name, SampleRate: c.SampleRate}
+	yf := getFloats(c.Samples)
+	defer putFloats(yf)
+	xf := getFloats(c.Samples)
+	defer putFloats(xf)
 	for chIdx, ch := range []*Channel{&c.I, &c.Q} {
 		coeffs, err := rle.DecodeWindow(ch.Stream, c.Samples)
 		if err != nil {
 			return nil, fmt.Errorf("decompress %q DCT-N channel %d: %w", c.Name, chIdx, err)
 		}
-		yf := make([]float64, c.Samples)
 		for k, q := range coeffs {
 			yf[k] = float64(q) * ch.Scale
 		}
-		xf := dct.Inverse(yf)
+		dct.InverseInto(xf, yf)
 		samples := make([]int16, c.Samples)
 		for i, x := range xf {
 			samples[i] = clamp16(int64(math.Round(x)))

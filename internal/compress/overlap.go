@@ -75,7 +75,9 @@ func compressOverlappedChannel(samples []int16, ws int, thr int32) (*Channel, er
 	n := len(samples)
 	numWin := overlapWindowCount(n, ws)
 	stride := overlapStride(ws)
-	win := make([]int16, ws)
+	var winBuf [32]int16
+	win := winBuf[:ws]
+	ch.WindowWords = make([]int, 0, numWin)
 	for w := 0; w < numWin; w++ {
 		base := w * stride
 		for i := 0; i < ws; i++ {
@@ -86,12 +88,13 @@ func compressOverlappedChannel(samples []int16, ws int, thr int32) (*Channel, er
 				win[i] = samples[n-1] // hold-last padding
 			}
 		}
-		enc, err := encodeDCTWindow(win, ws, thr, IntDCTW)
+		before := len(ch.Stream)
+		stream, err := appendDCTWindow(ch.Stream, win, ws, thr, IntDCTW)
 		if err != nil {
 			return nil, err
 		}
-		ch.Stream = append(ch.Stream, enc...)
-		ch.WindowWords = append(ch.WindowWords, len(enc))
+		ch.Stream = stream
+		ch.WindowWords = append(ch.WindowWords, len(stream)-before)
 	}
 	return ch, nil
 }
@@ -101,18 +104,25 @@ func compressOverlappedChannel(samples []int16, ws int, thr int32) (*Channel, er
 func decompressOverlappedChannel(ch *Channel, ws, n int) ([]int16, error) {
 	stride := overlapStride(ws)
 	out := make([]int16, 0, n+ws)
+	var yBuf [32]int32
+	var sBuf [32]int16
 	winIdx := 0
 	i := 0
 	for i < len(ch.Stream) {
-		start := i
+		y := yBuf[:ws]
+		for k := range y {
+			y[k] = 0
+		}
 		covered := 0
 		for covered < ws {
 			if i >= len(ch.Stream) {
 				return nil, fmt.Errorf("truncated overlapped stream in window %d", winIdx)
 			}
-			k, run := rle.Decode(ch.Stream[i])
+			w := ch.Stream[i]
+			k, run := rle.Decode(w)
 			switch k {
 			case rle.KindSample:
+				y[covered] = int32(rle.SampleValue(w))
 				covered++
 			case rle.KindZeroRun:
 				covered += run
@@ -121,15 +131,11 @@ func decompressOverlappedChannel(ch *Channel, ws, n int) ([]int16, error) {
 			}
 			i++
 		}
-		coeffs, err := rle.DecodeWindow(ch.Stream[start:i], ws)
-		if err != nil {
-			return nil, err
+		if covered != ws {
+			return nil, fmt.Errorf("rle: window decodes to %d samples, want %d", covered, ws)
 		}
-		y := make([]int32, ws)
-		for k, cf := range coeffs {
-			y[k] = int32(cf)
-		}
-		samples := dct.IntInverse(y, ws)
+		samples := sBuf[:ws]
+		dct.IntInverseInto(samples, y, ws)
 		if winIdx == 0 {
 			out = append(out, samples...)
 		} else {

@@ -1,0 +1,36 @@
+package compress
+
+import "sync"
+
+// Pooled scratch for the whole-waveform (DCT-N) paths. Windowed
+// transforms work in fixed 32-element stack buffers (ws <= 32), but the
+// DCT-N encoder and decoder need float and coefficient arrays as long
+// as the waveform itself; pooling them lets parallel compile workers
+// reuse scratch through the per-P sync.Pool caches instead of
+// contending on the allocator.
+
+var floatPool sync.Pool // *[]float64
+
+// getFloats returns a length-n float64 scratch slice (contents
+// unspecified — callers overwrite every element).
+func getFloats(n int) []float64 {
+	if p, ok := floatPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putFloats(s []float64) { floatPool.Put(&s) }
+
+var int16Pool sync.Pool // *[]int16
+
+// getInt16s returns a length-n int16 scratch slice with unspecified
+// contents.
+func getInt16s(n int) []int16 {
+	if p, ok := int16Pool.Get().(*[]int16); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int16, n)
+}
+
+func putInt16s(s []int16) { int16Pool.Put(&s) }

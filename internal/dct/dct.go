@@ -9,6 +9,16 @@
 //
 // Only the transform mathematics lives here; thresholding, RLE, and the
 // memory layout live in internal/compress.
+//
+// Performance notes. The four integer transform matrices are built once
+// at package init as flattened row-major tables, so the per-window
+// kernels (IntForwardInto, IntInverseInto) never allocate. The float
+// DCT is served by cached Plans (see plan.go): an O(n^2) cached-cosine
+// table for short windows and an O(n log n) FFT-based evaluation
+// (Makhoul's construction, Bluestein for non-power-of-two lengths) for
+// whole-waveform transforms. NaiveForward/NaiveInverse keep the
+// textbook double loops as the reference oracle the fast paths are
+// tested against.
 package dct
 
 import (
@@ -22,8 +32,46 @@ import (
 //
 //	y[k] = a(k) * sum_n x[n] cos(pi (2n+1) k / 2N)
 //
-// with a(0)=sqrt(1/N) and a(k)=sqrt(2/N) otherwise.
+// with a(0)=sqrt(1/N) and a(k)=sqrt(2/N) otherwise. It is evaluated
+// through the cached Plan for len(x); use ForwardInto to avoid the
+// result allocation.
 func Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	ForwardInto(y, x)
+	return y
+}
+
+// Inverse computes the orthonormal DCT-III, the exact inverse of
+// Forward (paper Eq. 2), through the cached Plan for len(y).
+func Inverse(y []float64) []float64 {
+	x := make([]float64, len(y))
+	InverseInto(x, y)
+	return x
+}
+
+// ForwardInto computes the orthonormal DCT-II of x into dst, which must
+// have len(x). It performs no allocations beyond (pooled, amortized)
+// plan scratch.
+func ForwardInto(dst, x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	PlanFor(len(x)).ForwardInto(dst, x)
+}
+
+// InverseInto computes the orthonormal DCT-III of y into dst, which
+// must have len(y).
+func InverseInto(dst, y []float64) {
+	if len(y) == 0 {
+		return
+	}
+	PlanFor(len(y)).InverseInto(dst, y)
+}
+
+// NaiveForward is the textbook O(n^2) DCT-II evaluation recomputing the
+// cosines inline. It is the reference oracle for the Plan-based fast
+// paths and is not used on any compile path.
+func NaiveForward(x []float64) []float64 {
 	n := len(x)
 	y := make([]float64, n)
 	if n == 0 {
@@ -45,9 +93,9 @@ func Forward(x []float64) []float64 {
 	return y
 }
 
-// Inverse computes the orthonormal DCT-III, the exact inverse of
-// Forward (paper Eq. 2).
-func Inverse(y []float64) []float64 {
+// NaiveInverse is the textbook O(n^2) DCT-III evaluation, the reference
+// oracle for the fast inverse.
+func NaiveInverse(y []float64) []float64 {
 	n := len(y)
 	x := make([]float64, n)
 	if n == 0 {
@@ -107,21 +155,46 @@ func coeff(m int) int32 {
 	}
 }
 
-// Matrix returns the N-point HEVC integer transform matrix (N = 4, 8,
-// 16 or 32). Row k of the N-point matrix is row k*(32/N) of the
-// 32-point matrix truncated to N columns, which is how the standard
-// derives the smaller transforms.
-func Matrix(n int) [][]int32 {
+// flatMatrices holds the four integer transform matrices, built once at
+// package init, flattened row-major (entry [k][n] at index k*ws+n) for
+// cache locality in the per-window kernels. Indexed by log2(ws)-2.
+var flatMatrices [4][]int32
+
+func init() {
+	for idx, ws := range [4]int{4, 8, 16, 32} {
+		stride := 32 / ws
+		m := make([]int32, ws*ws)
+		for k := 0; k < ws; k++ {
+			for col := 0; col < ws; col++ {
+				m[k*ws+col] = coeff((2*col + 1) * k * stride)
+			}
+		}
+		flatMatrices[idx] = m
+	}
+}
+
+// MatrixFlat returns the N-point HEVC integer transform matrix (N = 4,
+// 8, 16 or 32) flattened row-major: entry [k][n] is at index k*N+n.
+// The returned slice is the shared package-level table; callers must
+// treat it as read-only.
+func MatrixFlat(n int) []int32 {
 	if !ValidWindow(n) {
 		panic(fmt.Sprintf("dct: unsupported window size %d", n))
 	}
-	stride := 32 / n
+	return flatMatrices[log2(n)-2]
+}
+
+// Matrix returns the N-point HEVC integer transform matrix (N = 4, 8,
+// 16 or 32) as freshly allocated rows. Row k of the N-point matrix is
+// row k*(32/N) of the 32-point matrix truncated to N columns, which is
+// how the standard derives the smaller transforms. Matrix is a setup-
+// time convenience (hardware models, tests); the per-window kernels use
+// the shared flattened table via MatrixFlat.
+func Matrix(n int) [][]int32 {
+	flat := MatrixFlat(n)
 	m := make([][]int32, n)
 	for k := 0; k < n; k++ {
-		m[k] = make([]int32, n)
-		for col := 0; col < n; col++ {
-			m[k][col] = coeff((2*col + 1) * k * stride)
-		}
+		m[k] = append([]int32(nil), flat[k*n:(k+1)*n]...)
 	}
 	return m
 }
@@ -131,15 +204,13 @@ func Matrix(n int) [][]int32 {
 func Coefficients(n int) []int32 {
 	seen := map[int32]bool{}
 	var out []int32
-	for _, row := range Matrix(n) {
-		for _, v := range row {
-			if v < 0 {
-				v = -v
-			}
-			if v != 0 && !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
+	for _, v := range MatrixFlat(n) {
+		if v < 0 {
+			v = -v
+		}
+		if v != 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
 		}
 	}
 	return out
@@ -175,25 +246,35 @@ func log2(n int) int {
 // compiler stores in the compressed waveform memory. This side runs in
 // software (Section IV-A: compression is free, decompression is not).
 func IntForward(x []int16, ws int) []int32 {
-	m := Matrix(ws)
+	y := make([]int32, ws)
+	IntForwardInto(y, x, ws)
+	return y
+}
+
+// IntForwardInto is IntForward writing into dst (len ws). It performs
+// no allocations.
+func IntForwardInto(dst []int32, x []int16, ws int) {
+	m := MatrixFlat(ws)
 	if len(x) != ws {
 		panic(fmt.Sprintf("dct: IntForward window %d, got %d samples", ws, len(x)))
 	}
+	if len(dst) != ws {
+		panic(fmt.Sprintf("dct: IntForwardInto dst length %d, want %d", len(dst), ws))
+	}
 	sf := ForwardShift(ws)
 	rnd := int64(1) << (sf - 1)
-	y := make([]int32, ws)
 	for k := 0; k < ws; k++ {
 		var acc int64
+		row := m[k*ws : (k+1)*ws]
 		for n := 0; n < ws; n++ {
-			acc += int64(m[k][n]) * int64(x[n])
+			acc += int64(row[n]) * int64(x[n])
 		}
 		if acc >= 0 {
-			y[k] = int32((acc + rnd) >> sf)
+			dst[k] = int32((acc + rnd) >> sf)
 		} else {
-			y[k] = int32(-((-acc + rnd) >> sf))
+			dst[k] = int32(-((-acc + rnd) >> sf))
 		}
 	}
-	return y
 }
 
 // IntInverse computes the integer IDCT:
@@ -204,26 +285,52 @@ func IntForward(x []int16, ws int) []int32 {
 // engine's shift-add emulation in internal/engine produces bit-identical
 // results (it is checked against this function in tests).
 func IntInverse(y []int32, ws int) []int16 {
-	m := Matrix(ws)
+	x := make([]int16, ws)
+	IntInverseInto(x, y, ws)
+	return x
+}
+
+// IntInverseInto is IntInverse writing into dst (len ws). It performs
+// no allocations. Rows with a zero coefficient are skipped whole, the
+// same gating the hardware applies to its adder columns.
+func IntInverseInto(dst []int16, y []int32, ws int) {
+	m := MatrixFlat(ws)
 	if len(y) != ws {
 		panic(fmt.Sprintf("dct: IntInverse window %d, got %d samples", ws, len(y)))
 	}
-	const rnd = int64(1) << (InverseShift - 1)
-	x := make([]int16, ws)
-	for n := 0; n < ws; n++ {
-		var acc int64
-		for k := 0; k < ws; k++ {
-			acc += int64(m[k][n]) * int64(y[k])
-		}
-		var v int64
-		if acc >= 0 {
-			v = (acc + rnd) >> InverseShift
-		} else {
-			v = -((-acc + rnd) >> InverseShift)
-		}
-		x[n] = clamp16(v)
+	if len(dst) != ws {
+		panic(fmt.Sprintf("dct: IntInverseInto dst length %d, want %d", len(dst), ws))
 	}
-	return x
+	const rnd = int64(1) << (InverseShift - 1)
+	// Accumulate row-major over the nonzero coefficients: thresholded
+	// windows are sparse, so skipping a zero y[k] skips a whole matrix
+	// row. int64 addition is exact, so the reordering relative to the
+	// column-major definition is bit-identical.
+	var accBuf [32]int64
+	acc := accBuf[:ws]
+	for i := range acc {
+		acc[i] = 0
+	}
+	for k := 0; k < ws; k++ {
+		c := int64(y[k])
+		if c == 0 {
+			continue
+		}
+		row := m[k*ws : (k+1)*ws]
+		for n := 0; n < ws; n++ {
+			acc[n] += int64(row[n]) * c
+		}
+	}
+	for n := 0; n < ws; n++ {
+		a := acc[n]
+		var v int64
+		if a >= 0 {
+			v = (a + rnd) >> InverseShift
+		} else {
+			v = -((-a + rnd) >> InverseShift)
+		}
+		dst[n] = clamp16(v)
+	}
 }
 
 func clamp16(v int64) int16 {

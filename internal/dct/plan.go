@@ -1,0 +1,344 @@
+package dct
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Plan caches everything needed to evaluate the orthonormal DCT-II and
+// DCT-III of one length n: the normalization constants, a cosine table
+// for short transforms, and the FFT machinery (Makhoul's construction
+// over an N-point DFT, with Bluestein's chirp-z algorithm when n is not
+// a power of two) for long ones. Plans are immutable after construction
+// and safe for concurrent use; per-call work buffers come from an
+// internal sync.Pool.
+//
+// The two evaluation strategies:
+//
+//   - n <= tableMaxN: the O(n^2) double loop over a precomputed cosine
+//     table. For window-sized transforms this beats the FFT's constant
+//     factor and recomputes nothing.
+//   - larger n: O(n log n). DCT-II via v[i]=x[2i], v[n-1-i]=x[2i+1],
+//     V = DFT_n(v), y[k] = a(k)*Re(e^{-i pi k/2n} V[k]); DCT-III by
+//     running the same factorization backwards. Non-power-of-two DFTs
+//     use Bluestein: DFT_n as a circular convolution of length
+//     m = nextpow2(2n-1).
+type Plan struct {
+	n      int
+	a0, ak float64
+
+	// Cosine table path (n <= tableMaxN): cos(pi(2i+1)k/2n) at [k*n+i],
+	// the exact arguments NaiveForward computes.
+	tab []float64
+
+	// FFT path.
+	fft   *fftPlan
+	m     int          // FFT length (== n when n is a power of two)
+	blue  bool         // Bluestein convolution needed (n not a power of two)
+	chirp []complex128 // e^{-i pi j^2/n}, j = 0..n-1
+	bfft  []complex128 // FFT_m of the Bluestein filter
+	tw    []complex128 // e^{-i pi k/(2n)}, k = 0..n-1
+
+	scratch sync.Pool
+}
+
+// tableMaxN is the largest transform length served by the cached-cosine
+// O(n^2) path; beyond it the FFT evaluation wins. It covers every
+// windowed transform (ws <= 32).
+const tableMaxN = 64
+
+// planScratch is the per-call working set of the FFT path.
+type planScratch struct {
+	v []complex128 // length n: permuted input / spectrum
+	w []complex128 // length m: Bluestein convolution buffer
+}
+
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns the shared cached plan for transforms of length n,
+// building it on first use.
+func PlanFor(n int) *Plan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan)
+	}
+	p, _ := planCache.LoadOrStore(n, NewPlan(n))
+	return p.(*Plan)
+}
+
+// NewPlan builds a plan for transforms of length n >= 1. Most callers
+// want the cached PlanFor instead.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("dct: plan length %d", n))
+	}
+	p := &Plan{
+		n:  n,
+		a0: math.Sqrt(1 / float64(n)),
+		ak: math.Sqrt(2 / float64(n)),
+	}
+	if n <= tableMaxN {
+		p.tab = make([]float64, n*n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				p.tab[k*n+i] = math.Cos(math.Pi * float64(2*i+1) * float64(k) / float64(2*n))
+			}
+		}
+		return p
+	}
+
+	p.tw = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		s, c := math.Sincos(-math.Pi * float64(k) / float64(2*n))
+		p.tw[k] = complex(c, s)
+	}
+	p.blue = n&(n-1) != 0
+	if !p.blue {
+		p.m = n
+		p.fft = newFFTPlan(n)
+	} else {
+		m := 1
+		for m < 2*n-1 {
+			m <<= 1
+		}
+		p.m = m
+		p.fft = newFFTPlan(m)
+		// chirp[j] = e^{-i pi j^2/n}; reduce j^2 mod 2n first so the
+		// Sincos argument stays small and exact.
+		p.chirp = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			q := (j * j) % (2 * n)
+			s, c := math.Sincos(-math.Pi * float64(q) / float64(n))
+			p.chirp[j] = complex(c, s)
+		}
+		// Filter b[j] = conj(chirp[j]) wrapped circularly, transformed
+		// once here and reused by every convolution.
+		b := make([]complex128, m)
+		for j := 0; j < n; j++ {
+			cc := complex(real(p.chirp[j]), -imag(p.chirp[j]))
+			b[j] = cc
+			if j > 0 {
+				b[m-j] = cc
+			}
+		}
+		p.fft.transform(b, false)
+		p.bfft = b
+	}
+	p.scratch.New = func() any {
+		s := &planScratch{v: make([]complex128, n)}
+		if p.blue {
+			s.w = make([]complex128, p.m)
+		}
+		return s
+	}
+	return p
+}
+
+// N returns the transform length the plan serves.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the orthonormal DCT-II of x.
+func (p *Plan) Forward(x []float64) []float64 {
+	y := make([]float64, p.n)
+	p.ForwardInto(y, x)
+	return y
+}
+
+// Inverse computes the orthonormal DCT-III of y.
+func (p *Plan) Inverse(y []float64) []float64 {
+	x := make([]float64, p.n)
+	p.InverseInto(x, y)
+	return x
+}
+
+// ForwardInto computes the orthonormal DCT-II of x into dst. Both must
+// have length n.
+func (p *Plan) ForwardInto(dst, x []float64) {
+	n := p.n
+	if len(x) != n || len(dst) != n {
+		panic(fmt.Sprintf("dct: plan length %d, got src %d dst %d", n, len(x), len(dst)))
+	}
+	if p.tab != nil {
+		for k := 0; k < n; k++ {
+			row := p.tab[k*n : (k+1)*n]
+			var sum float64
+			for i, v := range x {
+				sum += v * row[i]
+			}
+			if k == 0 {
+				dst[k] = p.a0 * sum
+			} else {
+				dst[k] = p.ak * sum
+			}
+		}
+		return
+	}
+
+	s := p.scratch.Get().(*planScratch)
+	v := s.v
+	// Even/odd permutation: v[i] = x[2i], v[n-1-i] = x[2i+1].
+	for i := 0; i < (n+1)/2; i++ {
+		v[i] = complex(x[2*i], 0)
+	}
+	for i := 0; i < n/2; i++ {
+		v[n-1-i] = complex(x[2*i+1], 0)
+	}
+	p.dft(s)
+	// y[k] = a(k) * Re(e^{-i pi k/2n} V[k]).
+	for k := 0; k < n; k++ {
+		c := real(p.tw[k])*real(v[k]) - imag(p.tw[k])*imag(v[k])
+		if k == 0 {
+			dst[k] = p.a0 * c
+		} else {
+			dst[k] = p.ak * c
+		}
+	}
+	p.scratch.Put(s)
+}
+
+// InverseInto computes the orthonormal DCT-III of y into dst. Both must
+// have length n.
+func (p *Plan) InverseInto(dst, y []float64) {
+	n := p.n
+	if len(y) != n || len(dst) != n {
+		panic(fmt.Sprintf("dct: plan length %d, got src %d dst %d", n, len(y), len(dst)))
+	}
+	if p.tab != nil {
+		for i := 0; i < n; i++ {
+			sum := p.a0 * y[0]
+			for k := 1; k < n; k++ {
+				sum += p.ak * y[k] * p.tab[k*n+i]
+			}
+			dst[i] = sum
+		}
+		return
+	}
+
+	s := p.scratch.Get().(*planScratch)
+	v := s.v
+	// Rebuild the complex spectrum of the permuted sequence from the
+	// unnormalized coefficients C[k] = a(k)*y[k] scaled for the DFT
+	// inversion: V[0] = n*C[0], V[k] = (n/2) e^{+i pi k/2n} (C[k] -
+	// i C[n-k]).
+	v[0] = complex(float64(n)*p.a0*y[0], 0)
+	h := float64(n) / 2 * p.ak
+	for k := 1; k < n; k++ {
+		re := h * y[k]
+		im := -h * y[n-k]
+		// conj(tw[k]) * (re + i*im)
+		tr, ti := real(p.tw[k]), -imag(p.tw[k])
+		v[k] = complex(tr*re-ti*im, tr*im+ti*re)
+	}
+	p.idft(s)
+	// Un-permute: x[2i] = Re v[i], x[2i+1] = Re v[n-1-i].
+	for i := 0; i < (n+1)/2; i++ {
+		dst[2*i] = real(v[i])
+	}
+	for i := 0; i < n/2; i++ {
+		dst[2*i+1] = real(v[n-1-i])
+	}
+	p.scratch.Put(s)
+}
+
+// dft computes the in-place forward DFT of s.v (length n).
+func (p *Plan) dft(s *planScratch) {
+	if !p.blue {
+		p.fft.transform(s.v, false)
+		return
+	}
+	n, m := p.n, p.m
+	w := s.w
+	for j := 0; j < n; j++ {
+		w[j] = s.v[j] * p.chirp[j]
+	}
+	for j := n; j < m; j++ {
+		w[j] = 0
+	}
+	p.fft.transform(w, false)
+	for j := 0; j < m; j++ {
+		w[j] *= p.bfft[j]
+	}
+	p.fft.transform(w, true)
+	for k := 0; k < n; k++ {
+		s.v[k] = w[k] * p.chirp[k]
+	}
+}
+
+// idft computes the in-place inverse DFT (with the 1/n factor) of s.v.
+func (p *Plan) idft(s *planScratch) {
+	if !p.blue {
+		p.fft.transform(s.v, true)
+		return
+	}
+	// IDFT via the conjugation identity over the forward Bluestein DFT.
+	n := p.n
+	inv := 1 / float64(n)
+	for j := 0; j < n; j++ {
+		s.v[j] = complex(real(s.v[j]), -imag(s.v[j]))
+	}
+	p.dft(s)
+	for j := 0; j < n; j++ {
+		s.v[j] = complex(real(s.v[j])*inv, -imag(s.v[j])*inv)
+	}
+}
+
+// fftPlan is an iterative radix-2 complex FFT for a power-of-two length:
+// precomputed bit-reversal permutation and unit roots.
+type fftPlan struct {
+	m   int
+	rev []int32
+	w   []complex128 // m/2 forward roots e^{-2 pi i j/m}
+}
+
+func newFFTPlan(m int) *fftPlan {
+	p := &fftPlan{m: m, rev: make([]int32, m), w: make([]complex128, m/2)}
+	shift := 1
+	for 1<<shift < m {
+		shift++
+	}
+	for i := 0; i < m; i++ {
+		r := int32(0)
+		for b := 0; b < shift; b++ {
+			r = r<<1 | int32(i>>b&1)
+		}
+		p.rev[i] = r
+	}
+	for j := 0; j < m/2; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(m))
+		p.w[j] = complex(c, s)
+	}
+	return p
+}
+
+// transform runs the in-place FFT (or, with inv, the inverse transform
+// including the 1/m factor) over a, which must have length m.
+func (p *fftPlan) transform(a []complex128, inv bool) {
+	m := p.m
+	for i, r := range p.rev {
+		if int32(i) < r {
+			a[i], a[r] = a[r], a[i]
+		}
+	}
+	for size := 2; size <= m; size <<= 1 {
+		half := size >> 1
+		step := m / size
+		for base := 0; base < m; base += size {
+			for j := 0; j < half; j++ {
+				tw := p.w[j*step]
+				if inv {
+					tw = complex(real(tw), -imag(tw))
+				}
+				u := a[base+j]
+				t := a[base+j+half] * tw
+				a[base+j] = u + t
+				a[base+j+half] = u - t
+			}
+		}
+	}
+	if inv {
+		s := 1 / float64(m)
+		for i := range a {
+			a[i] = complex(real(a[i])*s, imag(a[i])*s)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/dct"
+	"compaqt/internal/wave"
+)
+
+func TestIDCTIntoMatchesIDCTAndAllocatesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, ws := range []int{4, 8, 16, 32} {
+		e, err := New(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]int32, ws)
+		dst := make([]int16, ws)
+		for trial := 0; trial < 20; trial++ {
+			for i := range y {
+				y[i] = 0
+				if rng.Intn(3) == 0 {
+					y[i] = int32(rng.Intn(65535) - 32767)
+				}
+			}
+			e.IDCTInto(dst, y)
+			want := dct.IntInverse(y, ws)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("ws=%d: IDCTInto[%d] = %d, reference %d", ws, i, dst[i], want[i])
+				}
+			}
+		}
+		if a := testing.AllocsPerRun(100, func() { e.IDCTInto(dst, y) }); a != 0 {
+			t.Errorf("ws=%d: IDCTInto allocates %.1f/op", ws, a)
+		}
+	}
+}
+
+func TestRunChannelSingleAllocation(t *testing.T) {
+	// The streaming path should allocate exactly once per channel: the
+	// returned sample slice. (The adaptive repeat drain and the IDCT
+	// window scratch are fills into stack buffers.)
+	f := wave.GaussianSquare("flat", rate, wave.GaussianSquareParams{
+		Amp: 0.4, Duration: 200e-9, Width: 140e-9, Sigma: 8e-9, Angle: 0.3,
+	}).Quantize()
+	for _, adaptive := range []bool{false, true} {
+		c, err := compress.Compress(f, compress.Options{Variant: compress.IntDCTW, WindowSize: 16, Adaptive: adaptive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := f.Samples()
+		a := testing.AllocsPerRun(50, func() {
+			if _, _, err := e.RunChannel(&c.I, n); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if a > 1 {
+			t.Errorf("adaptive=%t: RunChannel allocates %.1f/op, want <= 1", adaptive, a)
+		}
+	}
+}

@@ -80,6 +80,8 @@ func (e *Engine) Play(bc *BankedChannel) ([]int16, Stats, error) {
 	}
 	var st Stats
 	out := make([]int16, 0, bc.Samples)
+	var yBuf [32]int32
+	var sBuf [32]int16
 	for row := 0; row < bc.Rows; row++ {
 		words, err := bc.Array.ReadRow(row)
 		if err != nil {
@@ -90,7 +92,10 @@ func (e *Engine) Play(bc *BankedChannel) ([]int16, Stats, error) {
 
 		// RLE decode until ws samples are covered; padding words beyond
 		// that are fetched but ignored (the hardware wires them off).
-		y := make([]int32, bc.WS)
+		y := yBuf[:bc.WS]
+		for k := range y {
+			y[k] = 0
+		}
 		pos := 0
 		for k := 0; k < len(words) && pos < bc.WS; k++ {
 			word := rle.Word(words[k])
@@ -108,7 +113,8 @@ func (e *Engine) Play(bc *BankedChannel) ([]int16, Stats, error) {
 		if pos < bc.WS {
 			return nil, st, fmt.Errorf("engine: row %d covers %d of %d samples", row, pos, bc.WS)
 		}
-		samples := e.IDCT(y)
+		samples := sBuf[:bc.WS]
+		e.IDCTInto(samples, y)
 		st.IDCTOps++
 		out = append(out, samples...)
 		if len(out) > bc.Samples {

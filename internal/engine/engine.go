@@ -51,12 +51,15 @@ func (s *Stats) Add(s2 Stats) {
 }
 
 // Engine is one decompression pipeline instance for a fixed window
-// size, holding the shift-add multiplier network shared by all rows of
-// the inverse transform.
+// size, holding the per-row shift-add plans of the inverse transform.
+// Engines are immutable after New and safe for concurrent use.
 type Engine struct {
-	WS     int
-	matrix [][]int32
-	net    *csd.Network
+	WS int
+	// forms[k*WS+n] is the CSD shift-add plan of matrix entry [k][n] —
+	// the same decompositions csd.Network models for the hardware
+	// resource estimates — precomputed so the per-coefficient
+	// evaluation never re-dispatches through a coefficient lookup.
+	forms []csd.Form
 }
 
 // New builds an engine for the given window size (4, 8, 16 or 32).
@@ -64,36 +67,58 @@ func New(ws int) (*Engine, error) {
 	if !dct.ValidWindow(ws) {
 		return nil, fmt.Errorf("engine: unsupported window size %d", ws)
 	}
-	return &Engine{
-		WS:     ws,
-		matrix: dct.Matrix(ws),
-		net:    csd.NewNetwork(dct.Coefficients(ws)),
-	}, nil
+	flat := dct.MatrixFlat(ws)
+	forms := make([]csd.Form, len(flat))
+	for i, c := range flat {
+		forms[i] = csd.Decompose(c)
+	}
+	return &Engine{WS: ws, forms: forms}, nil
 }
 
 // IDCT evaluates the integer inverse transform through the shift-add
-// network. Bit-exact with dct.IntInverse.
+// network. Bit-exact with dct.IntInverse. Use IDCTInto to reuse an
+// output buffer.
 func (e *Engine) IDCT(y []int32) []int16 {
-	ws := e.WS
-	const rnd = int64(1) << (dct.InverseShift - 1)
-	x := make([]int16, ws)
-	for n := 0; n < ws; n++ {
-		var acc int64
-		for k := 0; k < ws; k++ {
-			if y[k] == 0 {
-				continue // zeroed inputs gate their adder columns off
-			}
-			acc += e.net.Multiply(e.matrix[k][n], int64(y[k]))
-		}
-		var v int64
-		if acc >= 0 {
-			v = (acc + rnd) >> dct.InverseShift
-		} else {
-			v = -((-acc + rnd) >> dct.InverseShift)
-		}
-		x[n] = clamp16(v)
-	}
+	x := make([]int16, e.WS)
+	e.IDCTInto(x, y)
 	return x
+}
+
+// IDCTInto evaluates the integer inverse transform into dst (len WS)
+// through the precomputed per-row shift-add plans. It performs no
+// allocations and is bit-exact with dct.IntInverse: every constant
+// product is evaluated by the CSD digit network, and the int64
+// accumulation is exact, so summing row-major (skipping whole rows of
+// zeroed coefficients, as the hardware gates its adder columns off)
+// reproduces the reference bit-for-bit.
+func (e *Engine) IDCTInto(dst []int16, y []int32) {
+	ws := e.WS
+	if len(y) != ws || len(dst) != ws {
+		panic(fmt.Sprintf("engine: IDCTInto window %d, got src %d dst %d", ws, len(y), len(dst)))
+	}
+	const rnd = int64(1) << (dct.InverseShift - 1)
+	var accBuf [32]int64
+	acc := accBuf[:ws]
+	for k := 0; k < ws; k++ {
+		if y[k] == 0 {
+			continue // zeroed inputs gate their adder columns off
+		}
+		c := int64(y[k])
+		row := e.forms[k*ws : (k+1)*ws]
+		for n := 0; n < ws; n++ {
+			acc[n] += row[n].Apply(c)
+		}
+	}
+	for n := 0; n < ws; n++ {
+		a := acc[n]
+		var v int64
+		if a >= 0 {
+			v = (a + rnd) >> dct.InverseShift
+		} else {
+			v = -((-a + rnd) >> dct.InverseShift)
+		}
+		dst[n] = clamp16(v)
+	}
 }
 
 // RunChannel streams one compressed channel through the pipeline,
@@ -103,9 +128,14 @@ func (e *Engine) IDCT(y []int32) []int16 {
 // banked memory (1 cycle), modeled here as w word reads in one cycle.
 func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error) {
 	var st Stats
-	out := make([]int16, 0, n)
-	var last int16
 	ws := e.WS
+	// Pre-size for n samples plus the hold-last padding of a final
+	// partial window (trimmed before return), so a well-formed stream
+	// never regrows the buffer.
+	out := make([]int16, 0, n+ws-1)
+	var last int16
+	var yBuf [32]int32
+	var sBuf [32]int16
 	i := 0
 	for i < len(ch.Stream) {
 		if k, run := rle.Decode(ch.Stream[i]); k == rle.KindRepeat {
@@ -114,26 +144,31 @@ func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error)
 			// the memory and the IDCT idle (Fig. 13b).
 			st.MemWords++
 			st.Cycles += int64((run + ws - 1) / ws)
-			for j := 0; j < run; j++ {
-				out = append(out, last)
-			}
+			out = rle.AppendRun(out, last, run)
 			st.BypassSamples += int64(run)
 			i++
 			continue
 		}
-		// Fetch one window's words.
+		// Fetch one window's words, expanding the RLE zero tail into the
+		// IDCT buffer as they arrive.
+		y := yBuf[:ws]
+		for k := range y {
+			y[k] = 0
+		}
 		start := i
 		covered := 0
 		for covered < ws {
 			if i >= len(ch.Stream) {
 				return nil, st, fmt.Errorf("engine: truncated stream in window at word %d", start)
 			}
-			k, run := rle.Decode(ch.Stream[i])
+			w := ch.Stream[i]
+			k, run := rle.Decode(w)
 			switch k {
 			case rle.KindSample:
+				y[covered] = int32(rle.SampleValue(w))
 				covered++
 			case rle.KindZeroRun:
-				covered += run
+				covered += run // IDCT inputs are already zero
 			case rle.KindRepeat:
 				return nil, st, fmt.Errorf("engine: repeat codeword inside DCT window at word %d", i)
 			}
@@ -142,22 +177,9 @@ func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error)
 		st.MemWords += int64(i - start)
 		st.Cycles++ // pipelined: one window per fabric cycle
 
-		// RLE decode stage: expand the zero tail into the IDCT buffer.
-		y := make([]int32, ws)
-		pos := 0
-		for _, w := range ch.Stream[start:i] {
-			k, run := rle.Decode(w)
-			switch k {
-			case rle.KindSample:
-				y[pos] = int32(rle.SampleValue(w))
-				pos++
-			case rle.KindZeroRun:
-				pos += run // IDCT inputs are already zero
-			}
-		}
-
 		// IDCT stage (constant one-cycle latency, Section V-B).
-		samples := e.IDCT(y)
+		samples := sBuf[:ws]
+		e.IDCTInto(samples, y)
 		st.IDCTOps++
 		out = append(out, samples...)
 		if len(out) > n {

@@ -103,15 +103,24 @@ func SampleValue(w Word) int16 { return int16(uint16(w)) }
 // zero" — interior zeros before the last nonzero coefficient stay
 // literal.
 func EncodeWindow(win []int16) []Word {
+	return AppendWindow(nil, win)
+}
+
+// AppendWindow is EncodeWindow appending to dst, so a caller encoding a
+// whole channel amortizes the stream allocation instead of paying one
+// per window. It returns the extended slice.
+func AppendWindow(dst []Word, win []int16) []Word {
 	last := -1
 	for i, v := range win {
 		if v != 0 {
 			last = i
 		}
 	}
-	out := make([]Word, 0, last+2)
+	if dst == nil {
+		dst = make([]Word, 0, last+2)
+	}
 	for i := 0; i <= last; i++ {
-		out = append(out, Sample(win[i]))
+		dst = append(dst, Sample(win[i]))
 	}
 	if tail := len(win) - (last + 1); tail > 0 {
 		for tail > 0 {
@@ -119,11 +128,11 @@ func EncodeWindow(win []int16) []Word {
 			if r > MaxRun {
 				r = MaxRun
 			}
-			out = append(out, ZeroRun(r))
+			dst = append(dst, ZeroRun(r))
 			tail -= r
 		}
 	}
-	return out
+	return dst
 }
 
 // DecodeWindow expands an encoded window back to ws samples. It returns
@@ -153,14 +162,40 @@ func DecodeWindow(enc []Word, ws int) ([]int16, error) {
 // EncodeRepeatRun emits the codeword sequence for holding the previous
 // sample for n more samples, splitting runs longer than MaxRun.
 func EncodeRepeatRun(n int) []Word {
-	var out []Word
+	return AppendRepeatRun(nil, n)
+}
+
+// AppendRepeatRun is EncodeRepeatRun appending to dst.
+func AppendRepeatRun(dst []Word, n int) []Word {
 	for n > 0 {
 		r := n
 		if r > MaxRun {
 			r = MaxRun
 		}
-		out = append(out, Repeat(r))
+		dst = append(dst, Repeat(r))
 		n -= r
 	}
-	return out
+	return dst
+}
+
+// AppendRun appends run copies of v to dst — the time-domain expansion
+// of a repeat codeword ("hold the previous sample for run samples"),
+// shared by the software decompressor and the engine model. The fill
+// runs in O(log run) block copies instead of one append per sample.
+func AppendRun(dst []int16, v int16, run int) []int16 {
+	if run <= 0 {
+		return dst
+	}
+	n0 := len(dst)
+	if n0+run > cap(dst) {
+		grown := make([]int16, n0, max(2*cap(dst), n0+run))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n0+run]
+	dst[n0] = v
+	for f := 1; f < run; f *= 2 {
+		copy(dst[n0+f:n0+run], dst[n0:n0+f])
+	}
+	return dst
 }

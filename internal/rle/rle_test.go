@@ -181,3 +181,66 @@ func TestCompressionAccounting(t *testing.T) {
 		t.Errorf("ratio %.2f, want 5.33", r)
 	}
 }
+
+func TestAppendWindowMatchesEncodeWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ws := []int{4, 8, 16, 32}[trial%4]
+		win := make([]int16, ws)
+		for i := range win {
+			if rng.Intn(3) == 0 {
+				win[i] = int16(rng.Intn(65535) - 32767)
+			}
+		}
+		want := EncodeWindow(win)
+		prefix := []Word{Sample(99), ZeroRun(2)}
+		got := AppendWindow(append([]Word(nil), prefix...), win)
+		if len(got) != len(prefix)+len(want) {
+			t.Fatalf("AppendWindow length %d, want %d", len(got), len(prefix)+len(want))
+		}
+		for i, w := range want {
+			if got[len(prefix)+i] != w {
+				t.Fatalf("AppendWindow[%d] = %v, want %v", i, got[len(prefix)+i], w)
+			}
+		}
+	}
+}
+
+func TestAppendRunMatchesPerSampleAppend(t *testing.T) {
+	for _, run := range []int{0, 1, 2, 3, 7, 16, 100, 4097} {
+		for _, pre := range []int{0, 5} {
+			base := make([]int16, pre)
+			for i := range base {
+				base[i] = int16(i)
+			}
+			got := AppendRun(append([]int16(nil), base...), 42, run)
+			want := append([]int16(nil), base...)
+			for i := 0; i < run; i++ {
+				want = append(want, 42)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("run=%d pre=%d: len %d, want %d", run, pre, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("run=%d pre=%d: AppendRun[%d] = %d, want %d", run, pre, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendRepeatRunMatchesEncodeRepeatRun(t *testing.T) {
+	for _, n := range []int{1, MaxRun, MaxRun + 1, 3*MaxRun + 17} {
+		want := EncodeRepeatRun(n)
+		got := AppendRepeatRun([]Word{Repeat(1)}, n)
+		if len(got) != 1+len(want) {
+			t.Fatalf("n=%d: AppendRepeatRun length %d, want %d", n, len(got), 1+len(want))
+		}
+		for i, w := range want {
+			if got[1+i] != w {
+				t.Fatalf("n=%d: AppendRepeatRun[%d] = %v, want %v", n, i, got[1+i], w)
+			}
+		}
+	}
+}

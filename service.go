@@ -354,9 +354,15 @@ func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl
 }
 
 // runPool runs fn(0..n-1) across the configured parallelism: a bounded
-// worker pool pulls indices from a feed channel, so callers writing
-// results by index get deterministic output at any width. The first
-// error cancels the remaining work.
+// worker pool pulls indices from a prefilled feed channel, so callers
+// writing results by index get deterministic output at any width. The
+// first error cancels the remaining work.
+//
+// Each worker goroutine drains many pulses back to back, which is what
+// makes the kernel scratch pooling effective: the sync.Pool-backed
+// buffers in internal/compress and internal/dct are cached per P, so a
+// worker reuses the same DCT plan scratch and whole-waveform work
+// arrays across pulses instead of contending on the allocator.
 func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) error {
 	if n == 0 {
 		return ctx.Err()
@@ -380,17 +386,13 @@ func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) erro
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	feed := make(chan int)
-	go func() {
-		defer close(feed)
-		for i := 0; i < n; i++ {
-			select {
-			case feed <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
+	// Prefill the feed so no feeder goroutine sits between the workers
+	// and their next index; cancellation is checked per item instead.
+	feed := make(chan int, n)
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
 
 	var (
 		wg       sync.WaitGroup
@@ -402,6 +404,9 @@ func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) erro
 		go func() {
 			defer wg.Done()
 			for i := range feed {
+				if ctx.Err() != nil {
+					return
+				}
 				if err := fn(i); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
