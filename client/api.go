@@ -1,0 +1,241 @@
+// Package client is the typed Go client for the compaqt compile
+// server (cmd/compaqt-serve, internal/server). It also defines the
+// JSON wire types of the HTTP API, which the server package reuses so
+// the two sides cannot drift.
+//
+// The API surface mirrors the in-process compaqt.Service:
+//
+//	POST /v1/compile        one pulse  -> entry summary
+//	POST /v1/compile/batch  pulse list -> order-stable, dedup-aware batch
+//	GET  /v1/images/{name}  serialized CPQT image (wire format)
+//	GET  /v1/stats          cache + request metrics
+//	GET  /healthz           liveness / drain state
+package client
+
+import (
+	"fmt"
+
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// PulseSpec is the wire form of one calibrated pulse: the complex
+// baseband envelope as two float64 channels in unit-amplitude terms,
+// exactly what qctrl.Pulse carries in process. Target must be -1 for
+// single-qubit gates (note: an omitted JSON target decodes as 0, which
+// means "two-qubit partner q0" — clients must send -1 explicitly or
+// build specs with FromPulse).
+type PulseSpec struct {
+	Gate       string    `json:"gate"`
+	Qubit      int       `json:"qubit"`
+	Target     int       `json:"target"`
+	SampleRate float64   `json:"sample_rate"`
+	I          []float64 `json:"i"`
+	Q          []float64 `json:"q"`
+}
+
+// FromPulse converts an in-process pulse to its wire form.
+func FromPulse(p *qctrl.Pulse) PulseSpec {
+	return PulseSpec{
+		Gate:       p.Gate,
+		Qubit:      p.Qubit,
+		Target:     p.Target,
+		SampleRate: p.Waveform.SampleRate,
+		I:          p.Waveform.I,
+		Q:          p.Waveform.Q,
+	}
+}
+
+// Pulse validates the spec and converts it back to an in-process
+// pulse. The waveform name is the pulse key ("X_q0", "CX_q1_q2"), the
+// same convention the machine libraries use.
+func (ps PulseSpec) Pulse() (*qctrl.Pulse, error) {
+	if ps.Gate == "" {
+		return nil, fmt.Errorf("client: pulse has no gate name")
+	}
+	if ps.Qubit < 0 {
+		return nil, fmt.Errorf("client: negative qubit %d", ps.Qubit)
+	}
+	if ps.Target < -1 {
+		return nil, fmt.Errorf("client: invalid target %d (want -1 or a qubit index)", ps.Target)
+	}
+	if ps.SampleRate <= 0 {
+		return nil, fmt.Errorf("client: sample rate %g must be positive", ps.SampleRate)
+	}
+	p := &qctrl.Pulse{
+		Gate:   ps.Gate,
+		Qubit:  ps.Qubit,
+		Target: ps.Target,
+		Waveform: &waveform.Waveform{
+			SampleRate: ps.SampleRate,
+			I:          ps.I,
+			Q:          ps.Q,
+		},
+	}
+	p.Waveform.Name = p.Key()
+	if err := p.Waveform.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CompileOptions are per-request overrides of the server's default
+// compile configuration. The zero value (or a nil pointer) means "use
+// the server defaults", and unset fields overlay onto them:
+//
+//   - Window, Adaptive and the fidelity knobs inherit the server's
+//     values while the codec is unchanged. Overriding the codec drops
+//     that inheritance (a window or MSE target tuned for the default
+//     codec rarely transfers) — only explicitly-set fields then apply
+//     on top of the new codec's own defaults.
+//   - Threshold, FidelityTarget and MSETarget are one exclusive group:
+//     setting any of them replaces the server's fidelity configuration
+//     wholesale.
+//
+// Overridden requests bypass the server's compile cache (the cache is
+// keyed to the default configuration); in-batch dedup still applies.
+type CompileOptions struct {
+	// Codec selects a registered codec by name (see codec.Names).
+	Codec string `json:"codec,omitempty"`
+	// Window is the transform window for windowed codecs (4/8/16/32).
+	Window int `json:"window,omitempty"`
+	// Threshold fixes the relative coefficient threshold in [0, 1).
+	Threshold float64 `json:"threshold,omitempty"`
+	// FidelityTarget enables Algorithm-1 tuning toward 1-MSE >= target.
+	FidelityTarget float64 `json:"fidelity_target,omitempty"`
+	// MSETarget enables Algorithm-1 tuning with an explicit MSE budget.
+	MSETarget float64 `json:"mse_target,omitempty"`
+	// Adaptive toggles the flat-top repeat path; nil inherits the
+	// server default.
+	Adaptive *bool `json:"adaptive,omitempty"`
+}
+
+// IsZero reports whether the options request no overrides.
+func (o *CompileOptions) IsZero() bool {
+	return o == nil || *o == CompileOptions{}
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Image, when set, stores the compiled single-entry image on the
+	// server under this name for GET /v1/images/{name}.
+	Image   string          `json:"image,omitempty"`
+	Pulse   PulseSpec       `json:"pulse"`
+	Options *CompileOptions `json:"options,omitempty"`
+}
+
+// CompileResponse is the body of a successful POST /v1/compile.
+type CompileResponse struct {
+	Codec string       `json:"codec"`
+	Entry EntrySummary `json:"entry"`
+}
+
+// BatchRequest is the body of POST /v1/compile/batch.
+type BatchRequest struct {
+	// Image, when set, stores the compiled image under this name.
+	Image   string          `json:"image,omitempty"`
+	Pulses  []PulseSpec     `json:"pulses"`
+	Options *CompileOptions `json:"options,omitempty"`
+	// IncludeImage asks for the serialized image (wire format, base64)
+	// in the response. Requires a codec the wire format stores
+	// (intdct-w).
+	IncludeImage bool `json:"include_image,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/compile/batch.
+// Entries align one-to-one with the request pulses, in order.
+type BatchResponse struct {
+	Codec   string         `json:"codec"`
+	Entries []EntrySummary `json:"entries"`
+	Stats   ImageStats     `json:"stats"`
+	// ImageB64 is the std-base64 serialized image when IncludeImage
+	// was set; its bytes are identical to an in-process
+	// Service.CompileBatch + Image.WriteTo of the same pulses.
+	ImageB64 string `json:"image_b64,omitempty"`
+}
+
+// EntrySummary describes one compiled entry.
+type EntrySummary struct {
+	Key           string  `json:"key"`
+	Gate          string  `json:"gate"`
+	Qubit         int     `json:"qubit"`
+	Target        int     `json:"target"`
+	Samples       int     `json:"samples"`
+	WindowSize    int     `json:"window_size,omitempty"`
+	OriginalWords int     `json:"original_words"`
+	PackedWords   int     `json:"packed_words"`
+	UniformWords  int     `json:"uniform_words"`
+	PackedRatio   float64 `json:"packed_ratio"`
+}
+
+// ImageStats mirrors compaqt.Stats on the wire.
+type ImageStats struct {
+	Entries       int     `json:"entries"`
+	OriginalWords int     `json:"original_words"`
+	PackedWords   int     `json:"packed_words"`
+	UniformWords  int     `json:"uniform_words"`
+	PackedRatio   float64 `json:"packed_ratio"`
+	UniformRatio  float64 `json:"uniform_ratio"`
+	WorstWindow   int     `json:"worst_window"`
+	RepeatSamples int     `json:"repeat_samples"`
+}
+
+// RequestStats are the server's HTTP-level counters.
+type RequestStats struct {
+	Total        uint64 `json:"total"`
+	ClientErrors uint64 `json:"client_errors"`
+	ServerErrors uint64 `json:"server_errors"`
+	Canceled     uint64 `json:"canceled"`
+	InFlight     int64  `json:"in_flight"`
+	PeakInFlight int64  `json:"peak_in_flight"`
+}
+
+// CompileStats aggregate the compile instrumentation events of every
+// service the server runs (default and per-override).
+type CompileStats struct {
+	Calls     uint64 `json:"calls"`
+	Errors    uint64 `json:"errors"`
+	Pulses    uint64 `json:"pulses"`
+	Encodes   uint64 `json:"encodes"`
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// CacheStats is the wire form of the default service's compile cache.
+type CacheStats struct {
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Evictions  uint64  `json:"evictions"`
+	Entries    int     `json:"entries"`
+	BytesSaved uint64  `json:"bytes_saved"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Codec    string       `json:"codec"`
+	Codecs   []string     `json:"codecs"`
+	Requests RequestStats `json:"requests"`
+	Compile  CompileStats `json:"compile"`
+	Cache    CacheStats   `json:"cache"`
+	Images   []string     `json:"images"`
+}
+
+// HealthResponse is the body of GET /healthz ("ok" or "draining").
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// APIError is a non-2xx server response surfaced as a Go error.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}

@@ -1,0 +1,156 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"compaqt"
+)
+
+// Client talks to a compaqt compile server. It is safe for concurrent
+// use; the zero http.Client default is replaced by http.DefaultClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8371").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Health checks GET /healthz. It returns nil when the server reports
+// "ok" and an *APIError while the server is draining or down.
+func (c *Client) Health(ctx context.Context) error {
+	var h HealthResponse
+	return c.getJSON(ctx, "/healthz", &h)
+}
+
+// Stats fetches the server's cache and request metrics.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var s StatsResponse
+	if err := c.getJSON(ctx, "/v1/stats", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Compile compresses a single pulse.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	var resp CompileResponse
+	if err := c.postJSON(ctx, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CompileBatch compresses a pulse list as one order-stable,
+// dedup-aware batch.
+func (c *Client) CompileBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.postJSON(ctx, "/v1/compile/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ImageRaw streams a stored image's serialized wire-format bytes.
+func (c *Client) ImageRaw(ctx context.Context, name string) ([]byte, error) {
+	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, apiError(res)
+	}
+	return io.ReadAll(res.Body)
+}
+
+// Image fetches a stored image and deserializes it, ready for local
+// playback through a compaqt.Service.
+func (c *Client) Image(ctx context.Context, name string) (*compaqt.Image, error) {
+	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, apiError(res)
+	}
+	return compaqt.ReadImage(res.Body)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	res, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return apiError(res)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	res, err := c.do(ctx, http.MethodPost, path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return apiError(res)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// apiError turns a non-2xx response into an *APIError, preferring the
+// server's JSON error body and falling back to the raw text.
+func apiError(res *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: res.StatusCode, Message: e.Error}
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = fmt.Sprintf("(%s)", http.StatusText(res.StatusCode))
+	}
+	return &APIError{StatusCode: res.StatusCode, Message: msg}
+}

@@ -1,0 +1,85 @@
+// compaqt-serve runs the COMPAQT compile service over HTTP/JSON: a
+// network front end to the compile pipeline (codec registry, worker
+// pool, content-addressed cache) for clients that submit calibrated
+// pulses and fetch compiled waveform-memory images.
+//
+// Usage:
+//
+//	compaqt-serve -addr :8371
+//	compaqt-serve -codec intdct-w -ws 16 -cache 4096 -parallelism 8
+//	compaqt-serve -max-inflight 16 -max-body 67108864
+//
+// Endpoints: POST /v1/compile, POST /v1/compile/batch,
+// GET /v1/images/{name}, GET /v1/stats, GET /healthz. See the client
+// package for the typed Go client. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"compaqt/codec"
+	"compaqt/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8371", "listen address")
+	codecName := flag.String("codec", "intdct-w", "default compression codec (see -codecs)")
+	listCodecs := flag.Bool("codecs", false, "list registered codec names and exit")
+	ws := flag.Int("ws", 0, "default transform window (4, 8, 16, 32; 0 = codec default)")
+	adaptive := flag.Bool("adaptive", false, "enable flat-top adaptive compression by default")
+	mse := flag.Float64("mse", 0, "default fidelity-aware MSE target (0 = fixed threshold)")
+	cacheSize := flag.Int("cache", 0, "compile cache capacity in entries (0 = default, -1 = disabled)")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(), "per-compile worker-pool width")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing compile requests (0 = 2*NumCPU)")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 64 MiB)")
+	maxBatch := flag.Int("max-batch", 0, "max pulses per batch request (0 = 8192)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	if *listCodecs {
+		for _, n := range codec.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	srv, err := server.New(server.Config{
+		Codec:          *codecName,
+		Window:         *ws,
+		Adaptive:       *adaptive,
+		MSETarget:      *mse,
+		CacheSize:      *cacheSize,
+		Parallelism:    *parallelism,
+		MaxInFlight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchPulses: *maxBatch,
+		DrainTimeout:   *drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = srv.Run(ctx, *addr, func(a net.Addr) {
+		log.Printf("compaqt-serve: listening on %s (codec %s, parallelism %d)",
+			a, *codecName, *parallelism)
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("compaqt-serve: drained, bye")
+}

@@ -3,6 +3,7 @@ package codec_test
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"compaqt/codec"
 	"compaqt/waveform"
@@ -18,13 +19,20 @@ func (renamedCodec) Name() string { return "delta-wrapped" }
 // ExampleRegister plugs a new compression backend into the process-wide
 // registry and builds a Service-compatible codec from it, without
 // touching any core package.
+// registerWrappedOnce keeps the example idempotent when the test
+// binary reruns it (-count=2): the registry is process-wide and
+// Register panics on duplicate names.
+var registerWrappedOnce sync.Once
+
 func ExampleRegister() {
-	codec.Register("delta-wrapped", func(p codec.Params) (codec.Codec, error) {
-		inner, err := codec.New("delta", p)
-		if err != nil {
-			return nil, err
-		}
-		return renamedCodec{inner}, nil
+	registerWrappedOnce.Do(func() {
+		codec.Register("delta-wrapped", func(p codec.Params) (codec.Codec, error) {
+			inner, err := codec.New("delta", p)
+			if err != nil {
+				return nil, err
+			}
+			return renamedCodec{inner}, nil
+		})
 	})
 
 	c, err := codec.New("delta-wrapped", codec.Params{})

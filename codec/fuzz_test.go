@@ -1,0 +1,105 @@
+// Round-trip fuzzing over the codec registry: every paper variant must
+// encode arbitrary sample vectors without panicking, decode back to
+// the declared sample count, and — for the lossless delta baseline —
+// reproduce the input exactly.
+package codec_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"compaqt/codec"
+	"compaqt/waveform"
+)
+
+// fuzzVariants are the five built-in paper codecs. The list is fixed
+// (not codec.Names()) so registry pollution from other tests cannot
+// change what the fuzzer covers.
+var fuzzVariants = []string{"delta", "dict", "dct-n", "dct-w", "intdct-w"}
+
+// clampQ15 maps fuzz bytes into the quantizer's sample domain:
+// wave.QuantizeSample clamps symmetrically to [-32767, 32767] and
+// reserves -32768 (its sign-magnitude code would collide with zero),
+// so a Fixed never carries it and neither may the fuzzer.
+func clampQ15(u uint16) int16 {
+	s := int16(u)
+	if s == -32768 {
+		return -32767
+	}
+	return s
+}
+
+// FuzzCodecRoundTrip interprets the fuzz payload as little-endian
+// int16 I/Q sample pairs and round-trips them through every variant.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seeds: a flat line, a ramp, an alternating worst case, and a
+	// pseudo-random burst.
+	flat := make([]byte, 256)
+	ramp := make([]byte, 256)
+	alt := make([]byte, 256)
+	lcg := make([]byte, 256)
+	state := uint64(1)
+	for i := 0; i+1 < len(flat); i += 2 {
+		binary.LittleEndian.PutUint16(flat[i:], 0x2000)
+		binary.LittleEndian.PutUint16(ramp[i:], uint16(i*64))
+		binary.LittleEndian.PutUint16(alt[i:], uint16(0x7fff*((i/2)%2)))
+		state = state*2862933555777941757 + 3037000493
+		binary.LittleEndian.PutUint16(lcg[i:], uint16(state>>48))
+	}
+	f.Add(flat)
+	f.Add(ramp)
+	f.Add(alt)
+	f.Add(lcg)
+	f.Add([]byte{1, 2, 3, 4})
+
+	codecs := make(map[string]codec.Codec, len(fuzzVariants))
+	for _, name := range fuzzVariants {
+		c, err := codec.New(name, codec.Params{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		codecs[name] = c
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 4 // two int16 channels per sample
+		if n == 0 {
+			t.Skip("not enough bytes for one I/Q pair")
+		}
+		if n > 1<<14 {
+			t.Skip("waveform larger than the fuzz budget")
+		}
+		fx := &waveform.Fixed{Name: "fuzz", SampleRate: 4.5e9}
+		fx.I = make([]int16, n)
+		fx.Q = make([]int16, n)
+		for i := 0; i < n; i++ {
+			fx.I[i] = clampQ15(binary.LittleEndian.Uint16(data[4*i:]))
+			fx.Q[i] = clampQ15(binary.LittleEndian.Uint16(data[4*i+2:]))
+		}
+		for _, name := range fuzzVariants {
+			c := codecs[name]
+			enc, err := c.Encode(fx)
+			if err != nil {
+				continue // a variant may reject a shape; it must not panic
+			}
+			if r := c.Ratio(enc); r < 0 {
+				t.Errorf("%s: negative compression ratio %g", name, r)
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s: decode of own encoding failed: %v", name, err)
+			}
+			if dec.Samples() != n {
+				t.Fatalf("%s: decoded %d samples, want %d", name, dec.Samples(), n)
+			}
+			if name == "delta" {
+				for i := range fx.I {
+					if dec.I[i] != fx.I[i] || dec.Q[i] != fx.Q[i] {
+						t.Fatalf("delta: lossless round trip broke at sample %d: (%d,%d) != (%d,%d)",
+							i, dec.I[i], dec.Q[i], fx.I[i], fx.Q[i])
+					}
+				}
+			}
+		}
+	})
+}

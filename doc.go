@@ -27,14 +27,20 @@
 // (and fidelity target) into a sharded LRU; repeated content skips the
 // encoders and is byte-identical to a fresh compile. CompileBatch
 // additionally deduplicates inside one submission before fanning the
-// unique work out to the worker pool. See ARCHITECTURE.md for the
-// layer diagram and data flow.
+// unique work out to the worker pool. WithObserver installs a metrics
+// hook that receives one CompileEvent per compile call — the
+// integration point the HTTP serving layer (internal/server,
+// cmd/compaqt-serve, with its typed client in compaqt/client) builds
+// its /v1/stats endpoint on. See ARCHITECTURE.md for the layer diagram
+// and data flow.
 //
 // The public subpackages:
 //
 //   - codec: the Codec interface, the process-wide registry, and the
 //     five paper variants (delta, dict, dct-n, dct-w, intdct-w); new
 //     backends plug in via codec.Register
+//   - client: typed client for the compile server plus the HTTP API's
+//     JSON wire types
 //   - waveform: calibrated pulse envelopes (DRAG, GaussianSquare, ...),
 //     fixed-point quantization, FDM, error metrics
 //   - qctrl: the evaluated machines with seeded calibrations, the RFSoC

@@ -1,0 +1,99 @@
+// serve-quickstart drives the compile server end to end from the typed
+// client: it starts an in-process server on a loopback port, submits a
+// machine's calibrated pulse library as one dedup-aware batch, fetches
+// the stored wire-format image back, and plays an entry through the
+// hardware decompression model locally.
+//
+// Against a remote deployment the server half disappears — point
+// client.New at the service address and keep the rest.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"compaqt"
+	"compaqt/client"
+	"compaqt/internal/server"
+	"compaqt/qctrl"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Server half: compile service with a content-addressed cache,
+	// bound to an ephemeral loopback port.
+	srv, err := server.New(server.Config{CacheSize: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Run(ctx, "127.0.0.1:0", func(a net.Addr) { addrc <- a })
+	}()
+	addr := <-addrc
+
+	// Client half: everything below talks HTTP.
+	cl := client.New("http://" + addr.String())
+	if err := cl.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit ibmq_guadalupe's library as one batch, twice over — the
+	// duplicates are deduplicated server-side and the second submission
+	// is served from the compile cache.
+	m := qctrl.Guadalupe()
+	lib := m.Library()
+	specs := make([]client.PulseSpec, 0, 2*len(lib))
+	for range 2 {
+		for _, p := range lib {
+			specs = append(specs, client.FromPulse(p))
+		}
+	}
+	start := time.Now()
+	batch, err := cl.CompileBatch(ctx, client.BatchRequest{
+		Image:  m.Name,
+		Pulses: specs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d entries (%d distinct pulses) in %v: R = %.2fx packed\n",
+		len(batch.Entries), len(lib), time.Since(start).Round(time.Millisecond),
+		batch.Stats.PackedRatio)
+
+	// Fetch the stored image — CPQT wire format, byte-identical to an
+	// in-process compile — and play a pulse through the local engine.
+	img, err := cl.Image(ctx, m.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := compaqt.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Use(img)
+	out, st, err := svc.Play(ctx, "X_q3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("played X_q3: %d samples, %.2fx bandwidth boost\n",
+		out.Samples(), float64(st.SamplesOut)/float64(st.MemWords))
+
+	// Server-side metrics: the second library submission hit the cache.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %d requests, %d pulses in, %d encodes, %d cache entries\n",
+		stats.Requests.Total, stats.Compile.Pulses, stats.Compile.Encodes,
+		stats.Cache.Entries)
+
+	cancel() // SIGTERM equivalent: drain and stop
+	<-done
+}

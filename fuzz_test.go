@@ -1,0 +1,119 @@
+// Fuzz targets over the untrusted-input surfaces: image bytes from the
+// wire (OpenImage/ReadImage must never panic or balloon memory on
+// hostile length fields) and playback/decode of whatever parses. Seed
+// corpora come from the golden wire-format images, so the fuzzers
+// start from valid CPQT bytes and mutate outward.
+//
+// CI runs these as a short smoke (-fuzztime=10s per target); the same
+// functions run as plain regression tests over the seed corpus in
+// ordinary `go test` runs.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compaqt"
+	"compaqt/codec"
+)
+
+// addImageSeeds feeds the golden corpus plus a few structural edge
+// cases (truncations, header-only, corrupt magic) to a fuzz target.
+func addImageSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "golden", "*.cpqt"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no golden images found; run `go test -run TestGolden -update .` first")
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2]) // truncated mid-entry
+		f.Add(raw[:16])         // header only
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CPQT"))
+	f.Add([]byte("JUNK war bytes"))
+	// Hostile lengths: valid magic/version/window, then a huge entry
+	// count and stream length with no data behind them.
+	f.Add([]byte{'C', 'P', 'Q', 'T', 1, 0, 16, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
+}
+
+// FuzzOpenImage feeds arbitrary bytes to the full service-level image
+// path: deserialize, aggregate stats, look up and play entries through
+// the hardware-engine model. Nothing may panic; hostile inputs must
+// come back as errors.
+func FuzzOpenImage(f *testing.F) {
+	addImageSeeds(f)
+	svc, err := compaqt.New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("image larger than the fuzz budget")
+		}
+		img, err := svc.OpenImage(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		_ = img.Stats()
+		for i := range img.Entries {
+			if i >= 8 {
+				break
+			}
+			// Errors are acceptable (malformed streams, bad windows);
+			// panics and runaway allocations are not.
+			_, _, _ = svc.Play(ctx, img.Entries[i].Key)
+		}
+	})
+}
+
+// FuzzDecodeImage drives parsed-but-untrusted images through the
+// software decode path (the codec Decode used for verification and
+// fidelity checks) and through re-serialization: WriteTo of a parsed
+// image must round-trip to the same parse.
+func FuzzDecodeImage(f *testing.F) {
+	addImageSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("image larger than the fuzz budget")
+		}
+		img, err := compaqt.ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c, err := codec.New("intdct-w", codec.Params{Window: img.WindowSize}); err == nil {
+			for i := range img.Entries {
+				if i >= 8 {
+					break
+				}
+				_, _ = c.Decode(img.Entries[i].Compressed) // must not panic
+			}
+		}
+		// Re-serialization round-trip: what parsed must write back and
+		// parse to the same image.
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			return // e.g. strings the writer rejects
+		}
+		img2, err := compaqt.ReadImage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized image does not parse: %v", err)
+		}
+		if len(img2.Entries) != len(img.Entries) || img2.WindowSize != img.WindowSize || img2.Machine != img.Machine {
+			t.Fatalf("re-serialization changed the image shape: %d/%d entries, window %d/%d",
+				len(img.Entries), len(img2.Entries), img.WindowSize, img2.WindowSize)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Golden wire-format corpus: serialized CPQT images (one per window
+// size) and per-codec behavioral dumps (stream words + decoded
+// samples) are checked in under testdata/golden and compared
+// byte-for-byte, so a change to the packed-R wire format or to any
+// codec's encoded output cannot land silently. Regenerate with
+//
+//	go test -run TestGolden -update .
+//
+// after an INTENTIONAL format change, and say so in the commit.
+//
+// The fixture pulses are synthesized from an integer LCG as exact
+// binary fractions, so quantization is exact and the int-DCT-W path is
+// pure integer math — byte-reproducible across platforms. The float
+// codecs (dct-n, dct-w) additionally depend on the Go math library's
+// cos/sqrt, which are stable for a given Go release; if a toolchain
+// update ever shifts an ulp, the dump diff will show exactly where.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenPulses builds the fixed fixture library: four small pulses
+// covering the encoder's regimes — dense noise, a smooth ramp, a
+// flat-top (zero-run heavy), and all-zero.
+func goldenPulses() []*qctrl.Pulse {
+	const samples = 96
+	mk := func(gate string, qubit, target int, fill func(i int) (float64, float64)) *qctrl.Pulse {
+		iCh := make([]float64, samples)
+		qCh := make([]float64, samples)
+		for i := range iCh {
+			iCh[i], qCh[i] = fill(i)
+		}
+		p := &qctrl.Pulse{Gate: gate, Qubit: qubit, Target: target, Waveform: &waveform.Waveform{
+			SampleRate: 4.5e9, I: iCh, Q: qCh,
+		}}
+		p.Waveform.Name = p.Key()
+		return p
+	}
+	state := uint64(0x5eed)
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		return float64(int64(state>>40)%1024) / 1024 // exact binary fraction in (-1, 1)
+	}
+	return []*qctrl.Pulse{
+		mk("X", 0, -1, func(i int) (float64, float64) { return next(), next() }),
+		mk("SX", 1, -1, func(i int) (float64, float64) {
+			return float64(i-samples/2) / samples, float64(samples/2-i) / samples
+		}),
+		mk("CX", 2, 3, func(i int) (float64, float64) {
+			if i < 8 || i >= samples-8 {
+				return float64(i%8) / 16, 0
+			}
+			return 0.5, -0.25
+		}),
+		mk("Meas", 4, -1, func(i int) (float64, float64) { return 0, 0 }),
+	}
+}
+
+// goldenPath resolves a file under testdata/golden.
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update .` to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the checked-in golden bytes (got %d bytes, want %d).\n"+
+			"If the wire format or codec output changed INTENTIONALLY, regenerate with -update and call it out in the commit.",
+			name, len(got), len(want))
+	}
+}
+
+// TestGoldenImages pins the CPQT wire format: the serialized image of
+// the fixture library at every window size must match the checked-in
+// bytes, and the checked-in bytes must deserialize back to the exact
+// compiled image.
+func TestGoldenImages(t *testing.T) {
+	ctx := context.Background()
+	for _, ws := range []int{4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("w%d", ws), func(t *testing.T) {
+			svc, err := compaqt.New(
+				compaqt.WithCodec("intdct-w"),
+				compaqt.WithWindow(ws),
+				compaqt.WithParallelism(1),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := svc.CompilePulses(ctx, "golden", goldenPulses())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := img.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("image_w%d.cpqt", ws)
+			checkGolden(t, name, buf.Bytes())
+			if *update {
+				return
+			}
+
+			// The checked-in bytes must decode to the identical image.
+			raw, err := os.ReadFile(goldenPath(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := compaqt.ReadImage(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("golden image does not parse: %v", err)
+			}
+			if !reflect.DeepEqual(got, img) {
+				t.Error("golden image decodes to a different image than a fresh compile")
+			}
+
+			// And every entry must play through the hardware model.
+			svc.Use(got)
+			for _, e := range got.Entries {
+				if _, _, err := svc.Play(ctx, e.Key); err != nil {
+					t.Errorf("playback of golden entry %s: %v", e.Key, err)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCodecStreams pins every registered paper codec's encoded
+// output AND its decoded reconstruction for the fixture library. The
+// dump covers stream words (where the variant uses the shared RLE
+// stream), per-layout word footprints, and the round-tripped samples,
+// so both the encoder and the decoder are pinned.
+func TestGoldenCodecStreams(t *testing.T) {
+	// The five paper variants, not codec.Names(): tests elsewhere
+	// register throwaway codecs in the shared registry.
+	for _, name := range []string{"delta", "dict", "dct-n", "dct-w", "intdct-w"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := codec.New(name, codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "codec %s\n", name)
+			for _, p := range goldenPulses() {
+				f := p.Waveform.Quantize()
+				enc, err := c.Encode(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(&b, "entry %s samples %d rate %x window %d\n",
+					p.Key(), enc.Samples, enc.SampleRate, enc.WindowSize)
+				fmt.Fprintf(&b, "  ratio %x packed %d uniform %d\n",
+					c.Ratio(enc), enc.Words(codec.LayoutPacked), enc.Words(codec.LayoutUniform))
+				for ch, chName := range []string{"I", "Q"} {
+					scale := enc.I.Scale
+					if ch == 1 {
+						scale = enc.Q.Scale
+					}
+					words := streamWords(enc, ch)
+					fmt.Fprintf(&b, "  %s scale %x words %d:", chName, scale, len(words))
+					for _, w := range words {
+						fmt.Fprintf(&b, " %05x", w)
+					}
+					b.WriteString("\n")
+				}
+				dec, err := c.Decode(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(&b, "  decoded I:")
+				for _, s := range dec.I {
+					fmt.Fprintf(&b, " %04x", uint16(s))
+				}
+				fmt.Fprintf(&b, "\n  decoded Q:")
+				for _, s := range dec.Q {
+					fmt.Fprintf(&b, " %04x", uint16(s))
+				}
+				b.WriteString("\n")
+			}
+			checkGolden(t, "codec_"+name+".txt", []byte(b.String()))
+		})
+	}
+}
+
+// streamWords extracts a channel's RLE stream as raw words (ch 0 = I,
+// 1 = Q). Baseline variants (delta, dict) keep their encodings in
+// private fields and have empty streams; their golden coverage comes
+// from the decoded-sample dump.
+func streamWords(c *codec.Compressed, ch int) []uint32 {
+	s := c.I.Stream
+	if ch == 1 {
+		s = c.Q.Stream
+	}
+	out := make([]uint32, len(s))
+	for i, w := range s {
+		out[i] = uint32(w)
+	}
+	return out
+}
+
+// TestGoldenCorpusIsSelfConsistent guards the fixture itself: the
+// pulse set must stay byte-stable (the LCG and shapes are part of the
+// corpus contract).
+func TestGoldenCorpusIsSelfConsistent(t *testing.T) {
+	a, b := goldenPulses(), goldenPulses()
+	if len(a) != 4 {
+		t.Fatalf("fixture has %d pulses, want 4", len(a))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Waveform, b[i].Waveform) {
+			t.Errorf("fixture pulse %d is not deterministic", i)
+		}
+		if err := a[i].Waveform.Validate(); err != nil {
+			t.Errorf("fixture pulse %d invalid: %v", i, err)
+		}
+	}
+}

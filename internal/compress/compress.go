@@ -355,6 +355,15 @@ func (c *Compressed) Decompress() (*wave.Fixed, error) {
 // lives in fixed stack buffers; the only allocation is the returned
 // sample slice.
 func decompressChannel(ch *Channel, ws, n int, v Variant) ([]int16, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative sample count %d", n)
+	}
+	if n == 0 {
+		if len(ch.Stream) != 0 {
+			return nil, fmt.Errorf("%d stream words but zero samples declared", len(ch.Stream))
+		}
+		return nil, nil
+	}
 	// n samples plus room for the hold-last padding of a final partial
 	// window (trimmed before return), so decoding never regrows out.
 	out := make([]int16, 0, n+ws-1)
@@ -366,6 +375,12 @@ func decompressChannel(ch *Channel, ws, n int, v Variant) ([]int16, error) {
 	i := 0
 	for i < len(ch.Stream) {
 		if k, run := rle.Decode(ch.Stream[i]); k == rle.KindRepeat {
+			// Repeats never extend past the waveform end in compiler
+			// output; reject overruns before growing the buffer so a
+			// hostile stream cannot amplify a few words into gigabytes.
+			if run > n-len(out) {
+				return nil, fmt.Errorf("repeat run of %d overruns the %d declared samples", run, n)
+			}
 			out = rle.AppendRun(out, last, run)
 			i++
 			continue

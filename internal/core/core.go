@@ -196,6 +196,18 @@ func (p *Pipeline) Play(key string) (*wave.Fixed, engine.Stats, error) {
 const (
 	magic   = "CPQT"
 	version = 1
+
+	// maxImageEntries and maxImageSamples bound what ReadImage will
+	// accept from untrusted bytes. Real libraries are a few hundred
+	// entries of at most tens of thousands of samples; the caps leave
+	// orders of magnitude of headroom while keeping a hostile header
+	// from provoking a multi-gigabyte allocation.
+	maxImageEntries = 1 << 20
+	maxImageSamples = 1 << 22
+	maxStreamWords  = 1 << 24
+	// streamChunk is the initial stream allocation: memory is committed
+	// as words are actually read, never from the declared count alone.
+	streamChunk = 4096
 )
 
 // WriteTo serializes the image. The wire format stores only the
@@ -286,6 +298,16 @@ func ReadImage(r io.Reader) (*Image, error) {
 	if err := read(&ws); err != nil {
 		return nil, err
 	}
+	switch ws {
+	case 4, 8, 16, 32:
+		// The wire format stores int-DCT-W images only, so every valid
+		// image carries one of the engine's window sizes. Anything else
+		// is hostile or corrupt — and must be rejected before the
+		// window-walking metadata rebuild (ws=0 would never advance it,
+		// ws>32 would overflow the decoder's fixed window buffers).
+	default:
+		return nil, fmt.Errorf("core: invalid window size %d", ws)
+	}
 	img := &Image{WindowSize: int(ws)}
 	var err error
 	if img.Machine, err = readString(br); err != nil {
@@ -295,7 +317,7 @@ func ReadImage(r io.Reader) (*Image, error) {
 	if err := read(&count); err != nil {
 		return nil, err
 	}
-	if count > 1<<20 {
+	if count > maxImageEntries {
 		return nil, fmt.Errorf("core: implausible entry count %d", count)
 	}
 	for i := uint32(0); i < count; i++ {
@@ -326,22 +348,41 @@ func ReadImage(r io.Reader) (*Image, error) {
 		if err := read(&samples); err != nil {
 			return nil, err
 		}
+		if samples > maxImageSamples {
+			return nil, fmt.Errorf("core: implausible sample count %d", samples)
+		}
 		c.Samples = int(samples)
 		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
 			var wc uint32
 			if err := read(&wc); err != nil {
 				return nil, err
 			}
-			if wc > 1<<24 {
+			if wc > maxStreamWords {
 				return nil, fmt.Errorf("core: implausible stream length %d", wc)
 			}
-			ch.Stream = make([]rle.Word, wc)
-			for j := range ch.Stream {
+			// A window word reconstructs at most ws samples and a repeat
+			// codeword at most rle.MaxRun, so a channel that claims more
+			// samples than its words could ever cover is malformed. The
+			// check also keeps the declared sample count proportional to
+			// the bytes actually present.
+			maxPerWord := uint64(rle.MaxRun)
+			if uint64(ws) > maxPerWord {
+				maxPerWord = uint64(ws)
+			}
+			// 64-bit arithmetic: wc*maxPerWord can reach 2^36, which
+			// would wrap a 32-bit int and mis-reject valid images.
+			if uint64(samples) > uint64(wc)*maxPerWord {
+				return nil, fmt.Errorf("core: %d samples cannot decode from %d stream words", samples, wc)
+			}
+			// Commit memory as words arrive, not from the declared count:
+			// a truncated or hostile header then costs at most one chunk.
+			ch.Stream = make([]rle.Word, 0, min(int(wc), streamChunk))
+			for j := uint32(0); j < wc; j++ {
 				var word uint32
 				if err := read(&word); err != nil {
 					return nil, err
 				}
-				ch.Stream[j] = rle.Word(word)
+				ch.Stream = append(ch.Stream, rle.Word(word))
 			}
 			rebuildChannelMeta(ch, int(ws))
 		}

@@ -1,0 +1,131 @@
+// Fuzzing for the wire-format reader: ReadImage consumes bytes that in
+// production arrive over the network, so it must reject hostile input
+// with an error — never a panic, and never an allocation driven by a
+// declared length instead of by bytes actually present.
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"compaqt/internal/device"
+	"compaqt/internal/wave"
+)
+
+// seedImage compiles a tiny two-pulse library into wire bytes.
+func seedImage(tb testing.TB, ws int) []byte {
+	tb.Helper()
+	mk := func(name string, fill func(i int) float64) *device.Pulse {
+		const n = 32
+		iCh := make([]float64, n)
+		qCh := make([]float64, n)
+		for i := range iCh {
+			iCh[i] = fill(i)
+			qCh[i] = -fill(i) / 2
+		}
+		return &device.Pulse{Gate: name, Qubit: 0, Target: -1, Waveform: &wave.Waveform{
+			Name: name + "_q0", SampleRate: 4.5e9, I: iCh, Q: qCh,
+		}}
+	}
+	pulses := []*device.Pulse{
+		mk("X", func(i int) float64 { return float64(i%16) / 16 }),
+		mk("SX", func(i int) float64 { return 0.25 }),
+	}
+	c := &Compiler{WindowSize: ws}
+	img, err := c.CompilePulses("seed", pulses)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadImage(f *testing.F) {
+	for _, ws := range []int{4, 16} {
+		raw := seedImage(f, ws)
+		f.Add(raw)
+		f.Add(raw[:len(raw)-3])
+		f.Add(raw[:8])
+	}
+	f.Add([]byte("CPQT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("input larger than the fuzz budget")
+		}
+		img, err := ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive the read-side API...
+		_ = img.Stats()
+		// ...and serialize/parse back to an identical image: WriteTo
+		// and ReadImage are inverses on ReadImage's output.
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			return
+		}
+		img2, err := ReadImage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized image does not parse: %v", err)
+		}
+		if !reflect.DeepEqual(img, img2) {
+			t.Fatal("WriteTo/ReadImage round trip changed the image")
+		}
+	})
+}
+
+// TestReadImageHostileLengths pins the allocation hardening with
+// direct regression cases (the fuzzer found these shapes; keeping them
+// as named tests makes the contract explicit).
+func TestReadImageHostileLengths(t *testing.T) {
+	cases := map[string][]byte{
+		// Window size 0: the metadata rebuild walks windows of ws
+		// samples, so an unvalidated zero would never advance it
+		// (infinite loop + unbounded WindowWords growth) once an entry
+		// carries a non-repeat stream word.
+		"zero window size": append(
+			[]byte{'C', 'P', 'Q', 'T', 1, 0, 0, 0, 0, 0, 1, 0, 0, 0},
+			// key "", gate "", qubit 0, target 0, rate 0, samples 0,
+			// I stream: 1 word, a literal-sample codeword
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0,
+			1, 0, 0, 0,
+			0x34, 0x12, 0x00, 0x00,
+		),
+		// Window size 65535: larger than the decoder's fixed 32-sample
+		// window buffers.
+		"oversized window": {'C', 'P', 'Q', 'T', 1, 0, 0xff, 0xff, 0, 0, 0, 0, 0, 0},
+		// Window size 7: within range but not an engine window.
+		"non-engine window": {'C', 'P', 'Q', 'T', 1, 0, 7, 0, 0, 0, 0, 0, 0, 0},
+		// Entry count 2^31 with an empty body.
+		"huge entry count": {'C', 'P', 'Q', 'T', 1, 0, 16, 0, 0, 0, 0x00, 0x00, 0x00, 0x80},
+		// One entry claiming ~4G samples.
+		"huge sample count": append(
+			[]byte{'C', 'P', 'Q', 'T', 1, 0, 16, 0, 0, 0, 1, 0, 0, 0},
+			// key "", gate "", qubit 0, target 0, rate 0, samples 0xffffffff
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0,
+			0xff, 0xff, 0xff, 0xff,
+		),
+		// One entry whose I channel claims 2^24-1 words backed by nothing.
+		"huge stream length": append(
+			[]byte{'C', 'P', 'Q', 'T', 1, 0, 16, 0, 0, 0, 1, 0, 0, 0},
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0,
+			16, 0, 0, 0, // 16 samples
+			0xff, 0xff, 0xff, 0x00, // I word count 2^24-1
+		),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if img, err := ReadImage(bytes.NewReader(data)); err == nil {
+				t.Errorf("hostile input parsed into %d entries, want error", len(img.Entries))
+			}
+		})
+	}
+}

@@ -129,6 +129,15 @@ func (e *Engine) IDCTInto(dst []int16, y []int32) {
 func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error) {
 	var st Stats
 	ws := e.WS
+	if n < 0 {
+		return nil, st, fmt.Errorf("engine: negative sample count %d", n)
+	}
+	if n == 0 {
+		if len(ch.Stream) != 0 {
+			return nil, st, fmt.Errorf("engine: %d stream words but zero samples declared", len(ch.Stream))
+		}
+		return nil, st, nil
+	}
 	// Pre-size for n samples plus the hold-last padding of a final
 	// partial window (trimmed before return), so a well-formed stream
 	// never regrows the buffer.
@@ -144,6 +153,13 @@ func (e *Engine) RunChannel(ch *compress.Channel, n int) ([]int16, Stats, error)
 			// the memory and the IDCT idle (Fig. 13b).
 			st.MemWords++
 			st.Cycles += int64((run + ws - 1) / ws)
+			// The compiler never emits a repeat past the waveform end, so
+			// a run that would overshoot n is malformed input — reject it
+			// before growing the output (untrusted streams could otherwise
+			// expand a few words into gigabytes).
+			if run > n-len(out) {
+				return nil, st, fmt.Errorf("engine: repeat run of %d overruns the %d declared samples", run, n)
+			}
 			out = rle.AppendRun(out, last, run)
 			st.BypassSamples += int64(run)
 			i++

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"compaqt"
+	"compaqt/client"
+	"compaqt/codec"
+	"compaqt/qctrl"
+)
+
+// httpError is an error with a status code attached; handlers build
+// them for every client-visible failure.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail maps an error to an HTTP response and bumps the right counter.
+// Cancellations get 499 (the de-facto "client closed request" code) —
+// by then the client is usually gone and the write is best-effort.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case isCancel(err):
+		status = 499
+	}
+	switch {
+	case status == 499:
+		s.m.canceled.Add(1)
+	case status >= 500:
+		s.m.serverErrors.Add(1)
+	default:
+		s.m.clientErrors.Add(1)
+	}
+	s.writeJSON(w, status, client.ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, client.HealthResponse{Status: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, client.HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	cs := s.svc.CacheStats()
+	resp := client.StatsResponse{
+		Codec:  s.svc.Codec().Name(),
+		Codecs: codec.Names(),
+		Requests: client.RequestStats{
+			Total:        s.m.requests.Load(),
+			ClientErrors: s.m.clientErrors.Load(),
+			ServerErrors: s.m.serverErrors.Load(),
+			Canceled:     s.m.canceled.Load(),
+			InFlight:     s.m.inFlight.Load(),
+			PeakInFlight: s.m.peakInFlight.Load(),
+		},
+		Compile: client.CompileStats{
+			Calls:     s.m.compileCalls.Load(),
+			Errors:    s.m.compileErrors.Load(),
+			Pulses:    s.m.pulses.Load(),
+			Encodes:   s.m.encodes.Load(),
+			CacheHits: s.m.cacheHits.Load(),
+		},
+		Cache: client.CacheStats{
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			Evictions:  cs.Evictions,
+			Entries:    cs.Entries,
+			BytesSaved: cs.BytesSaved,
+			HitRate:    cs.HitRate(),
+		},
+		Images: s.imageNames(),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody JSON-decodes a bounded request body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			}
+		}
+		return badRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req client.CompileRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	p, err := req.Pulse.Pulse()
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	svc, err := s.service(req.Options)
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.release()
+	name := req.Image
+	if name == "" {
+		name = p.Key()
+	}
+	img, err := svc.CompileBatch(ctx, name, []*qctrl.Pulse{p})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Image != "" {
+		s.storeImage(req.Image, img)
+	}
+	s.writeJSON(w, http.StatusOK, client.CompileResponse{
+		Codec: svc.Codec().Name(),
+		Entry: entrySummary(svc, &img.Entries[0]),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req client.BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Pulses) == 0 {
+		s.fail(w, badRequest("batch has no pulses"))
+		return
+	}
+	if len(req.Pulses) > s.cfg.MaxBatchPulses {
+		s.fail(w, &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			msg:    fmt.Sprintf("batch of %d pulses exceeds the %d-pulse limit", len(req.Pulses), s.cfg.MaxBatchPulses),
+		})
+		return
+	}
+	pulses := make([]*qctrl.Pulse, len(req.Pulses))
+	for i := range req.Pulses {
+		p, err := req.Pulses[i].Pulse()
+		if err != nil {
+			s.fail(w, badRequest("pulse %d: %v", i, err))
+			return
+		}
+		pulses[i] = p
+	}
+	svc, err := s.service(req.Options)
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.release()
+	name := req.Image
+	if name == "" {
+		name = "batch"
+	}
+	img, err := svc.CompileBatch(ctx, name, pulses)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Image != "" {
+		s.storeImage(req.Image, img)
+	}
+	resp := client.BatchResponse{
+		Codec:   svc.Codec().Name(),
+		Entries: make([]client.EntrySummary, len(img.Entries)),
+		Stats:   imageStats(img),
+	}
+	for i := range img.Entries {
+		resp.Entries[i] = entrySummary(svc, &img.Entries[i])
+	}
+	if req.IncludeImage {
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			// Typically: the wire format stores int-DCT-W only and the
+			// batch used another codec. The compile itself succeeded, so
+			// report the serialization constraint, not a server fault.
+			s.fail(w, badRequest("include_image: %v", err))
+			return
+		}
+		resp.ImageB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	name := r.PathValue("name")
+	img, ok := s.image(name)
+	if !ok {
+		s.fail(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no stored image %q", name)})
+		return
+	}
+	// Serialize to memory first so a wire-format error can still become
+	// a clean JSON failure instead of a truncated binary body.
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		s.fail(w, badRequest("image %q: %v", name, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	_, _ = buf.WriteTo(w)
+}
+
+// entrySummary condenses one compiled entry for the wire.
+func entrySummary(svc *compaqt.Service, e *compaqt.Entry) client.EntrySummary {
+	c := e.Compressed
+	return client.EntrySummary{
+		Key:           e.Key,
+		Gate:          e.Gate,
+		Qubit:         e.Qubit,
+		Target:        e.Target,
+		Samples:       c.Samples,
+		WindowSize:    c.WindowSize,
+		OriginalWords: c.OriginalWords(),
+		PackedWords:   c.Words(codec.LayoutPacked),
+		UniformWords:  c.Words(codec.LayoutUniform),
+		PackedRatio:   ratioOr(c.OriginalWords(), c.Words(codec.LayoutPacked)),
+	}
+}
+
+func ratioOr(orig, packed int) float64 {
+	if packed == 0 {
+		return 0
+	}
+	return float64(orig) / float64(packed)
+}
+
+func imageStats(img *compaqt.Image) client.ImageStats {
+	st := img.Stats()
+	return client.ImageStats{
+		Entries:       st.Entries,
+		OriginalWords: st.OriginalWords,
+		PackedWords:   st.PackedWords,
+		UniformWords:  st.UniformWords,
+		PackedRatio:   st.PackedRatio,
+		UniformRatio:  st.UniformRatio,
+		WorstWindow:   st.WorstWindow,
+		RepeatSamples: st.RepeatSamples,
+	}
+}

@@ -1,0 +1,284 @@
+// Sustained-load, cancellation and graceful-drain tests for the
+// compile server. These tests are concurrency-heavy by design (run
+// them with -race) but deterministic: all inputs are seeded, and no
+// assertion depends on wall-clock timing — only on invariants (byte
+// identity, admission bounds, eventual quiescence).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"compaqt"
+	"compaqt/client"
+	"compaqt/qctrl"
+)
+
+// TestServerLoadConcurrent hammers the server with 120 concurrent
+// clients mixing batch compiles, single compiles, stats reads and
+// image fetches, with admission bounded well below the client count.
+// Every batch response must be byte-identical to the in-process
+// compile of the same pulses, and the observed compile concurrency
+// must never exceed MaxInFlight.
+func TestServerLoadConcurrent(t *testing.T) {
+	const maxInFlight = 4
+	srv, hs, _ := newTestServer(t, Config{
+		MaxInFlight: maxInFlight,
+		CacheSize:   32, // far smaller than the distinct-pulse count: eviction churn
+		Parallelism: 2,
+	})
+
+	clients := 120
+	iters := 3
+	if testing.Short() {
+		clients, iters = 40, 2
+	}
+
+	// Reference images compiled in process: one per distinct batch
+	// shape the load generators submit.
+	ctx := context.Background()
+	ref, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shapes = 8
+	wantBytes := make([][]byte, shapes)
+	specSets := make([][]client.PulseSpec, shapes)
+	for s := 0; s < shapes; s++ {
+		pulses := make([]*qctrl.Pulse, 0, 10)
+		for j := 0; j < 10; j++ {
+			pulses = append(pulses, testPulse(j, s*100+j+1, 64))
+		}
+		// Duplicates exercise dedup under load.
+		pulses = append(pulses, pulses[0], pulses[3])
+		img, err := ref.CompileBatch(ctx, fmt.Sprintf("shape-%d", s), pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes[s] = buf.Bytes()
+		specs := make([]client.PulseSpec, len(pulses))
+		for i, p := range pulses {
+			specs[i] = client.FromPulse(p)
+		}
+		specSets[s] = specs
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*iters)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(hs.URL)
+			for i := 0; i < iters; i++ {
+				s := (c + i) % shapes
+				switch c % 4 {
+				case 0, 1: // batch compile with byte-identity check
+					resp, err := cl.CompileBatch(ctx, client.BatchRequest{
+						Image:        fmt.Sprintf("shape-%d", s),
+						Pulses:       specSets[s],
+						IncludeImage: true,
+					})
+					if err != nil {
+						errc <- err
+						continue
+					}
+					got, err := base64.StdEncoding.DecodeString(resp.ImageB64)
+					if err != nil {
+						errc <- err
+						continue
+					}
+					if !bytes.Equal(got, wantBytes[s]) {
+						errc <- fmt.Errorf("client %d iter %d: batch bytes differ from in-process compile", c, i)
+					}
+				case 2: // single compile
+					_, err := cl.Compile(ctx, client.CompileRequest{
+						Pulse: specSets[s][i%len(specSets[s])],
+					})
+					if err != nil {
+						errc <- err
+					}
+				case 3: // metadata traffic
+					if _, err := cl.Stats(ctx); err != nil {
+						errc <- err
+					}
+					if _, err := cl.ImageRaw(ctx, fmt.Sprintf("shape-%d", s)); err != nil {
+						// 404 is fine until some batch stored that shape.
+						var apiErr *client.APIError
+						if !asAPIError(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+							errc <- err
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if peak := srv.m.peakInFlight.Load(); peak > maxInFlight {
+		t.Errorf("peak in-flight compiles = %d, admission limit is %d", peak, maxInFlight)
+	}
+	if inflight := srv.m.inFlight.Load(); inflight != 0 {
+		t.Errorf("in-flight gauge = %d after load, want 0", inflight)
+	}
+	if srv.m.serverErrors.Load() != 0 {
+		t.Errorf("server errors under load: %d", srv.m.serverErrors.Load())
+	}
+}
+
+// TestServerClientCancellation verifies that a client disconnect
+// aborts a request waiting on the admission semaphore: the request
+// can never start compiling (admission is saturated for the test's
+// duration, so there is no race against compile completion), the
+// client gets an error, and the server returns to quiescence.
+// Mid-compile cancellation of the worker pool itself is covered
+// deterministically by the root package's TestCompileCancellation.
+func TestServerClientCancellation(t *testing.T) {
+	srv, hs, _ := newTestServer(t, Config{
+		MaxInFlight: 1,
+		Parallelism: 1,
+	})
+
+	// Saturate admission directly: the one semaphore slot is held by
+	// the test, so the request below must queue in acquire().
+	srv.sem <- struct{}{}
+
+	specs := []client.PulseSpec{client.FromPulse(testPulse(0, 7001, 64))}
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := client.New(hs.URL)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.CompileBatch(ctx, client.BatchRequest{Pulses: specs})
+		done <- err
+	}()
+
+	// Cancel the client whether it is mid-dial or already queued on
+	// the semaphore — both paths must surface an error (the slot is
+	// never released while this request exists, so success is
+	// impossible by construction).
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("canceled batch compile returned success, want error")
+	}
+
+	// With the slot released, the server must be fully serviceable and
+	// have leaked nothing into the in-flight gauge.
+	<-srv.sem
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.m.inFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d after client cancel", srv.m.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := cl.CompileBatch(context.Background(), client.BatchRequest{Pulses: specs}); err != nil {
+		t.Fatalf("compile after released admission failed: %v", err)
+	}
+}
+
+// TestServerGracefulDrain runs the real listener lifecycle: a compile
+// is in flight when shutdown begins, and it must complete successfully
+// while /healthz flips to draining and Run returns only after the
+// request finished.
+func TestServerGracefulDrain(t *testing.T) {
+	srv, err := New(Config{Parallelism: 1, DrainTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runCtx, stop := context.WithCancel(context.Background())
+	defer stop()
+	addrc := make(chan net.Addr, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- srv.Run(runCtx, "127.0.0.1:0", func(a net.Addr) { addrc <- a })
+	}()
+	addr := <-addrc
+	cl := client.New("http://" + addr.String())
+
+	n := 2000
+	if testing.Short() {
+		n = 600
+	}
+	specs := make([]client.PulseSpec, n)
+	for i := range specs {
+		specs[i] = client.FromPulse(testPulse(i, 9000+i, 64))
+	}
+
+	reqDone := make(chan error, 1)
+	go func() {
+		_, err := cl.CompileBatch(context.Background(), client.BatchRequest{Pulses: specs})
+		reqDone <- err
+	}()
+
+	// Trigger shutdown once the request is being served.
+	for i := 0; i < 10000 && srv.m.inFlight.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+
+	// The in-flight request must complete, not be cut off.
+	if err := <-reqDone; err != nil {
+		t.Errorf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-runDone; err != nil {
+		t.Errorf("Run returned %v after drain, want nil", err)
+	}
+	if srv.m.inFlight.Load() != 0 {
+		t.Errorf("in-flight gauge = %d after drain", srv.m.inFlight.Load())
+	}
+	// New connections are refused after drain.
+	if err := cl.Health(context.Background()); err == nil {
+		t.Error("health succeeded after shutdown, want connection failure")
+	}
+}
+
+// TestServerAdmissionQueues verifies that requests beyond MaxInFlight
+// queue (rather than fail) and all complete.
+func TestServerAdmissionQueues(t *testing.T) {
+	srv, hs, _ := newTestServer(t, Config{MaxInFlight: 2, Parallelism: 1})
+	workers := 4 * runtime.NumCPU()
+	if workers < 16 {
+		workers = 16
+	}
+	specs := make([]client.PulseSpec, 40)
+	for i := range specs {
+		specs[i] = client.FromPulse(testPulse(i, 500+i, 64))
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(hs.URL)
+			if _, err := cl.CompileBatch(context.Background(), client.BatchRequest{Pulses: specs}); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if peak := srv.m.peakInFlight.Load(); peak > 2 {
+		t.Errorf("peak in-flight = %d, want <= 2", peak)
+	}
+}

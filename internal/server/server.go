@@ -1,0 +1,385 @@
+// Package server is compaqt's HTTP/JSON serving layer: a compile
+// service wrapping compaqt.Service behind a small REST API, built for
+// sustained concurrent traffic.
+//
+//	POST /v1/compile        single pulse
+//	POST /v1/compile/batch  order-stable, dedup-aware batch
+//	GET  /v1/images/{name}  stored image, CPQT wire format
+//	GET  /v1/stats          cache + request metrics
+//	GET  /healthz           liveness ("ok" / "draining")
+//
+// Request flow: decode (bounded by MaxBodyBytes) -> validate (pulse
+// shape, per-request codec overrides against the codec registry) ->
+// admission semaphore (MaxInFlight compiles at once; waiters abort on
+// client disconnect) -> compaqt.Service worker pool -> response.
+// Context cancellation propagates from the client connection all the
+// way into the compile fan-out, and Run drains in-flight requests
+// before returning on shutdown.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compaqt"
+	"compaqt/client"
+)
+
+// Config assembles a Server. The zero value serves with the library
+// defaults: intdct-w, NumCPU parallelism, a DefaultCacheSize compile
+// cache, and admission sized to the host.
+type Config struct {
+	// Codec is the default codec name; "" means intdct-w.
+	Codec string
+	// Window is the default transform window; 0 keeps the codec default.
+	Window int
+	// Adaptive enables the flat-top repeat path by default.
+	Adaptive bool
+	// MSETarget, when nonzero, compiles with Algorithm-1 fidelity
+	// tuning by default.
+	MSETarget float64
+	// CacheSize is the compile-cache capacity in entries; 0 selects
+	// compaqt.DefaultCacheSize, negative disables the cache.
+	CacheSize int
+	// Parallelism is the per-compile worker-pool width; 0 means NumCPU.
+	Parallelism int
+	// MaxInFlight bounds concurrently executing compile requests; 0
+	// means 2*NumCPU. Excess requests queue on the admission semaphore
+	// and abort if their client disconnects while waiting.
+	MaxInFlight int
+	// MaxBodyBytes bounds a request body; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// MaxBatchPulses bounds the pulse count of one batch; 0 means 8192.
+	MaxBatchPulses int
+	// MaxImages bounds the stored-image map; the oldest image is
+	// evicted beyond it. 0 means 128.
+	MaxImages int
+	// DrainTimeout bounds Run's graceful shutdown; 0 means 30s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Codec == "" {
+		c.Codec = "intdct-w"
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.NumCPU()
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxBatchPulses == 0 {
+		c.MaxBatchPulses = 8192
+	}
+	if c.MaxImages == 0 {
+		c.MaxImages = 128
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = compaqt.DefaultCacheSize
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	return c
+}
+
+// Server is the HTTP compile service. Build one with New, mount
+// Handler (httptest, custom servers) or call Run (owns the listener
+// and drains gracefully when its context is canceled).
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// svc is the default-configuration service (it owns the compile
+	// cache); derived holds per-override services, built on demand and
+	// keyed by the override fingerprint.
+	svc       *compaqt.Service
+	derivedMu sync.Mutex
+	derived   map[string]*compaqt.Service
+
+	// sem is the admission semaphore bounding concurrent compiles.
+	sem chan struct{}
+
+	// images stores compiled images for GET /v1/images/{name};
+	// imageOrder tracks insertion for FIFO eviction at MaxImages.
+	imagesMu   sync.Mutex
+	images     map[string]*compaqt.Image
+	imageOrder []string
+
+	draining atomic.Bool
+	m        metrics
+}
+
+// metrics are the server's counters; all fields are atomics so the
+// hot path never takes a lock.
+type metrics struct {
+	requests     atomic.Uint64
+	clientErrors atomic.Uint64
+	serverErrors atomic.Uint64
+	canceled     atomic.Uint64
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+
+	compileCalls  atomic.Uint64
+	compileErrors atomic.Uint64
+	pulses        atomic.Uint64
+	encodes       atomic.Uint64
+	cacheHits     atomic.Uint64
+}
+
+// observe folds a compaqt.CompileEvent into the counters; it is
+// installed on every service the server builds.
+func (m *metrics) observe(ev compaqt.CompileEvent) {
+	m.compileCalls.Add(1)
+	if ev.Err != nil {
+		m.compileErrors.Add(1)
+		return
+	}
+	m.pulses.Add(uint64(ev.Pulses))
+	m.encodes.Add(uint64(ev.Encodes))
+	m.cacheHits.Add(uint64(ev.CacheHits))
+}
+
+// New builds a Server, validating the default configuration against
+// the codec registry.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		derived: map[string]*compaqt.Service{},
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		images:  map[string]*compaqt.Image{},
+	}
+	svc, err := compaqt.New(s.baseOptions(nil)...)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.svc = svc
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/compile/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/images/{name}", s.handleImage)
+	s.mux = mux
+	return s, nil
+}
+
+// baseOptions resolves the service options for a request: the server
+// defaults overlaid with the per-request overrides (nil for none).
+// Derived (override) services run without a compile cache — the cache
+// belongs to the default configuration, and per-request permutations
+// must not multiply resident cache memory — but keep the worker pool
+// and in-batch dedup.
+func (s *Server) baseOptions(o *client.CompileOptions) []compaqt.Option {
+	cfg := s.cfg
+	opts := []compaqt.Option{
+		compaqt.WithParallelism(cfg.Parallelism),
+		compaqt.WithObserver(s.m.observe),
+	}
+	if o.IsZero() {
+		opts = append(opts, compaqt.WithCodec(cfg.Codec), compaqt.WithAdaptive(cfg.Adaptive))
+		if cfg.Window != 0 {
+			opts = append(opts, compaqt.WithWindow(cfg.Window))
+		}
+		if cfg.MSETarget > 0 {
+			opts = append(opts, compaqt.WithMSETarget(cfg.MSETarget))
+		}
+		if cfg.CacheSize > 0 {
+			opts = append(opts, compaqt.WithCache(cfg.CacheSize))
+		}
+		return opts
+	}
+	// Overlay semantics: unset fields inherit the server defaults while
+	// the codec is unchanged; overriding the codec drops inheritance of
+	// the codec-shaped knobs (window, adaptive, fidelity), since values
+	// tuned for the default codec rarely transfer — the new codec's own
+	// defaults apply instead. The three fidelity knobs are an exclusive
+	// group: a client setting any of them replaces the server's
+	// fidelity configuration wholesale.
+	name := o.Codec
+	if name == "" {
+		name = cfg.Codec
+	}
+	sameCodec := name == cfg.Codec
+	opts = append(opts, compaqt.WithCodec(name))
+
+	switch {
+	case o.Adaptive != nil:
+		opts = append(opts, compaqt.WithAdaptive(*o.Adaptive))
+	case sameCodec:
+		opts = append(opts, compaqt.WithAdaptive(cfg.Adaptive))
+	}
+	switch {
+	case o.Window != 0:
+		opts = append(opts, compaqt.WithWindow(o.Window))
+	case sameCodec && cfg.Window != 0:
+		opts = append(opts, compaqt.WithWindow(cfg.Window))
+	}
+	// Forward every set fidelity knob — conflicting combinations (e.g.
+	// threshold + MSE target) surface as the library's own 400-mapped
+	// validation error rather than being silently resolved here.
+	if o.Threshold != 0 {
+		opts = append(opts, compaqt.WithThreshold(o.Threshold))
+	}
+	if o.FidelityTarget != 0 {
+		opts = append(opts, compaqt.WithFidelityTarget(o.FidelityTarget))
+	}
+	if o.MSETarget != 0 {
+		opts = append(opts, compaqt.WithMSETarget(o.MSETarget))
+	}
+	if o.Threshold == 0 && o.FidelityTarget == 0 && o.MSETarget == 0 &&
+		sameCodec && cfg.MSETarget > 0 {
+		opts = append(opts, compaqt.WithMSETarget(cfg.MSETarget))
+	}
+	return opts
+}
+
+// maxDerived bounds the per-override service map; beyond it the map is
+// reset wholesale (override sets are tiny in practice, and a rebuilt
+// service is cheap — it holds no cache).
+const maxDerived = 64
+
+// service resolves the compaqt.Service for a request's overrides: the
+// default service for no overrides, a (cached) derived one otherwise.
+// Option validation errors surface here as 400s.
+func (s *Server) service(o *client.CompileOptions) (*compaqt.Service, error) {
+	if o.IsZero() {
+		return s.svc, nil
+	}
+	adaptive := "-" // tri-state: unset inherits the server default
+	if o.Adaptive != nil {
+		adaptive = fmt.Sprintf("%t", *o.Adaptive)
+	}
+	key := fmt.Sprintf("%s|%d|%g|%g|%g|%s", o.Codec, o.Window, o.Threshold, o.FidelityTarget, o.MSETarget, adaptive)
+	s.derivedMu.Lock()
+	defer s.derivedMu.Unlock()
+	if svc, ok := s.derived[key]; ok {
+		return svc, nil
+	}
+	svc, err := compaqt.New(s.baseOptions(o)...)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.derived) >= maxDerived {
+		s.derived = map[string]*compaqt.Service{}
+	}
+	s.derived[key] = svc
+	return svc, nil
+}
+
+// acquire admits one compile into the bounded in-flight section,
+// blocking while the server is saturated. It fails when the caller's
+// context is canceled first (client disconnect, shutdown).
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	n := s.m.inFlight.Add(1)
+	for {
+		peak := s.m.peakInFlight.Load()
+		if n <= peak || s.m.peakInFlight.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+func (s *Server) release() {
+	s.m.inFlight.Add(-1)
+	<-s.sem
+}
+
+// storeImage records a compiled image for GET /v1/images/{name},
+// evicting the oldest stored image beyond MaxImages.
+func (s *Server) storeImage(name string, img *compaqt.Image) {
+	s.imagesMu.Lock()
+	defer s.imagesMu.Unlock()
+	if _, exists := s.images[name]; !exists {
+		s.imageOrder = append(s.imageOrder, name)
+		for len(s.imageOrder) > s.cfg.MaxImages {
+			delete(s.images, s.imageOrder[0])
+			s.imageOrder = s.imageOrder[1:]
+		}
+	}
+	s.images[name] = img
+}
+
+func (s *Server) image(name string) (*compaqt.Image, bool) {
+	s.imagesMu.Lock()
+	defer s.imagesMu.Unlock()
+	img, ok := s.images[name]
+	return img, ok
+}
+
+func (s *Server) imageNames() []string {
+	s.imagesMu.Lock()
+	defer s.imagesMu.Unlock()
+	names := make([]string, len(s.imageOrder))
+	copy(names, s.imageOrder)
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the server's route table, ready to mount on any
+// http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Service exposes the default-configuration service (tests, embedders).
+func (s *Server) Service() *compaqt.Service { return s.svc }
+
+// Run serves on addr until ctx is canceled, then stops accepting
+// connections, flips /healthz to "draining", and waits up to
+// DrainTimeout for in-flight requests before returning. The ready
+// callback, when non-nil, receives the bound listener address once the
+// server is accepting.
+func (s *Server) Run(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Request contexts deliberately derive from their connections, not
+	// from ctx: graceful shutdown must let in-flight compiles finish
+	// (Shutdown waits for them), not cancel them mid-encode.
+	hs := &http.Server{Handler: s.Handler()}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// isCancel reports whether err is a context cancellation (client
+// disconnect or shutdown) rather than a compile failure.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,66 @@
+package compaqt
+
+import (
+	"fmt"
+	"time"
+)
+
+// CompileEvent describes one completed compile call — Compile,
+// CompilePulses or CompileBatch — for metrics and instrumentation.
+// It is emitted exactly once per call, after the call's work (including
+// failures and cancellations) has finished.
+type CompileEvent struct {
+	// Library is the library/image name the call compiled under.
+	Library string
+	// Pulses is the number of input pulses submitted.
+	Pulses int
+	// Encodes is the number of encoder invocations the call ran:
+	// inputs minus cache hits (and, for batches, minus in-batch
+	// duplicates of already-resolved content). Exact when Err is nil;
+	// on a failed or canceled call it is a best-effort upper bound
+	// (the fan-out stops mid-flight, so some counted encodes never
+	// ran).
+	Encodes int
+	// CacheHits counts inputs served from the compile cache. For
+	// batches it counts distinct digests resolved by the cache; in-batch
+	// duplicates of a hit are not double-counted. Exact when Err is
+	// nil; best-effort (possibly under-counted) otherwise.
+	CacheHits int
+	// Batch marks CompileBatch calls (dedup-aware pipeline).
+	Batch bool
+	// Duration is the wall time of the call.
+	Duration time.Duration
+	// Err is the call's error, nil on success. When non-nil, only
+	// Library, Pulses, Batch and Duration are exact; observers doing
+	// fine-grained accounting (per-encode cost attribution) should
+	// fold in the count fields only from successful events, as the
+	// serving layer's metrics do.
+	Err error
+}
+
+// Observer receives compile instrumentation events. Observers must be
+// safe for concurrent use — a Service emits events from whichever
+// goroutine completed the call — and should return quickly; heavy
+// processing belongs on the observer's own goroutine.
+type Observer func(CompileEvent)
+
+// WithObserver installs a hook that receives one CompileEvent per
+// compile call. It is the integration point for serving-layer metrics
+// (request counters, cache-hit ratios, compile latency) without the
+// Service growing an opinion about any particular metrics system.
+func WithObserver(fn Observer) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("compaqt: WithObserver requires a non-nil observer")
+		}
+		c.observer = fn
+		return nil
+	}
+}
+
+// observe emits ev to the configured observer, if any.
+func (s *Service) observe(ev CompileEvent) {
+	if s.cfg.observer != nil {
+		s.cfg.observer(ev)
+	}
+}

@@ -20,6 +20,9 @@ type config struct {
 	// cacheSize is the compile-cache capacity in entries; 0 disables
 	// the cache (the default).
 	cacheSize int
+	// observer, when non-nil, receives one CompileEvent per compile
+	// call (WithObserver).
+	observer Observer
 }
 
 func defaultConfig() config {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"compaqt/codec"
 	"compaqt/internal/cache"
@@ -127,7 +129,16 @@ func (s *Service) Compile(ctx context.Context, m *qctrl.Machine) (*Image, error)
 // CompilePulses compresses an explicit pulse list under the given
 // library name.
 func (s *Service) CompilePulses(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
-	img, err := s.compile(ctx, name, pulses)
+	start := time.Now()
+	img, hits, err := s.compile(ctx, name, pulses)
+	s.observe(CompileEvent{
+		Library:   name,
+		Pulses:    len(pulses),
+		Encodes:   len(pulses) - hits,
+		CacheHits: hits,
+		Duration:  time.Since(start),
+		Err:       err,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -221,25 +232,29 @@ func (s *Service) engine(ws int) (*qctrl.Engine, error) {
 
 // compile runs the per-pulse fan-out over the worker pool: entries are
 // written by index, so the output order is the library order at any
-// parallelism.
-func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
+// parallelism. The second result counts cache-served pulses.
+func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, int, error) {
 	img := &Image{Machine: name}
 	if len(pulses) == 0 {
-		return img, nil
+		return img, 0, nil
 	}
+	var hits atomic.Int64
 	entries := make([]Entry, len(pulses))
 	err := s.runPool(ctx, len(pulses), func(i int) error {
-		e, err := s.compileOne(pulses[i])
+		e, hit, err := s.compileOne(pulses[i])
 		if err != nil {
 			return err
+		}
+		if hit {
+			hits.Add(1)
 		}
 		entries[i] = e
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, int(hits.Load()), err
 	}
-	return s.finish(img, entries), nil
+	return s.finish(img, entries), int(hits.Load()), nil
 }
 
 // CompileBatch compresses an explicit pulse list like CompilePulses,
@@ -252,10 +267,27 @@ func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Puls
 // have produced. Unique work is fanned out across the configured worker
 // pool; the image is installed as the active playback image.
 func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, error) {
+	start := time.Now()
+	img, encodes, hits, err := s.compileBatch(ctx, name, pulses)
+	s.observe(CompileEvent{
+		Library:   name,
+		Pulses:    len(pulses),
+		Encodes:   encodes,
+		CacheHits: hits,
+		Batch:     true,
+		Duration:  time.Since(start),
+		Err:       err,
+	})
+	return img, err
+}
+
+// compileBatch is CompileBatch's worker; it additionally reports the
+// encoder invocations run and the unique digests the cache resolved.
+func (s *Service) compileBatch(ctx context.Context, name string, pulses []*qctrl.Pulse) (*Image, int, int, error) {
 	img := &Image{Machine: name}
 	if len(pulses) == 0 {
 		s.Use(img)
-		return img, nil
+		return img, 0, 0, nil
 	}
 
 	// Quantize and digest every input in parallel. The digest is the
@@ -283,7 +315,7 @@ func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	for i, j := range owner {
 		if j != i {
@@ -316,6 +348,7 @@ func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl
 			}
 		}
 	}
+	hits := len(order) - len(work)
 	results := make([]*codec.Compressed, len(work))
 	err = s.runPool(ctx, len(work), func(j int) error {
 		i := rep[work[j]]
@@ -327,7 +360,7 @@ func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, hits, err
 	}
 	for j, k := range work {
 		encoded[k] = results[j]
@@ -350,7 +383,7 @@ func (s *Service) CompileBatch(ctx context.Context, name string, pulses []*qctrl
 	}
 	s.finish(img, entries)
 	s.Use(img)
-	return img, nil
+	return img, len(work), hits, nil
 }
 
 // runPool runs fn(0..n-1) across the configured parallelism: a bounded
@@ -437,33 +470,35 @@ func (s *Service) finish(img *Image, entries []Entry) *Image {
 }
 
 // compileOne compresses a single pulse through the configured codec
-// (by way of the compile cache, when enabled).
-func (s *Service) compileOne(p *qctrl.Pulse) (Entry, error) {
-	cc, err := s.encodeCached(p.Waveform.Quantize())
+// (by way of the compile cache, when enabled). The second result
+// reports whether the cache served the encoding.
+func (s *Service) compileOne(p *qctrl.Pulse) (Entry, bool, error) {
+	cc, hit, err := s.encodeCached(p.Waveform.Quantize())
 	if err != nil {
-		return Entry{}, fmt.Errorf("compaqt: compiling %s: %w", p.Key(), err)
+		return Entry{}, false, fmt.Errorf("compaqt: compiling %s: %w", p.Key(), err)
 	}
-	return Entry{Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: cc}, nil
+	return Entry{Key: p.Key(), Gate: p.Gate, Qubit: p.Qubit, Target: p.Target, Compressed: cc}, hit, nil
 }
 
 // encodeCached encodes f, consulting the content-addressed cache when
 // one is enabled. A hit returns the cached encoding under f's own name;
 // a miss encodes and populates the cache, charging the entry with the
 // uncompressed byte footprint it will save on future hits.
-func (s *Service) encodeCached(f *waveform.Fixed) (*codec.Compressed, error) {
+func (s *Service) encodeCached(f *waveform.Fixed) (*codec.Compressed, bool, error) {
 	if s.cache == nil {
-		return s.encode(f)
+		cc, err := s.encode(f)
+		return cc, false, err
 	}
 	k := cache.DigestWaveform(s.fingerprint, s.cfg.targetMSE, f)
 	if v, ok := s.cache.Get(k); ok {
-		return withName(v.(*codec.Compressed), f.Name), nil
+		return withName(v.(*codec.Compressed), f.Name), true, nil
 	}
 	cc, err := s.encode(f)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.cache.Add(k, cc, int64(4*f.Samples()))
-	return cc, nil
+	return cc, false, nil
 }
 
 // encode runs the configured codec, applying fidelity-aware tuning

@@ -1,0 +1,172 @@
+// Concurrency stress for the Service front end: sustained mixed
+// Compile / CompileBatch / CacheStats / Play traffic from many
+// goroutines against one Service with a deliberately tiny cache, so
+// eviction churn races against hits, dedup and playback. Run with
+// -race; every assertion is an invariant (byte identity against a
+// precomputed reference, monotonic counters), never a timing.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"compaqt"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// stressPulse builds a deterministic pulse from an LCG seed (exact
+// binary fractions, so compiles are byte-stable).
+func stressPulse(qubit, seed int) *qctrl.Pulse {
+	const samples = 64
+	iCh := make([]float64, samples)
+	qCh := make([]float64, samples)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := range iCh {
+		state = state*6364136223846793005 + 1442695040888963407
+		iCh[i] = float64(int64(state>>40)%1024) / 1024
+		state = state*6364136223846793005 + 1442695040888963407
+		qCh[i] = float64(int64(state>>40)%1024) / 1024
+	}
+	p := &qctrl.Pulse{Gate: "X", Qubit: qubit, Target: -1, Waveform: &waveform.Waveform{
+		SampleRate: 4.5e9, I: iCh, Q: qCh,
+	}}
+	p.Waveform.Name = p.Key()
+	return p
+}
+
+func TestServiceConcurrencyStress(t *testing.T) {
+	ctx := context.Background()
+
+	// 24 distinct pulses against a 8-entry cache: every round of
+	// compiles forces evictions while other goroutines are mid-lookup.
+	const distinct = 24
+	pulses := make([]*qctrl.Pulse, distinct)
+	for i := range pulses {
+		pulses[i] = stressPulse(i, i+1)
+	}
+
+	svc, err := compaqt.New(
+		compaqt.WithCache(8),
+		compaqt.WithParallelism(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference bytes compiled by an identically-configured service:
+	// everything the stress goroutines produce must match these.
+	ref, err := compaqt.New(compaqt.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refImg, err := ref.CompilePulses(ctx, "stress", pulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBytes bytes.Buffer
+	if _, err := refImg.WriteTo(&refBytes); err != nil {
+		t.Fatal(err)
+	}
+	refPlay := make(map[string]*waveform.Fixed, distinct)
+	for _, e := range refImg.Entries {
+		out, _, err := ref.Play(ctx, e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPlay[e.Key] = out
+	}
+
+	goroutines := 16
+	iters := 30
+	if testing.Short() {
+		goroutines, iters = 8, 10
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // full-library per-pulse compile, byte identity
+					img, err := svc.CompilePulses(ctx, "stress", pulses)
+					if err != nil {
+						errc <- err
+						continue
+					}
+					var buf bytes.Buffer
+					if _, err := img.WriteTo(&buf); err != nil {
+						errc <- err
+						continue
+					}
+					if !bytes.Equal(buf.Bytes(), refBytes.Bytes()) {
+						errc <- fmt.Errorf("goroutine %d iter %d: compile bytes drifted under churn", g, i)
+					}
+				case 1: // batch with duplicates, order stability + equality
+					batch := append(append([]*qctrl.Pulse{}, pulses...), pulses[i%distinct], pulses[(i+7)%distinct])
+					img, err := svc.CompileBatch(ctx, "stress", batch)
+					if err != nil {
+						errc <- err
+						continue
+					}
+					if len(img.Entries) != len(batch) {
+						errc <- fmt.Errorf("goroutine %d: batch produced %d entries, want %d", g, len(img.Entries), len(batch))
+						continue
+					}
+					for j, e := range img.Entries {
+						if e.Key != batch[j].Key() {
+							errc <- fmt.Errorf("goroutine %d: batch entry %d is %q, want %q", g, j, e.Key, batch[j].Key())
+							break
+						}
+					}
+					if !reflect.DeepEqual(img.Entries[:distinct], refImg.Entries) {
+						errc <- fmt.Errorf("goroutine %d iter %d: batch entries differ from reference", g, i)
+					}
+				case 2: // cache stats reads race the compiles
+					st := svc.CacheStats()
+					if st.Hits+st.Misses < st.Evictions {
+						errc <- fmt.Errorf("goroutine %d: implausible cache stats %+v", g, st)
+					}
+				case 3: // playback against whatever image is active
+					img := svc.Image()
+					if img == nil || len(img.Entries) == 0 {
+						continue // nothing installed yet
+					}
+					key := img.Entries[(g+i)%len(img.Entries)].Key
+					out, _, err := svc.Play(ctx, key)
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d: play %s: %v", g, key, err)
+						continue
+					}
+					if want, ok := refPlay[key]; ok && !reflect.DeepEqual(out, want) {
+						errc <- fmt.Errorf("goroutine %d: playback of %s drifted under churn", g, key)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	st := svc.CacheStats()
+	if st.Misses == 0 {
+		t.Error("stress run never missed the cache (cache too large for churn?)")
+	}
+	if st.Evictions == 0 {
+		t.Error("stress run never evicted (no churn exercised)")
+	}
+	if st.Entries > 3*8 {
+		// Entries may exceed nominal capacity only by sharding slack.
+		t.Errorf("cache holds %d entries, far over its 8-entry capacity", st.Entries)
+	}
+}
