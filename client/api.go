@@ -50,33 +50,38 @@ func FromPulse(p *qctrl.Pulse) PulseSpec {
 // pulse. The waveform name is the pulse key ("X_q0", "CX_q1_q2"), the
 // same convention the machine libraries use.
 func (ps PulseSpec) Pulse() (*qctrl.Pulse, error) {
-	if ps.Gate == "" {
-		return nil, fmt.Errorf("client: pulse has no gate name")
-	}
-	if ps.Qubit < 0 {
-		return nil, fmt.Errorf("client: negative qubit %d", ps.Qubit)
-	}
-	if ps.Target < -1 {
-		return nil, fmt.Errorf("client: invalid target %d (want -1 or a qubit index)", ps.Target)
-	}
-	if ps.SampleRate <= 0 {
-		return nil, fmt.Errorf("client: sample rate %g must be positive", ps.SampleRate)
-	}
-	p := &qctrl.Pulse{
-		Gate:   ps.Gate,
-		Qubit:  ps.Qubit,
-		Target: ps.Target,
-		Waveform: &waveform.Waveform{
-			SampleRate: ps.SampleRate,
-			I:          ps.I,
-			Q:          ps.Q,
-		},
-	}
-	p.Waveform.Name = p.Key()
-	if err := p.Waveform.Validate(); err != nil {
+	p := &qctrl.Pulse{}
+	if err := ps.PulseInto(p, &waveform.Waveform{}); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// PulseInto is Pulse with caller-provided storage: it validates the
+// spec and fills p and w (wiring p.Waveform to w) without allocating.
+// The serving hot path reuses pooled pulse values across requests; the
+// envelope slices are shared with the spec, not copied.
+func (ps PulseSpec) PulseInto(p *qctrl.Pulse, w *waveform.Waveform) error {
+	if ps.Gate == "" {
+		return fmt.Errorf("client: pulse has no gate name")
+	}
+	if ps.Qubit < 0 {
+		return fmt.Errorf("client: negative qubit %d", ps.Qubit)
+	}
+	if ps.Target < -1 {
+		return fmt.Errorf("client: invalid target %d (want -1 or a qubit index)", ps.Target)
+	}
+	if ps.SampleRate <= 0 {
+		return fmt.Errorf("client: sample rate %g must be positive", ps.SampleRate)
+	}
+	*w = waveform.Waveform{
+		SampleRate: ps.SampleRate,
+		I:          ps.I,
+		Q:          ps.Q,
+	}
+	*p = qctrl.Pulse{Gate: ps.Gate, Qubit: ps.Qubit, Target: ps.Target, Waveform: w}
+	w.Name = p.Key()
+	return w.Validate()
 }
 
 // CompileOptions are per-request overrides of the server's default
@@ -186,6 +191,9 @@ type RequestStats struct {
 	ClientErrors uint64 `json:"client_errors"`
 	ServerErrors uint64 `json:"server_errors"`
 	Canceled     uint64 `json:"canceled"`
+	// WriteErrors counts response encode/write failures — responses the
+	// server built but could not deliver (the client usually hung up).
+	WriteErrors  uint64 `json:"write_errors"`
 	InFlight     int64  `json:"in_flight"`
 	PeakInFlight int64  `json:"peak_in_flight"`
 }

@@ -98,7 +98,13 @@ func (c *Client) Image(ctx context.Context, name string) (*compaqt.Image, error)
 	if res.StatusCode != http.StatusOK {
 		return nil, apiError(res)
 	}
-	return compaqt.ReadImage(res.Body)
+	// The body is fully in hand either way; the byte decoder skips the
+	// streaming reader's chunked re-buffering.
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	return compaqt.DecodeImageBytes(b)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {

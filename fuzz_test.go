@@ -90,8 +90,19 @@ func FuzzDecodeImage(f *testing.F) {
 			t.Skip("image larger than the fuzz budget")
 		}
 		img, err := compaqt.ReadImage(bytes.NewReader(data))
+		// The streaming reader and the in-memory byte decoder are two
+		// implementations of one format: they must agree on what parses.
+		imgB, errB := compaqt.DecodeImageBytes(data)
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("decoder disagreement: ReadImage err=%v, DecodeImageBytes err=%v", err, errB)
+		}
 		if err != nil {
 			return
+		}
+		wireA, errA := img.AppendTo(nil)
+		wireB, errB := imgB.AppendTo(nil)
+		if (errA == nil) != (errB == nil) || !bytes.Equal(wireA, wireB) {
+			t.Fatal("ReadImage and DecodeImageBytes parsed different images")
 		}
 		if c, err := codec.New("intdct-w", codec.Params{Window: img.WindowSize}); err == nil {
 			for i := range img.Entries {

@@ -14,19 +14,13 @@ package cache
 
 import (
 	"container/list"
-	"crypto/sha256"
 	"encoding/binary"
-	"hash"
-	"io"
-	"math"
 	"sync"
 	"sync/atomic"
-
-	"compaqt/internal/wave"
 )
 
 // Key is the 256-bit content digest addressing one cached encoding.
-// Build one with DigestWaveform.
+// Build one with DigestWaveform or a pooled Hasher.
 type Key [32]byte
 
 // numShards stripes the LRU across independently locked shards so
@@ -174,41 +168,4 @@ func (l *LRU) Stats() Stats {
 		Entries:    l.Len(),
 		BytesSaved: l.bytesSaved.Load(),
 	}
-}
-
-// DigestWaveform hashes everything that determines a pulse's encoding:
-// the codec fingerprint (identity plus parameters, see
-// codec.Fingerprinter), the fidelity target driving Algorithm 1 (0 when
-// fixed-threshold), and the waveform content itself (sample rate and
-// both quantized channels). The pulse name is deliberately excluded —
-// identical content under different gate names shares one entry, and
-// the Service restores the name on a hit.
-func DigestWaveform(fingerprint string, targetMSE float64, f *wave.Fixed) Key {
-	h := sha256.New()
-	writeUint64(h, uint64(len(fingerprint)))
-	io.WriteString(h, fingerprint)
-	writeUint64(h, math.Float64bits(targetMSE))
-	writeUint64(h, math.Float64bits(f.SampleRate))
-	writeChannel(h, f.I)
-	writeChannel(h, f.Q)
-	var k Key
-	h.Sum(k[:0])
-	return k
-}
-
-func writeUint64(h hash.Hash, v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	h.Write(buf[:])
-}
-
-// writeChannel hashes one int16 channel, length-prefixed so adjacent
-// fields cannot alias across channel boundaries.
-func writeChannel(h hash.Hash, samples []int16) {
-	writeUint64(h, uint64(len(samples)))
-	buf := make([]byte, 2*len(samples))
-	for i, s := range samples {
-		binary.LittleEndian.PutUint16(buf[2*i:], uint16(s))
-	}
-	h.Write(buf)
 }

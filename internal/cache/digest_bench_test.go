@@ -1,0 +1,36 @@
+package cache
+
+import (
+	"testing"
+
+	"compaqt/internal/wave"
+)
+
+// benchWaveform builds a deterministic 960-sample fixed-point waveform,
+// a typical calibrated 2Q pulse length.
+func benchWaveform() *wave.Fixed {
+	f := &wave.Fixed{
+		Name:       "CX_q0_q1",
+		SampleRate: 4.5e9,
+		I:          make([]int16, 960),
+		Q:          make([]int16, 960),
+	}
+	state := uint64(12345)
+	for i := range f.I {
+		state = state*2862933555777941757 + 3037000493
+		f.I[i] = int16(state >> 48)
+		state = state*2862933555777941757 + 3037000493
+		f.Q[i] = int16(state >> 48)
+	}
+	return f
+}
+
+func BenchmarkCacheDigest(b *testing.B) {
+	f := benchWaveform()
+	const fingerprint = "int-DCT-W/ws=16/thr=0.008/adaptive=false"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DigestWaveform(fingerprint, 0, f)
+	}
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"compaqt/internal/race"
+	"compaqt/internal/rle"
+)
+
+// TestDigestWaveformMatchesReference pins the pooled digest to a plain
+// one-shot sha256 construction of the same layout: pooling must change
+// performance, never the key.
+func TestDigestWaveformMatchesReference(t *testing.T) {
+	f := benchWaveform()
+	const fp = "int-DCT-W/ws=16/thr=0.008/adaptive=false"
+	got := DigestWaveform(fp, 5e-6, f)
+
+	h := sha256.New()
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	u64(uint64(len(fp)))
+	h.Write([]byte(fp))
+	u64(math.Float64bits(5e-6))
+	u64(math.Float64bits(f.SampleRate))
+	for _, ch := range [][]int16{f.I, f.Q} {
+		u64(uint64(len(ch)))
+		b := make([]byte, 2*len(ch))
+		for i, s := range ch {
+			binary.LittleEndian.PutUint16(b[2*i:], uint16(s))
+		}
+		h.Write(b)
+	}
+	var want Key
+	h.Sum(want[:0])
+	if got != want {
+		t.Fatal("pooled digest diverges from the reference sha256 layout")
+	}
+}
+
+// TestDigestProperties: distinct inputs must produce distinct keys
+// across every field the digest covers, and the same input the same key
+// (including across pool reuse).
+func TestDigestProperties(t *testing.T) {
+	f := benchWaveform()
+	const fp = "int-DCT-W/ws=16/thr=0.008/adaptive=false"
+	base := DigestWaveform(fp, 0, f)
+	if DigestWaveform(fp, 0, f) != base {
+		t.Error("digest is not deterministic across pool reuse")
+	}
+	if DigestWaveform("other", 0, f) == base {
+		t.Error("fingerprint not folded into the digest")
+	}
+	if DigestWaveform(fp, 1e-6, f) == base {
+		t.Error("MSE target not folded into the digest")
+	}
+	g := benchWaveform()
+	g.I[17]++
+	if DigestWaveform(fp, 0, g) == base {
+		t.Error("sample content not folded into the digest")
+	}
+	g2 := benchWaveform()
+	g2.SampleRate *= 2
+	if DigestWaveform(fp, 0, g2) == base {
+		t.Error("sample rate not folded into the digest")
+	}
+}
+
+func TestDigestWaveformAllocationFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("-race randomizes sync.Pool reuse; allocation counts only hold in normal builds")
+	}
+	f := benchWaveform()
+	const fp = "int-DCT-W/ws=16/thr=0.008/adaptive=false"
+	var sink Key
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = DigestWaveform(fp, 0, f)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("DigestWaveform allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestHasherWordsAndStrings exercises the chunked writers across the
+// scratch-buffer boundary (inputs larger than the staging buffer).
+func TestHasherWordsAndStrings(t *testing.T) {
+	long := make([]int16, 5000) // > 2048/2 per chunk
+	for i := range long {
+		long[i] = int16(i)
+	}
+	d := NewHasher()
+	d.WriteInt16s(long)
+	a := d.Key()
+	d.Release()
+
+	long[4999]++
+	d = NewHasher()
+	d.WriteInt16s(long)
+	b := d.Key()
+	d.Release()
+	if a == b {
+		t.Error("tail of a chunked channel not folded into the digest")
+	}
+
+	words := make([]rle.Word, 3000) // > 2048/4 per chunk
+	for i := range words {
+		words[i] = rle.Word(i * 7)
+	}
+	d = NewHasher()
+	d.WriteWords(words)
+	a = d.Key()
+	d.Release()
+
+	words[2999]++
+	d = NewHasher()
+	d.WriteWords(words)
+	b = d.Key()
+	d.Release()
+	if a == b {
+		t.Error("tail of a chunked word stream not folded into the digest")
+	}
+
+	s := string(make([]byte, 4100)) // > one buf per chunk
+	d = NewHasher()
+	d.WriteString(s)
+	a = d.Key()
+	d.Release()
+	d = NewHasher()
+	d.WriteString(s + "x")
+	b = d.Key()
+	d.Release()
+	if a == b {
+		t.Error("long strings not fully hashed")
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"compaqt/internal/compress"
 	"compaqt/internal/device"
@@ -210,73 +209,6 @@ const (
 	streamChunk = 4096
 )
 
-// WriteTo serializes the image. The wire format stores only the
-// int-DCT-W word stream (the representation the hardware consumes);
-// images compiled with other variants are rejected rather than
-// silently dropping their side data.
-func (img *Image) WriteTo(w io.Writer) (int64, error) {
-	for i := range img.Entries {
-		if v := img.Entries[i].Compressed.Variant; v != compress.IntDCTW {
-			return 0, fmt.Errorf("core: image format stores int-DCT-W only; entry %q is %v",
-				img.Entries[i].Key, v)
-		}
-	}
-	bw := bufio.NewWriter(w)
-	n := &countWriter{w: bw}
-	write := func(v any) error { return binary.Write(n, binary.LittleEndian, v) }
-	if _, err := n.Write([]byte(magic)); err != nil {
-		return n.n, err
-	}
-	if err := write(uint16(version)); err != nil {
-		return n.n, err
-	}
-	if err := write(uint16(img.WindowSize)); err != nil {
-		return n.n, err
-	}
-	if err := writeString(n, img.Machine); err != nil {
-		return n.n, err
-	}
-	if err := write(uint32(len(img.Entries))); err != nil {
-		return n.n, err
-	}
-	for i := range img.Entries {
-		e := &img.Entries[i]
-		c := e.Compressed
-		if err := writeString(n, e.Key); err != nil {
-			return n.n, err
-		}
-		if err := writeString(n, e.Gate); err != nil {
-			return n.n, err
-		}
-		if err := write(int32(e.Qubit)); err != nil {
-			return n.n, err
-		}
-		if err := write(int32(e.Target)); err != nil {
-			return n.n, err
-		}
-		if err := write(c.SampleRate); err != nil {
-			return n.n, err
-		}
-		if err := write(uint32(c.Samples)); err != nil {
-			return n.n, err
-		}
-		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
-			if err := write(uint32(len(ch.Stream))); err != nil {
-				return n.n, err
-			}
-			for _, word := range ch.Stream {
-				if err := write(uint32(word)); err != nil {
-					return n.n, err
-				}
-			}
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return n.n, err
-	}
-	return n.n, nil
-}
-
 // ReadImage deserializes an image written by WriteTo.
 func ReadImage(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
@@ -364,15 +296,11 @@ func ReadImage(r io.Reader) (*Image, error) {
 			// codeword at most rle.MaxRun, so a channel that claims more
 			// samples than its words could ever cover is malformed. The
 			// check also keeps the declared sample count proportional to
-			// the bytes actually present.
-			maxPerWord := uint64(rle.MaxRun)
-			if uint64(ws) > maxPerWord {
-				maxPerWord = uint64(ws)
-			}
-			// 64-bit arithmetic: wc*maxPerWord can reach 2^36, which
-			// would wrap a 32-bit int and mis-reject valid images.
-			if uint64(samples) > uint64(wc)*maxPerWord {
-				return nil, fmt.Errorf("core: %d samples cannot decode from %d stream words", samples, wc)
+			// the bytes actually present. (64-bit arithmetic inside:
+			// wc*maxPerWord can reach 2^36, which would wrap a 32-bit int
+			// and mis-reject valid images.)
+			if err := plausibleSamples(samples, wc, int(ws)); err != nil {
+				return nil, err
 			}
 			// Commit memory as words arrive, not from the declared count:
 			// a truncated or hostile header then costs at most one chunk.
@@ -424,28 +352,6 @@ func rebuildChannelMeta(ch *compress.Channel, ws int) {
 		}
 		ch.WindowWords = append(ch.WindowWords, i-start)
 	}
-}
-
-type countWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
-func writeString(w io.Writer, s string) error {
-	if len(s) > math.MaxUint16 {
-		return fmt.Errorf("core: string too long")
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
-		return err
-	}
-	_, err := w.Write([]byte(s))
-	return err
 }
 
 func readString(r io.Reader) (string, error) {

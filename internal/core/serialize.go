@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"compaqt/internal/compress"
+	"compaqt/internal/rle"
+)
+
+// Size returns the exact number of bytes WriteTo and AppendTo produce
+// for the image. It lets callers pre-size destination buffers so the
+// whole serialization runs without a single reallocation.
+func (img *Image) Size() int {
+	n := len(magic) + 2 + 2 // magic, version, window
+	n += 2 + len(img.Machine)
+	n += 4 // entry count
+	for i := range img.Entries {
+		e := &img.Entries[i]
+		n += 2 + len(e.Key)
+		n += 2 + len(e.Gate)
+		n += 4 + 4 // qubit, target
+		n += 8 + 4 // sample rate, samples
+		n += 4 + 4*len(e.Compressed.I.Stream)
+		n += 4 + 4*len(e.Compressed.Q.Stream)
+	}
+	return n
+}
+
+// checkSerializable rejects images the wire format cannot represent:
+// it stores only the int-DCT-W word stream (the representation the
+// hardware consumes), so other variants error instead of silently
+// dropping their side data.
+func (img *Image) checkSerializable() error {
+	for i := range img.Entries {
+		if v := img.Entries[i].Compressed.Variant; v != compress.IntDCTW {
+			return fmt.Errorf("core: image format stores int-DCT-W only; entry %q is %v",
+				img.Entries[i].Key, v)
+		}
+		if len(img.Entries[i].Key) > math.MaxUint16 || len(img.Entries[i].Gate) > math.MaxUint16 {
+			return fmt.Errorf("core: string too long")
+		}
+	}
+	if len(img.Machine) > math.MaxUint16 {
+		return fmt.Errorf("core: string too long")
+	}
+	return nil
+}
+
+// AppendTo appends the image's serialized wire format to dst and
+// returns the extended slice. With a destination pre-sized via Size it
+// performs no allocations; the bytes are identical to WriteTo's.
+func (img *Image) AppendTo(dst []byte) ([]byte, error) {
+	if err := img.checkSerializable(); err != nil {
+		return dst, err
+	}
+	le := binary.LittleEndian
+	if need := img.Size(); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, magic...)
+	dst = le.AppendUint16(dst, version)
+	dst = le.AppendUint16(dst, uint16(img.WindowSize))
+	dst = appendString(dst, img.Machine)
+	dst = le.AppendUint32(dst, uint32(len(img.Entries)))
+	for i := range img.Entries {
+		e := &img.Entries[i]
+		c := e.Compressed
+		dst = appendString(dst, e.Key)
+		dst = appendString(dst, e.Gate)
+		dst = le.AppendUint32(dst, uint32(int32(e.Qubit)))
+		dst = le.AppendUint32(dst, uint32(int32(e.Target)))
+		dst = le.AppendUint64(dst, math.Float64bits(c.SampleRate))
+		dst = le.AppendUint32(dst, uint32(c.Samples))
+		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
+			dst = le.AppendUint32(dst, uint32(len(ch.Stream)))
+			for _, word := range ch.Stream {
+				dst = le.AppendUint32(dst, uint32(word))
+			}
+		}
+	}
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// writeBufPool recycles serialization buffers across WriteTo calls;
+// buffers keep their capacity, so a steady stream of same-shaped
+// images serializes allocation-free.
+var writeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// WriteTo serializes the image. The wire format stores only the
+// int-DCT-W word stream (the representation the hardware consumes);
+// images compiled with other variants are rejected rather than
+// silently dropping their side data. The image is staged in a pooled
+// buffer sized by Size and written with a single w.Write call.
+func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	bp := writeBufPool.Get().(*[]byte)
+	defer func() {
+		writeBufPool.Put(bp)
+	}()
+	buf, err := img.AppendTo((*bp)[:0])
+	*bp = buf[:0]
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// DecodeImageBytes deserializes an image from an in-memory serialized
+// form (the same format ReadImage streams). It decodes directly from
+// b — no intermediate reader, chunked re-buffering, or partial-stream
+// copies: every length field is validated against the bytes actually
+// present before the single exact-size allocation that holds each
+// channel's words.
+func DecodeImageBytes(b []byte) (*Image, error) {
+	d := byteDecoder{b: b}
+	m, err := d.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("core: bad magic %q", m)
+	}
+	ver, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("core: unsupported image version %d", ver)
+	}
+	ws, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	switch ws {
+	case 4, 8, 16, 32:
+		// See ReadImage: the wire format stores int-DCT-W images only,
+		// so any other window is hostile or corrupt and must be
+		// rejected before the window-walking metadata rebuild.
+	default:
+		return nil, fmt.Errorf("core: invalid window size %d", ws)
+	}
+	img := &Image{WindowSize: int(ws)}
+	if img.Machine, err = d.str(); err != nil {
+		return nil, err
+	}
+	count, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxImageEntries {
+		return nil, fmt.Errorf("core: implausible entry count %d", count)
+	}
+	// Entries are sized from the bytes present, not the declared count:
+	// each entry is at least 30 bytes on the wire, so a hostile header
+	// cannot force a large up-front allocation.
+	const minEntryBytes = 30
+	if max := len(d.b)/minEntryBytes + 1; count > 0 && int(count) <= max {
+		img.Entries = make([]Entry, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		var e Entry
+		if e.Key, err = d.str(); err != nil {
+			return nil, err
+		}
+		if e.Gate, err = d.str(); err != nil {
+			return nil, err
+		}
+		q, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		e.Qubit, e.Target = int(int32(q)), int(int32(tgt))
+		c := &compress.Compressed{
+			Name:       e.Key,
+			Variant:    compress.IntDCTW,
+			WindowSize: int(ws),
+		}
+		rate, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		c.SampleRate = math.Float64frombits(rate)
+		samples, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if samples > maxImageSamples {
+			return nil, fmt.Errorf("core: implausible sample count %d", samples)
+		}
+		c.Samples = int(samples)
+		for _, ch := range []*compress.Channel{&c.I, &c.Q} {
+			wc, err := d.uint32()
+			if err != nil {
+				return nil, err
+			}
+			if wc > maxStreamWords {
+				return nil, fmt.Errorf("core: implausible stream length %d", wc)
+			}
+			if err := plausibleSamples(samples, wc, int(ws)); err != nil {
+				return nil, err
+			}
+			// All words must already be present in b; checking before
+			// allocating means the exact-size stream allocation can
+			// never exceed the input's own footprint.
+			raw, err := d.bytes(4 * int(wc))
+			if err != nil {
+				return nil, err
+			}
+			ch.Stream = make([]rle.Word, wc)
+			for j := range ch.Stream {
+				ch.Stream[j] = rle.Word(binary.LittleEndian.Uint32(raw[4*j:]))
+			}
+			rebuildChannelMeta(ch, int(ws))
+		}
+		e.Compressed = c
+		img.Entries = append(img.Entries, e)
+	}
+	return img, nil
+}
+
+// plausibleSamples rejects channels claiming more samples than their
+// words could ever decode to (shared between ReadImage and
+// DecodeImageBytes; see the wire-format hardening notes in ReadImage).
+func plausibleSamples(samples, words uint32, ws int) error {
+	maxPerWord := uint64(rle.MaxRun)
+	if uint64(ws) > maxPerWord {
+		maxPerWord = uint64(ws)
+	}
+	if uint64(samples) > uint64(words)*maxPerWord {
+		return fmt.Errorf("core: %d samples cannot decode from %d stream words", samples, words)
+	}
+	return nil
+}
+
+// byteDecoder walks a serialized image in place. Its accessors return
+// subslices of the input; only strings and word streams materialize
+// new memory, each in one exact-size allocation.
+type byteDecoder struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = fmt.Errorf("core: truncated image: %w", io.ErrUnexpectedEOF)
+
+func (d *byteDecoder) bytes(n int) ([]byte, error) {
+	if len(d.b)-d.off < n {
+		return nil, errTruncated
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *byteDecoder) uint16() (uint16, error) {
+	s, err := d.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(s), nil
+}
+
+func (d *byteDecoder) uint32() (uint32, error) {
+	s, err := d.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s), nil
+}
+
+func (d *byteDecoder) uint64() (uint64, error) {
+	s, err := d.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(s), nil
+}
+
+func (d *byteDecoder) str() (string, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return "", err
+	}
+	s, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}

@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"compaqt/internal/wave"
 )
@@ -24,12 +25,25 @@ type Pulse struct {
 	Waveform *wave.Waveform
 }
 
-// Key returns a stable identifier like "CX_q3_q5" or "X_q0".
+// Key returns a stable identifier like "CX_q3_q5" or "X_q0". It is on
+// the serving hot path (request naming, entry keys), so the common
+// case builds in stack scratch with a single string allocation.
 func (p *Pulse) Key() string {
-	if p.Target >= 0 {
-		return fmt.Sprintf("%s_q%d_q%d", p.Gate, p.Qubit, p.Target)
+	var scratch [64]byte
+	if len(p.Gate) > len(scratch)-44 { // 2x "_q" + 2x 20-digit int
+		if p.Target >= 0 {
+			return fmt.Sprintf("%s_q%d_q%d", p.Gate, p.Qubit, p.Target)
+		}
+		return fmt.Sprintf("%s_q%d", p.Gate, p.Qubit)
 	}
-	return fmt.Sprintf("%s_q%d", p.Gate, p.Qubit)
+	b := append(scratch[:0], p.Gate...)
+	b = append(b, "_q"...)
+	b = strconv.AppendInt(b, int64(p.Qubit), 10)
+	if p.Target >= 0 {
+		b = append(b, "_q"...)
+		b = strconv.AppendInt(b, int64(p.Target), 10)
+	}
+	return string(b)
 }
 
 // XPulse builds qubit q's calibrated pi pulse (DRAG).

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in.
+// Allocation-count tests consult it: -race instruments sync.Pool with
+// random cache bypasses, so steady-state zero-alloc assertions only
+// hold in normal builds.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = true

@@ -2,16 +2,20 @@ package server
 
 import (
 	"bytes"
-	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"compaqt"
 	"compaqt/client"
 	"compaqt/codec"
 	"compaqt/qctrl"
+	"compaqt/waveform"
 )
 
 // httpError is an error with a status code attached; handlers build
@@ -27,10 +31,58 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// jsonScratch pairs a reusable encode buffer with a json.Encoder bound
+// to it, so steady-state responses stage without allocating either.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	sc := &jsonScratch{}
+	sc.enc = json.NewEncoder(&sc.buf)
+	return sc
+}}
+
+// jsonContentType is assigned into header maps directly: the shared
+// slice spares one []string allocation per response.
+var jsonContentType = []string{"application/json"}
+
+// writeJSON stages the response in a pooled buffer and writes it in
+// one call. Encode and write failures are counted in the stats
+// (write_errors) and logged once per server — by the time a write
+// fails the client is usually gone, but a stream of failures must not
+// be invisible.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	sc := jsonPool.Get().(*jsonScratch)
+	sc.buf.Reset()
+	if err := sc.enc.Encode(v); err != nil {
+		// Responses are plain data structs; failing to encode one is a
+		// server-side bug, not client behavior.
+		jsonPool.Put(sc)
+		s.noteWriteError(err)
+		w.Header()["Content-Type"] = jsonContentType
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"response encoding failed"}`+"\n")
+		return
+	}
+	w.Header()["Content-Type"] = jsonContentType
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(sc.buf.Bytes()); err != nil {
+		s.noteWriteError(err)
+	}
+	jsonPool.Put(sc)
+}
+
+// noteWriteError counts a response encode/write failure and logs the
+// first one (the counter keeps the ongoing tally; one log line is
+// enough to point at the failure mode without flooding on a storm of
+// disconnecting clients).
+func (s *Server) noteWriteError(err error) {
+	s.m.writeErrors.Add(1)
+	s.writeErrLog.Do(func() {
+		log.Printf("server: response write failed (first occurrence, counting silently from here): %v", err)
+	})
 }
 
 // fail maps an error to an HTTP response and bumps the right counter.
@@ -76,6 +128,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ClientErrors: s.m.clientErrors.Load(),
 			ServerErrors: s.m.serverErrors.Load(),
 			Canceled:     s.m.canceled.Load(),
+			WriteErrors:  s.m.writeErrors.Load(),
 			InFlight:     s.m.inFlight.Load(),
 			PeakInFlight: s.m.peakInFlight.Load(),
 		},
@@ -99,10 +152,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// decodeBody JSON-decodes a bounded request body into v.
+// bodyBufPool recycles request-body staging buffers across requests.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decodeBody JSON-decodes a bounded request body into v. The body is
+// staged in a pooled buffer and decoded with json.Unmarshal (which
+// copies what it keeps), so the staging memory is reused request to
+// request.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	switch {
+	case r.ContentLength > s.cfg.MaxBodyBytes:
+		// Declared too large: reject before reading a byte.
+		return &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			msg:    fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+		}
+	case r.ContentLength < 0:
+		// Unknown length (chunked): bound the read with MaxBytesReader.
+		// Declared lengths skip the wrapper — net/http already refuses
+		// to read past ContentLength.
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	defer bodyBufPool.Put(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			return &httpError{
@@ -110,20 +184,58 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 				msg:    fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
 			}
 		}
+		return badRequest("reading request body: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		return badRequest("invalid JSON body: %v", err)
 	}
 	return nil
 }
 
+// compileScratch is the pooled decode target of POST /v1/compile: the
+// request struct keeps its waveform slices' capacity across requests,
+// so steady-state decodes reuse the same backing arrays. Nothing
+// downstream retains the request (compilation quantizes into fresh
+// arrays and entries carry their own strings), which is what makes the
+// pooling safe.
+type compileScratch struct {
+	req client.CompileRequest
+	// resp is the staged response; passing its address to writeJSON
+	// boxes a pointer instead of copying the struct into an interface.
+	resp client.CompileResponse
+	// pulse/wf/one are the decoded pulse's storage. Safe to reuse:
+	// the single-pulse compile path runs serially (no worker retains
+	// the pulse past the call) and compilation copies everything it
+	// keeps (quantized samples, key strings).
+	pulse qctrl.Pulse
+	wf    waveform.Waveform
+	one   [1]*qctrl.Pulse
+}
+
+var compileScratchPool = sync.Pool{New: func() any { return new(compileScratch) }}
+
+// reset clears the request while keeping the waveform slice capacity.
+// It must run before decoding: json.Unmarshal leaves fields absent
+// from the body untouched, and a stale field from the previous request
+// must never leak into this one.
+func (sc *compileScratch) reset() {
+	i, q := sc.req.Pulse.I[:0], sc.req.Pulse.Q[:0]
+	sc.req = client.CompileRequest{}
+	sc.req.Pulse.I, sc.req.Pulse.Q = i, q
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
-	var req client.CompileRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	sc := compileScratchPool.Get().(*compileScratch)
+	defer compileScratchPool.Put(sc)
+	sc.reset()
+	req := &sc.req
+	if err := s.decodeBody(w, r, req); err != nil {
 		s.fail(w, err)
 		return
 	}
-	p, err := req.Pulse.Pulse()
-	if err != nil {
+	p := &sc.pulse
+	if err := req.Pulse.PulseInto(p, &sc.wf); err != nil {
 		s.fail(w, badRequest("%v", err))
 		return
 	}
@@ -140,9 +252,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	name := req.Image
 	if name == "" {
-		name = p.Key()
+		name = p.Waveform.Name // PulseSpec.Pulse sets this to p.Key()
 	}
-	img, err := svc.CompileBatch(ctx, name, []*qctrl.Pulse{p})
+	sc.one[0] = p
+	img, err := svc.CompilePulses(ctx, name, sc.one[:])
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -150,10 +263,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if req.Image != "" {
 		s.storeImage(req.Image, img)
 	}
-	s.writeJSON(w, http.StatusOK, client.CompileResponse{
+	sc.resp = client.CompileResponse{
 		Codec: svc.Codec().Name(),
 		Entry: entrySummary(svc, &img.Entries[0]),
-	})
+	}
+	s.writeJSON(w, http.StatusOK, &sc.resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -203,8 +317,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	var si *storedImage
 	if req.Image != "" {
-		s.storeImage(req.Image, img)
+		si = s.storeImage(req.Image, img)
 	}
 	resp := client.BatchResponse{
 		Codec:   svc.Codec().Name(),
@@ -215,15 +330,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Entries[i] = entrySummary(svc, &img.Entries[i])
 	}
 	if req.IncludeImage {
-		var buf bytes.Buffer
-		if _, err := img.WriteTo(&buf); err != nil {
+		// A stored image shares its memoized digest with later GETs;
+		// an unstored one is a one-shot response and skips the byte
+		// cache entirely.
+		var b64 string
+		var err error
+		if si != nil {
+			b64, err = s.wireB64(img, si.digest(), true)
+		} else {
+			b64, err = s.wireB64(img, imageDigest(img), false)
+		}
+		if err != nil {
 			// Typically: the wire format stores int-DCT-W only and the
 			// batch used another codec. The compile itself succeeded, so
 			// report the serialization constraint, not a server fault.
 			s.fail(w, badRequest("include_image: %v", err))
 			return
 		}
-		resp.ImageB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
+		resp.ImageB64 = b64
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -231,21 +355,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	name := r.PathValue("name")
-	img, ok := s.image(name)
+	si, ok := s.image(name)
 	if !ok {
 		s.fail(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no stored image %q", name)})
 		return
 	}
-	// Serialize to memory first so a wire-format error can still become
-	// a clean JSON failure instead of a truncated binary body.
-	var buf bytes.Buffer
-	if _, err := img.WriteTo(&buf); err != nil {
+	// Serialize (or fetch the cached bytes) before writing the header,
+	// so a wire-format error can still become a clean JSON failure
+	// instead of a truncated binary body. Unchanged images are
+	// serialized once: repeats stream the shared cached buffer.
+	wire, err := s.wireBytes(si.img, si.digest(), true)
+	if err != nil {
 		s.fail(w, badRequest("image %q: %v", name, err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
-	_, _ = buf.WriteTo(w)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(wire)))
+	if _, err := w.Write(wire); err != nil {
+		s.noteWriteError(err)
+	}
 }
 
 // entrySummary condenses one compiled entry for the wire.

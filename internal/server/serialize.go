@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/base64"
+	"math"
+	"unsafe"
+
+	"compaqt"
+	"compaqt/internal/cache"
+)
+
+// imageDigest fingerprints everything an image serializes to: the
+// header fields plus every entry's metadata and compressed word
+// streams. Two images with equal digests produce byte-identical wire
+// forms, so the digest keys the serialized-byte cache. It runs on the
+// pooled hash state from internal/cache — one pass over the compressed
+// streams, no allocations — which is cheaper than serializing (no
+// buffer to produce) and pays for itself the first time a cached copy
+// is served.
+func imageDigest(img *compaqt.Image) cache.Key {
+	d := cache.NewHasher()
+	d.WriteString("cpqt-wire/v1")
+	d.WriteString(img.Machine)
+	d.WriteUint64(uint64(img.WindowSize))
+	d.WriteUint64(uint64(len(img.Entries)))
+	for i := range img.Entries {
+		e := &img.Entries[i]
+		c := e.Compressed
+		d.WriteString(e.Key)
+		d.WriteString(e.Gate)
+		d.WriteUint64(uint64(int64(e.Qubit)))
+		d.WriteUint64(uint64(int64(e.Target)))
+		d.WriteUint64(math.Float64bits(c.SampleRate))
+		d.WriteUint64(uint64(c.Samples))
+		d.WriteWords(c.I.Stream)
+		d.WriteWords(c.Q.Stream)
+	}
+	k := d.Key()
+	d.Release()
+	return k
+}
+
+// b64Key derives the cache key of an image's base64 form from its wire
+// digest, so both representations share one LRU.
+func b64Key(k cache.Key) cache.Key {
+	d := cache.NewHasher()
+	d.WriteString("b64")
+	d.WriteBytes(k[:])
+	k2 := d.Key()
+	d.Release()
+	return k2
+}
+
+// wireBytes returns the image's serialized wire form, serving repeated
+// requests for unchanged content from the digest-keyed byte cache. On
+// a miss the image is appended once into an exactly Size()-d buffer;
+// the cached slice is immutable and shared across responses. Only
+// cacheable (server-stored) images populate the cache: one-shot
+// include_image responses for unstored batches would otherwise pin
+// arbitrary bytes until count-based eviction, with no chance of a
+// future hit. The cache stays bounded by what the image store already
+// retains.
+func (s *Server) wireBytes(img *compaqt.Image, k cache.Key, cacheable bool) ([]byte, error) {
+	if v, ok := s.wire.Get(k); ok {
+		return v.([]byte), nil
+	}
+	buf, err := img.AppendTo(make([]byte, 0, img.Size()))
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		s.wire.Add(k, buf, int64(len(buf)))
+	}
+	return buf, nil
+}
+
+// wireB64 returns the image's std-base64 wire form for ImageB64
+// responses. The encoding writes directly into one exactly pre-sized
+// byte slice and converts it to a string without re-copying; repeated
+// requests for unchanged stored content share the cached string.
+func (s *Server) wireB64(img *compaqt.Image, k cache.Key, cacheable bool) (string, error) {
+	bk := b64Key(k)
+	if v, ok := s.wire.Get(bk); ok {
+		return v.(string), nil
+	}
+	wire, err := s.wireBytes(img, k, cacheable)
+	if err != nil {
+		return "", err
+	}
+	dst := make([]byte, base64.StdEncoding.EncodedLen(len(wire)))
+	base64.StdEncoding.Encode(dst, wire)
+	// dst is never written again after Encode; viewing it as a string
+	// skips the []byte -> string copy a conversion would make.
+	s64 := unsafe.String(unsafe.SliceData(dst), len(dst))
+	if cacheable {
+		s.wire.Add(bk, s64, int64(len(s64)))
+	}
+	return s64, nil
+}

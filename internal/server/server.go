@@ -18,6 +18,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 
 	"compaqt"
 	"compaqt/client"
+	"compaqt/internal/cache"
 )
 
 // Config assembles a Server. The zero value serves with the library
@@ -105,11 +107,13 @@ type Server struct {
 	mux *http.ServeMux
 
 	// svc is the default-configuration service (it owns the compile
-	// cache); derived holds per-override services, built on demand and
-	// keyed by the override fingerprint.
+	// cache); derived holds per-override services, built on demand,
+	// keyed by the override fingerprint, and evicted least-recently-
+	// used at maxDerived (derivedLL front = most recently used).
 	svc       *compaqt.Service
 	derivedMu sync.Mutex
-	derived   map[string]*compaqt.Service
+	derived   map[string]*list.Element
+	derivedLL *list.List
 
 	// sem is the admission semaphore bounding concurrent compiles.
 	sem chan struct{}
@@ -117,11 +121,40 @@ type Server struct {
 	// images stores compiled images for GET /v1/images/{name};
 	// imageOrder tracks insertion for FIFO eviction at MaxImages.
 	imagesMu   sync.Mutex
-	images     map[string]*compaqt.Image
+	images     map[string]*storedImage
 	imageOrder []string
+
+	// wire caches serialized image bytes (and their base64 forms)
+	// keyed by content digest, so unchanged images are serialized once
+	// and then streamed from shared buffers (see serialize.go).
+	wire *cache.LRU
 
 	draining atomic.Bool
 	m        metrics
+
+	// writeErrLog gates the one diagnostic log line for response
+	// write/encode failures; the ongoing count lives in the metrics.
+	writeErrLog sync.Once
+}
+
+// derivedEntry is one memoized override service in the derived LRU.
+type derivedEntry struct {
+	key string
+	svc *compaqt.Service
+}
+
+// storedImage is one compiled image held for GET /v1/images/{name},
+// with its content digest memoized on first use (images are immutable
+// after compile, so the digest is computed at most once).
+type storedImage struct {
+	img  *compaqt.Image
+	once sync.Once
+	key  cache.Key
+}
+
+func (si *storedImage) digest() cache.Key {
+	si.once.Do(func() { si.key = imageDigest(si.img) })
+	return si.key
 }
 
 // metrics are the server's counters; all fields are atomics so the
@@ -139,6 +172,10 @@ type metrics struct {
 	pulses        atomic.Uint64
 	encodes       atomic.Uint64
 	cacheHits     atomic.Uint64
+
+	// writeErrors counts response serialization/write failures that
+	// would otherwise vanish (the client is often already gone).
+	writeErrors atomic.Uint64
 }
 
 // observe folds a compaqt.CompileEvent into the counters; it is
@@ -159,10 +196,14 @@ func (m *metrics) observe(ev compaqt.CompileEvent) {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		derived: map[string]*compaqt.Service{},
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		images:  map[string]*compaqt.Image{},
+		cfg:       cfg,
+		derived:   map[string]*list.Element{},
+		derivedLL: list.New(),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		images:    map[string]*storedImage{},
+		// Room for every stored image's wire bytes and base64 form,
+		// plus headroom for include_image responses of unstored images.
+		wire: cache.NewLRU(4 * cfg.MaxImages),
 	}
 	svc, err := compaqt.New(s.baseOptions(nil)...)
 	if err != nil {
@@ -250,9 +291,11 @@ func (s *Server) baseOptions(o *client.CompileOptions) []compaqt.Option {
 	return opts
 }
 
-// maxDerived bounds the per-override service map; beyond it the map is
-// reset wholesale (override sets are tiny in practice, and a rebuilt
-// service is cheap — it holds no cache).
+// maxDerived bounds the per-override service memoization; beyond it
+// the least-recently-used fingerprint is evicted (a rebuilt service is
+// cheap — it holds no cache — but steady override mixes larger than
+// the cap must not evict the fingerprints they keep using, which a
+// wholesale reset would).
 const maxDerived = 64
 
 // service resolves the compaqt.Service for a request's overrides: the
@@ -269,17 +312,20 @@ func (s *Server) service(o *client.CompileOptions) (*compaqt.Service, error) {
 	key := fmt.Sprintf("%s|%d|%g|%g|%g|%s", o.Codec, o.Window, o.Threshold, o.FidelityTarget, o.MSETarget, adaptive)
 	s.derivedMu.Lock()
 	defer s.derivedMu.Unlock()
-	if svc, ok := s.derived[key]; ok {
-		return svc, nil
+	if el, ok := s.derived[key]; ok {
+		s.derivedLL.MoveToFront(el)
+		return el.Value.(*derivedEntry).svc, nil
 	}
 	svc, err := compaqt.New(s.baseOptions(o)...)
 	if err != nil {
 		return nil, err
 	}
-	if len(s.derived) >= maxDerived {
-		s.derived = map[string]*compaqt.Service{}
+	s.derived[key] = s.derivedLL.PushFront(&derivedEntry{key: key, svc: svc})
+	for len(s.derived) > maxDerived {
+		back := s.derivedLL.Back()
+		s.derivedLL.Remove(back)
+		delete(s.derived, back.Value.(*derivedEntry).key)
 	}
-	s.derived[key] = svc
 	return svc, nil
 }
 
@@ -308,7 +354,8 @@ func (s *Server) release() {
 
 // storeImage records a compiled image for GET /v1/images/{name},
 // evicting the oldest stored image beyond MaxImages.
-func (s *Server) storeImage(name string, img *compaqt.Image) {
+func (s *Server) storeImage(name string, img *compaqt.Image) *storedImage {
+	si := &storedImage{img: img}
 	s.imagesMu.Lock()
 	defer s.imagesMu.Unlock()
 	if _, exists := s.images[name]; !exists {
@@ -318,14 +365,15 @@ func (s *Server) storeImage(name string, img *compaqt.Image) {
 			s.imageOrder = s.imageOrder[1:]
 		}
 	}
-	s.images[name] = img
+	s.images[name] = si
+	return si
 }
 
-func (s *Server) image(name string) (*compaqt.Image, bool) {
+func (s *Server) image(name string) (*storedImage, bool) {
 	s.imagesMu.Lock()
 	defer s.imagesMu.Unlock()
-	img, ok := s.images[name]
-	return img, ok
+	si, ok := s.images[name]
+	return si, ok
 }
 
 func (s *Server) imageNames() []string {

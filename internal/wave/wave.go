@@ -96,17 +96,31 @@ func (f *Fixed) Bits() int { return 32 * len(f.I) }
 // Quantize converts a float envelope to Q1.15 fixed point with
 // round-to-nearest and saturation.
 func (w *Waveform) Quantize() *Fixed {
-	f := &Fixed{
-		Name:       w.Name,
-		SampleRate: w.SampleRate,
-		I:          make([]int16, len(w.I)),
-		Q:          make([]int16, len(w.Q)),
-	}
+	f := &Fixed{}
+	w.QuantizeInto(f)
+	return f
+}
+
+// QuantizeInto is Quantize with caller-provided storage: f's channel
+// slices are length-adjusted in place (reusing their capacity), so a
+// pooled Fixed quantizes repeatedly without touching the allocator.
+func (w *Waveform) QuantizeInto(f *Fixed) {
+	f.Name = w.Name
+	f.SampleRate = w.SampleRate
+	f.I = growSamples(f.I, len(w.I))
+	f.Q = growSamples(f.Q, len(w.Q))
 	for i := range w.I {
 		f.I[i] = QuantizeSample(w.I[i])
 		f.Q[i] = QuantizeSample(w.Q[i])
 	}
-	return f
+}
+
+// growSamples returns s resized to n, reusing capacity when possible.
+func growSamples(s []int16, n int) []int16 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int16, n)
 }
 
 // Dequantize converts back to a float envelope.

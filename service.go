@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,13 @@ type Stats = core.Stats
 // Service.CompileTo.
 var ReadImage = core.ReadImage
 
+// DecodeImageBytes deserializes an image from an in-memory serialized
+// form. It is the zero-copy fast path for callers that already hold
+// the whole image in a byte slice (HTTP bodies, mmap'd files): every
+// length field is validated against the bytes present before each
+// exact-size stream allocation, with no intermediate reader buffering.
+var DecodeImageBytes = core.DecodeImageBytes
+
 // Service is the compile/playback front end of the library. It pairs a
 // configured codec with a machine-independent compile pipeline (fanned
 // out across goroutines) and a playback path through the hardware
@@ -50,6 +58,11 @@ type Service struct {
 	// fingerprint is the codec's stable cache identity (codec name +
 	// params); it is folded into every content digest.
 	fingerprint string
+
+	// jobs feeds the persistent worker pool (see pool); poolOnce
+	// starts the workers on first parallel compile.
+	poolOnce sync.Once
+	jobs     chan poolJob
 
 	mu      sync.RWMutex
 	img     *Image
@@ -238,6 +251,22 @@ func (s *Service) compile(ctx context.Context, name string, pulses []*qctrl.Puls
 	if len(pulses) == 0 {
 		return img, 0, nil
 	}
+	// Single-pulse fast path (the serving layer's steady state): no
+	// closure, no shared counter, no pool round trip.
+	if len(pulses) == 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		e, hit, err := s.compileOne(pulses[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		hits := 0
+		if hit {
+			hits = 1
+		}
+		return s.finish(img, []Entry{e}), hits, nil
+	}
 	var hits atomic.Int64
 	entries := make([]Entry, len(pulses))
 	err := s.runPool(ctx, len(pulses), func(i int) error {
@@ -386,25 +415,78 @@ func (s *Service) compileBatch(ctx context.Context, name string, pulses []*qctrl
 	return img, len(work), hits, nil
 }
 
-// runPool runs fn(0..n-1) across the configured parallelism: a bounded
-// worker pool pulls indices from a prefilled feed channel, so callers
-// writing results by index get deterministic output at any width. The
-// first error cancels the remaining work.
-//
-// Each worker goroutine drains many pulses back to back, which is what
-// makes the kernel scratch pooling effective: the sync.Pool-backed
-// buffers in internal/compress and internal/dct are cached per P, so a
-// worker reuses the same DCT plan scratch and whole-waveform work
-// arrays across pulses instead of contending on the allocator.
+// poolJob is one index of one runPool call, as carried to a persistent
+// worker.
+type poolJob struct {
+	i   int
+	run *poolRun
+}
+
+// poolRun is the shared state of one runPool invocation: many jobs,
+// one context, one first-error slot.
+type poolRun struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	fn     func(i int) error
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+}
+
+// do executes one index, recording the first error and canceling the
+// run's remaining jobs. Jobs of a canceled run drain without invoking
+// fn, so a failed or abandoned compile releases its workers quickly.
+func (r *poolRun) do(i int) {
+	defer r.wg.Done()
+	if r.ctx.Err() != nil {
+		return
+	}
+	if err := r.fn(i); err != nil {
+		r.errOnce.Do(func() {
+			r.err = err
+			r.cancel()
+		})
+	}
+}
+
+// pool returns the Service's persistent worker pool, starting it on
+// first use. The workers live for the Service's lifetime: compile
+// calls stop paying goroutine spawn/teardown per request, and — more
+// importantly for steady-state allocation behavior — each worker's
+// sync.Pool-backed kernel scratch (internal/compress, internal/dct)
+// stays cached per P across requests instead of being re-warmed by
+// fresh goroutines. A runtime cleanup closes the feed when the Service
+// becomes unreachable, so abandoned services do not leak workers.
+func (s *Service) pool() chan<- poolJob {
+	s.poolOnce.Do(func() {
+		jobs := make(chan poolJob, s.cfg.parallelism)
+		for w := 0; w < s.cfg.parallelism; w++ {
+			go func() {
+				for job := range jobs {
+					job.run.do(job.i)
+				}
+			}()
+		}
+		s.jobs = jobs
+		// The cleanup must capture only the channel — referencing s
+		// would keep the Service reachable forever.
+		runtime.AddCleanup(s, func(ch chan poolJob) { close(ch) }, jobs)
+	})
+	return s.jobs
+}
+
+// runPool runs fn(0..n-1) across the configured parallelism: the
+// persistent per-Service worker pool pulls indices from the shared job
+// feed, so callers writing results by index get deterministic output
+// at any width. The first error cancels the remaining work. Concurrent
+// runPool calls share the same workers; jobs interleave, each run
+// completes independently.
 func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}
-	workers := s.cfg.parallelism
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if s.cfg.parallelism <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -418,41 +500,26 @@ func (s *Service) runPool(ctx context.Context, n int, fn func(i int) error) erro
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	// Prefill the feed so no feeder goroutine sits between the workers
-	// and their next index; cancellation is checked per item instead.
-	feed := make(chan int, n)
+	run := &poolRun{ctx: ctx, cancel: cancel, fn: fn}
+	run.wg.Add(n)
+	jobs := s.pool()
+	submitted := n
 	for i := 0; i < n; i++ {
-		feed <- i
+		select {
+		case jobs <- poolJob{i: i, run: run}:
+		case <-ctx.Done():
+			submitted = i
+		}
+		if submitted != n {
+			break
+		}
 	}
-	close(feed)
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := fn(i); err != nil {
-					errOnce.Do(func() {
-						firstErr = err
-						cancel()
-					})
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	// Un-count the jobs a cancellation kept from being submitted, then
+	// wait for the in-flight remainder to drain.
+	run.wg.Add(submitted - n)
+	run.wg.Wait()
+	if run.err != nil {
+		return run.err
 	}
 	return ctx.Err()
 }
@@ -469,11 +536,23 @@ func (s *Service) finish(img *Image, entries []Entry) *Image {
 	return img
 }
 
+// fixedPool recycles quantization buffers on the cache-hit path: a
+// served hit never hands the quantized waveform to a codec, so the
+// buffers can be reused as soon as the digest lookup resolves. Misses
+// leave their Fixed to the garbage collector — a registered codec may
+// in principle retain what Encode receives.
+var fixedPool = sync.Pool{New: func() any { return new(waveform.Fixed) }}
+
 // compileOne compresses a single pulse through the configured codec
 // (by way of the compile cache, when enabled). The second result
 // reports whether the cache served the encoding.
 func (s *Service) compileOne(p *qctrl.Pulse) (Entry, bool, error) {
-	cc, hit, err := s.encodeCached(p.Waveform.Quantize())
+	f := fixedPool.Get().(*waveform.Fixed)
+	p.Waveform.QuantizeInto(f)
+	cc, hit, err := s.encodeCached(f)
+	if hit {
+		fixedPool.Put(f)
+	}
 	if err != nil {
 		return Entry{}, false, fmt.Errorf("compaqt: compiling %s: %w", p.Key(), err)
 	}

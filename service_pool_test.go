@@ -1,0 +1,94 @@
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"compaqt"
+	"compaqt/qctrl"
+)
+
+// TestWorkerPoolPersistsAcrossCompiles pins the persistent-pool
+// contract: after the first parallel compile warms the pool, further
+// compiles on the same Service spawn no new goroutines.
+func TestWorkerPoolPersistsAcrossCompiles(t *testing.T) {
+	svc, err := compaqt.New(compaqt.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	if _, err := svc.Compile(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	// Let the first compile's transient goroutines (none expected) and
+	// GC noise settle before baselining.
+	time.Sleep(10 * time.Millisecond)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Compile(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := runtime.NumGoroutine(); n > base+1 {
+		t.Errorf("goroutines grew from %d to %d across compiles; worker pool is not persistent", base, n)
+	}
+}
+
+// TestWorkerPoolConcurrentRuns drives several simultaneous compile
+// calls through one Service's shared workers: every call must complete
+// with output byte-identical to a serial compile.
+func TestWorkerPoolConcurrentRuns(t *testing.T) {
+	svc, err := compaqt.New(compaqt.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := compaqt.New(compaqt.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := qctrl.Bogota()
+	ctx := context.Background()
+	ref, err := serial.Compile(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			img, err := svc.CompilePulses(ctx, m.Name, m.Library())
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			var got bytes.Buffer
+			if _, err := img.WriteTo(&got); err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				errs[g] = errors.New("compiled bytes diverged from the serial reference")
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent compile %d: %v", g, err)
+		}
+	}
+}
