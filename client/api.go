@@ -218,6 +218,34 @@ type CacheStats struct {
 	HitRate    float64 `json:"hit_rate"`
 }
 
+// StoreStats is the wire form of the server's persistent image store
+// (absent from /v1/stats when the server runs without one).
+type StoreStats struct {
+	// Objects/Names/Bytes describe the resident content: distinct
+	// stored blobs, the image names bound to them, and their on-disk
+	// footprint against MaxBytes.
+	Objects  int   `json:"objects"`
+	Names    int   `json:"names"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// Hits/Misses count store reads; Puts/PutDedups compile
+	// write-throughs (performed vs digest-deduplicated).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	PutDedups uint64 `json:"put_dedups"`
+	// Evictions/EvictedBytes account the size-bounded LRU GC.
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes uint64 `json:"evicted_bytes"`
+	// MmapServes/CopyServes split hits by read path.
+	MmapServes uint64 `json:"mmap_serves"`
+	CopyServes uint64 `json:"copy_serves"`
+	// Recovered counts warm-restart bindings the startup scan restored;
+	// OrphansCleaned the crash debris it swept.
+	Recovered      int `json:"recovered"`
+	OrphansCleaned int `json:"orphans_cleaned"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Codec    string       `json:"codec"`
@@ -225,12 +253,19 @@ type StatsResponse struct {
 	Requests RequestStats `json:"requests"`
 	Compile  CompileStats `json:"compile"`
 	Cache    CacheStats   `json:"cache"`
-	Images   []string     `json:"images"`
+	// Store reports the persistent image store; nil when disabled.
+	Store  *StoreStats `json:"store,omitempty"`
+	Images []string    `json:"images"`
 }
 
 // HealthResponse is the body of GET /healthz ("ok" or "draining").
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Store reports persistent-store readiness when one is configured:
+	// "ok", or "degraded: <cause>" while persistence is failing (the
+	// server keeps serving — degraded is not down, so the status stays
+	// 200 "ok").
+	Store string `json:"store,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

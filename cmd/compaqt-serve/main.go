@@ -8,6 +8,7 @@
 //	compaqt-serve -addr :8371
 //	compaqt-serve -codec intdct-w -ws 16 -cache 4096 -parallelism 8
 //	compaqt-serve -max-inflight 16 -max-body 67108864
+//	compaqt-serve -store-dir /var/lib/compaqt -store-max-bytes 1073741824
 //
 // Endpoints: POST /v1/compile, POST /v1/compile/batch,
 // GET /v1/images/{name}, GET /v1/stats, GET /healthz. See the client
@@ -46,6 +47,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 64 MiB)")
 	maxBatch := flag.Int("max-batch", 0, "max pulses per batch request (0 = 8192)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	storeDir := flag.String("store-dir", "", "persistent image store directory (empty = no persistence)")
+	storeMax := flag.Int64("store-max-bytes", 0, "persistent store size budget in bytes (0 = 1 GiB)")
 	flag.Parse()
 
 	if *listCodecs {
@@ -66,6 +69,8 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxBatchPulses: *maxBatch,
 		DrainTimeout:   *drain,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,130 @@
+// Tests for the public persistent-store surface: WithStore must
+// write every compile through to disk, survive a Service restart on
+// the same directory with byte-identical images, and stay out of the
+// way entirely when disabled.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"compaqt"
+	"compaqt/qctrl"
+)
+
+func TestWithStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	m := qctrl.Bogota()
+
+	svc, err := compaqt.New(compaqt.WithStore(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := svc.Compile(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := img.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := svc.StoreStats()
+	if st.Puts != 1 || st.Names != 1 {
+		t.Fatalf("store stats = %+v, want the compile written through once", st)
+	}
+	// Recompiling unchanged content is deduplicated by digest, not
+	// re-published.
+	if _, err := svc.Compile(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.StoreStats(); st.Puts != 1 || st.PutDedups != 1 {
+		t.Fatalf("store stats = %+v, want the recompile deduplicated", st)
+	}
+	if err := svc.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Service on the same directory starts warm: the image is
+	// served from disk, byte-identical, with zero compiles.
+	svc2, err := compaqt.New(compaqt.WithStore(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Store().Close()
+	if st := svc2.StoreStats(); st.Recovered != 1 {
+		t.Fatalf("store stats = %+v, want 1 recovered binding", st)
+	}
+	blob, ok := svc2.Store().Get(m.Name)
+	if !ok {
+		t.Fatalf("Store().Get(%q) missed after restart", m.Name)
+	}
+	defer blob.Release()
+	if !bytes.Equal(blob.Bytes(), want) {
+		t.Fatal("restarted store serves different bytes than the original compile")
+	}
+	// The stored bytes decode to a playable image.
+	back, err := compaqt.DecodeImageBytes(blob.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != m.Name || len(back.Entries) != len(img.Entries) {
+		t.Fatalf("decoded %q/%d entries, want %q/%d",
+			back.Machine, len(back.Entries), m.Name, len(img.Entries))
+	}
+}
+
+func TestWithStoreDisabled(t *testing.T) {
+	svc, err := compaqt.New(
+		compaqt.WithStore(t.TempDir(), 0),
+		compaqt.WithStoreDisabled(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Store() != nil {
+		t.Fatal("WithStoreDisabled left a store configured")
+	}
+	if st := svc.StoreStats(); st != (compaqt.StoreStats{}) {
+		t.Fatalf("disabled store stats = %+v, want zero", st)
+	}
+	if _, err := svc.Compile(context.Background(), qctrl.Bogota()); err != nil {
+		t.Fatalf("compile without store: %v", err)
+	}
+}
+
+func TestWithStoreValidation(t *testing.T) {
+	if _, err := compaqt.New(compaqt.WithStore("", 0)); err == nil {
+		t.Error("WithStore(\"\") accepted an empty directory")
+	}
+	if _, err := compaqt.New(compaqt.WithStore(t.TempDir(), -1)); err == nil {
+		t.Error("WithStore accepted a negative size budget")
+	}
+}
+
+func TestWithStoreBatchWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := compaqt.New(compaqt.WithStore(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Store().Close()
+	lib := qctrl.Bogota().Library()
+	img, err := svc.CompileBatch(context.Background(), "batch-lib", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := img.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := svc.Store().Get("batch-lib")
+	if !ok {
+		t.Fatal("CompileBatch result not written through to the store")
+	}
+	defer blob.Release()
+	if !bytes.Equal(blob.Bytes(), want) {
+		t.Fatal("stored batch image differs from the compiled one")
+	}
+}

@@ -13,6 +13,7 @@
 //		compaqt.WithMSETarget(5e-6),
 //		compaqt.WithParallelism(runtime.NumCPU()),
 //		compaqt.WithCache(4096),                // content-addressed compile cache
+//		compaqt.WithStore("/var/lib/compaqt", 1<<30), // persistent image store
 //	)
 //	img, err := svc.Compile(ctx, qctrl.Guadalupe())
 //	img, err = svc.CompileBatch(ctx, m.Name, pulses) // dedup within the batch
@@ -33,6 +34,14 @@
 // cmd/compaqt-serve, with its typed client in compaqt/client) builds
 // its /v1/stats endpoint on. See ARCHITECTURE.md for the layer diagram
 // and data flow.
+//
+// WithStore extends the same content identity to disk: every compiled
+// image is written through to a crash-safe content-addressed store
+// (atomic temp+fsync+rename publishes, size-bounded LRU GC), and a
+// Service reopened on the same directory starts warm — previously
+// compiled images serve byte-identically from mmap'd files via
+// Service.Store().Get with zero recompiles. The serving layer exposes
+// it as GET /v1/images/{name} across restarts.
 //
 // The public subpackages:
 //

@@ -48,6 +48,10 @@ var jsonPool = sync.Pool{New: func() any {
 // slice spares one []string allocation per response.
 var jsonContentType = []string{"application/json"}
 
+// octetStreamContentType is jsonContentType's counterpart for image
+// bodies.
+var octetStreamContentType = []string{"application/octet-stream"}
+
 // writeJSON stages the response in a pooled buffer and writes it in
 // one call. Encode and write failures are counted in the stats
 // (write_errors) and logged once per server — by the time a write
@@ -110,11 +114,23 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	resp := client.HealthResponse{Status: "ok"}
+	// A degraded store (read-only directory, failing GC) is reported
+	// but does not fail the health check: compiles and reads still
+	// work, only persistence of new images is impaired.
+	if s.store != nil {
+		if err := s.store.Healthy(); err != nil {
+			resp.Store = "degraded: " + err.Error()
+		} else {
+			resp.Store = "ok"
+		}
+	}
 	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, client.HealthResponse{Status: "draining"})
+		resp.Status = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, client.HealthResponse{Status: "ok"})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +164,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate:    cs.HitRate(),
 		},
 		Images: s.imageNames(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &client.StoreStats{
+			Objects:        st.Objects,
+			Names:          st.Names,
+			Bytes:          st.Bytes,
+			MaxBytes:       st.MaxBytes,
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Puts:           st.Puts,
+			PutDedups:      st.PutDedups,
+			Evictions:      st.Evictions,
+			EvictedBytes:   st.EvictedBytes,
+			MmapServes:     st.MmapServes,
+			CopyServes:     st.CopyServes,
+			Recovered:      st.Recovered,
+			OrphansCleaned: st.OrphansCleaned,
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -357,6 +392,22 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	si, ok := s.image(name)
 	if !ok {
+		// Fall back to the persistent store: images compiled before the
+		// last restart (or evicted from the in-memory map) serve
+		// straight from their mmap'd wire bytes — no recompile, no
+		// serialization, no copy.
+		if s.store != nil {
+			if blob, hit := s.store.Get(name); hit {
+				h := w.Header()
+				h["Content-Type"] = octetStreamContentType
+				h.Set("Content-Length", strconv.Itoa(len(blob.Bytes())))
+				if _, err := w.Write(blob.Bytes()); err != nil {
+					s.noteWriteError(err)
+				}
+				blob.Release()
+				return
+			}
+		}
 		s.fail(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no stored image %q", name)})
 		return
 	}
@@ -370,7 +421,7 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := w.Header()
-	h.Set("Content-Type", "application/octet-stream")
+	h["Content-Type"] = octetStreamContentType
 	h.Set("Content-Length", strconv.Itoa(len(wire)))
 	if _, err := w.Write(wire); err != nil {
 		s.noteWriteError(err)

@@ -2,42 +2,22 @@ package server
 
 import (
 	"encoding/base64"
-	"math"
 	"unsafe"
 
 	"compaqt"
 	"compaqt/internal/cache"
+	"compaqt/internal/store"
 )
 
-// imageDigest fingerprints everything an image serializes to: the
-// header fields plus every entry's metadata and compressed word
-// streams. Two images with equal digests produce byte-identical wire
-// forms, so the digest keys the serialized-byte cache. It runs on the
-// pooled hash state from internal/cache — one pass over the compressed
-// streams, no allocations — which is cheaper than serializing (no
-// buffer to produce) and pays for itself the first time a cached copy
-// is served.
+// imageDigest fingerprints everything an image serializes to. The
+// digest is shared with the persistent store — one content identity
+// from the byte cache to the on-disk objects — so the implementation
+// lives in internal/store (DigestImage); this alias keeps the serving
+// call sites readable. It runs on pooled hash state: one pass over the
+// compressed streams, no allocations, cheaper than serializing and
+// paid back the first time a cached copy is served.
 func imageDigest(img *compaqt.Image) cache.Key {
-	d := cache.NewHasher()
-	d.WriteString("cpqt-wire/v1")
-	d.WriteString(img.Machine)
-	d.WriteUint64(uint64(img.WindowSize))
-	d.WriteUint64(uint64(len(img.Entries)))
-	for i := range img.Entries {
-		e := &img.Entries[i]
-		c := e.Compressed
-		d.WriteString(e.Key)
-		d.WriteString(e.Gate)
-		d.WriteUint64(uint64(int64(e.Qubit)))
-		d.WriteUint64(uint64(int64(e.Target)))
-		d.WriteUint64(math.Float64bits(c.SampleRate))
-		d.WriteUint64(uint64(c.Samples))
-		d.WriteWords(c.I.Stream)
-		d.WriteWords(c.Q.Stream)
-	}
-	k := d.Key()
-	d.Release()
-	return k
+	return store.DigestImage(img)
 }
 
 // b64Key derives the cache key of an image's base64 form from its wire

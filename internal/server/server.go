@@ -66,6 +66,14 @@ type Config struct {
 	MaxImages int
 	// DrainTimeout bounds Run's graceful shutdown; 0 means 30s.
 	DrainTimeout time.Duration
+	// StoreDir, when non-empty, persists compiled images to a
+	// content-addressed store rooted there: GET /v1/images/{name}
+	// serves from it across restarts (mmap, zero-copy) and /v1/stats
+	// reports its activity.
+	StoreDir string
+	// StoreMaxBytes bounds the persistent store; 0 means
+	// compaqt.DefaultStoreMaxBytes.
+	StoreMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +136,12 @@ type Server struct {
 	// keyed by content digest, so unchanged images are serialized once
 	// and then streamed from shared buffers (see serialize.go).
 	wire *cache.LRU
+
+	// store, when non-nil, is the default service's persistent image
+	// store (Config.StoreDir): image GETs fall back to it when the
+	// in-memory map misses — the warm-restart path — and compiles from
+	// derived services write through to it explicitly.
+	store *compaqt.ImageStore
 
 	draining atomic.Bool
 	m        metrics
@@ -210,6 +224,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s.svc = svc
+	s.store = svc.Store() // nil without Config.StoreDir
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -243,6 +258,12 @@ func (s *Server) baseOptions(o *client.CompileOptions) []compaqt.Option {
 		}
 		if cfg.CacheSize > 0 {
 			opts = append(opts, compaqt.WithCache(cfg.CacheSize))
+		}
+		// Only the default service opens the store (a directory admits
+		// one open store at a time); derived services reach it through
+		// Server.storeImage's explicit write-through.
+		if cfg.StoreDir != "" {
+			opts = append(opts, compaqt.WithStore(cfg.StoreDir, cfg.StoreMaxBytes))
 		}
 		return opts
 	}
@@ -353,11 +374,14 @@ func (s *Server) release() {
 }
 
 // storeImage records a compiled image for GET /v1/images/{name},
-// evicting the oldest stored image beyond MaxImages.
+// evicting the oldest stored image beyond MaxImages, and writes it
+// through to the persistent store when one is configured. The default
+// service already publishes its own compiles; the explicit put here
+// covers derived (per-override) services and costs one digest plus one
+// probe when it duplicates — the store dedups by content.
 func (s *Server) storeImage(name string, img *compaqt.Image) *storedImage {
 	si := &storedImage{img: img}
 	s.imagesMu.Lock()
-	defer s.imagesMu.Unlock()
 	if _, exists := s.images[name]; !exists {
 		s.imageOrder = append(s.imageOrder, name)
 		for len(s.imageOrder) > s.cfg.MaxImages {
@@ -366,6 +390,10 @@ func (s *Server) storeImage(name string, img *compaqt.Image) *storedImage {
 		}
 	}
 	s.images[name] = si
+	s.imagesMu.Unlock()
+	if s.store != nil {
+		_ = s.store.PutImage(name, img)
+	}
 	return si
 }
 
@@ -376,11 +404,26 @@ func (s *Server) image(name string) (*storedImage, bool) {
 	return si, ok
 }
 
+// imageNames lists every name a GET /v1/images/{name} would serve:
+// the in-memory map united with the persistent store's bindings
+// (which outlive restarts and in-memory eviction), deduplicated and
+// sorted.
 func (s *Server) imageNames() []string {
 	s.imagesMu.Lock()
-	defer s.imagesMu.Unlock()
 	names := make([]string, len(s.imageOrder))
 	copy(names, s.imageOrder)
+	s.imagesMu.Unlock()
+	if s.store != nil {
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, n := range s.store.Names() {
+			if !have[n] {
+				names = append(names, n)
+			}
+		}
+	}
 	sort.Strings(names)
 	return names
 }
@@ -391,6 +434,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Service exposes the default-configuration service (tests, embedders).
 func (s *Server) Service() *compaqt.Service { return s.svc }
+
+// Close releases the server's persistent store (flushing its manifest
+// and releasing the directory lock), so a successor process can open
+// the same directory immediately. It is idempotent and safe without a
+// store; Run calls it after draining.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
 
 // Run serves on addr until ctx is canceled, then stops accepting
 // connections, flips /healthz to "draining", and waits up to
@@ -420,10 +474,14 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(net.Addr)) err
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
+		s.Close()
 		return fmt.Errorf("server: drain: %w", err)
 	}
 	<-errc // Serve has returned http.ErrServerClosed
-	return nil
+	// With the last request drained, flush and release the persistent
+	// store: every compiled image is already durable (puts fsync), this
+	// frees the directory lock for the next process.
+	return s.Close()
 }
 
 // isCancel reports whether err is a context cancellation (client

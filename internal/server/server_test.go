@@ -64,6 +64,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client
 	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv, hs, client.New(hs.URL)
 }
 

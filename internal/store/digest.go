@@ -1,0 +1,50 @@
+package store
+
+import (
+	"math"
+
+	"compaqt/internal/cache"
+	"compaqt/internal/core"
+)
+
+// DigestImage fingerprints everything an image serializes to: the
+// header fields plus every entry's metadata and compressed word
+// streams. Two images with equal digests produce byte-identical wire
+// forms, so the digest is both the store's content address and the key
+// of the serving layer's serialized-byte cache — one identity from
+// compile cache to byte cache to disk. It runs on the pooled hash
+// state from internal/cache: one pass over the compressed streams, no
+// allocations.
+func DigestImage(img *core.Image) cache.Key {
+	d := cache.NewHasher()
+	d.WriteString("cpqt-wire/v1")
+	d.WriteString(img.Machine)
+	d.WriteUint64(uint64(img.WindowSize))
+	d.WriteUint64(uint64(len(img.Entries)))
+	for i := range img.Entries {
+		e := &img.Entries[i]
+		c := e.Compressed
+		d.WriteString(e.Key)
+		d.WriteString(e.Gate)
+		d.WriteUint64(uint64(int64(e.Qubit)))
+		d.WriteUint64(uint64(int64(e.Target)))
+		d.WriteUint64(math.Float64bits(c.SampleRate))
+		d.WriteUint64(uint64(c.Samples))
+		d.WriteWords(c.I.Stream)
+		d.WriteWords(c.Q.Stream)
+	}
+	k := d.Key()
+	d.Release()
+	return k
+}
+
+// sumBytes is the integrity digest of an object's wire bytes as stored
+// in the manifest; the startup scan recomputes it over the mapped file
+// to reject torn or corrupted publishes.
+func sumBytes(b []byte) cache.Key {
+	d := cache.NewHasher()
+	d.WriteBytes(b)
+	k := d.Key()
+	d.Release()
+	return k
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+func unmapBytes(b []byte) {}
+
+func lockHandle(f *os.File) error { return nil }

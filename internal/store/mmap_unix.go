@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the zero-copy read path: stored images are
+// mapped read-only and served straight from the page cache. Platforms
+// without mmap fall back to a one-time heap copy per object (see
+// loadObject); the per-request serving path is identical either way.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only. The mapping survives a later
+// unlink of the file (GC eviction), which is what lets eviction proceed
+// while in-flight reads still hold the bytes.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("store: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapBytes(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Munmap(b)
+	}
+}
+
+// lockHandle takes a non-blocking exclusive flock on f, guarding a
+// store directory against a second concurrent Open (two manifest
+// writers would corrupt each other's view). The lock dies with the
+// process, so a crash never wedges the directory.
+func lockHandle(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

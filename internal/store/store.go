@@ -1,0 +1,742 @@
+// Package store is compaqt's persistent content-addressed image store:
+// serialized CPQT images on disk, addressed by the same sha256 content
+// digests that key the compile cache and the serving layer's byte
+// cache, served back through mmap with zero copies and zero
+// steady-state allocations.
+//
+// Layout of a store directory:
+//
+//	<dir>/MANIFEST        append-only name -> digest log (manifest.go)
+//	<dir>/LOCK            flock guard against a second concurrent Open
+//	<dir>/objects/<key>.cpqt   one wire-format image per content digest
+//
+// Publishing is crash-safe: the wire bytes are written to a temp file,
+// fsynced, renamed into place, and only then recorded in the manifest
+// (again fsynced) — a crash at any point leaves either a *.tmp orphan
+// (swept at the next open) or a whole object with a whole binding.
+// Reads mmap the object once and serve the mapped bytes to every
+// caller; regions are refcounted, so size-bounded LRU GC can unlink an
+// object while requests are still streaming it — the mapping is
+// unmapped only when the last reference drops. On restart, Open replays
+// the manifest, verifies every object's size and content sum, drops
+// anything torn, and the process is warm: previously compiled images
+// serve byte-identically with zero recompiles.
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"compaqt/internal/cache"
+	"compaqt/internal/core"
+)
+
+const (
+	// DefaultMaxBytes bounds a store opened with maxBytes == 0: 1 GiB
+	// of serialized images, a few thousand realistic pulse libraries.
+	DefaultMaxBytes = 1 << 30
+	// maxNameLen caps one image name on disk and in the manifest.
+	maxNameLen = 4096
+	// maxObjectBytes caps one serialized image; together with the
+	// size-vs-file cross-check it bounds what a hostile manifest can
+	// make Open map.
+	maxObjectBytes = 1 << 30
+	objectExt      = ".cpqt"
+)
+
+var errClosed = errors.New("store: closed")
+
+// object is one resident content-addressed blob: the mapped (or
+// copied) wire bytes plus the names bound to them. refs counts the
+// bindings and every live Blob; whoever drops it to zero unmaps. New
+// references are only ever taken while a binding keeps the object in
+// the maps, so the final unmap cannot race a reader.
+type object struct {
+	key  cache.Key
+	sum  cache.Key
+	size int64
+	data []byte
+	// mapped records whether data is an mmap region (needs munmap) or
+	// a heap copy (the no-mmap fallback; the GC just drops it).
+	mapped bool
+	// bound lists the names referencing this object; guarded by the
+	// store mutex.
+	bound    []string
+	refs     atomic.Int64
+	lastUsed atomic.Int64
+}
+
+// release drops one reference, unmapping at zero.
+func (o *object) release() {
+	if o.refs.Add(-1) == 0 {
+		if o.mapped {
+			unmapBytes(o.data)
+			o.mapped = false
+		}
+		o.data = nil
+	}
+}
+
+// Blob is one pinned read of a stored image: Bytes stays valid — even
+// across GC eviction of the entry — until Release. The zero Blob is
+// inert. Blobs are values; taking one allocates nothing.
+type Blob struct {
+	o *object
+}
+
+// Bytes returns the image's serialized wire form. The slice aliases
+// the mapped region (or its fallback copy) and must not be written.
+func (b Blob) Bytes() []byte {
+	if b.o == nil {
+		return nil
+	}
+	return b.o.data
+}
+
+// Size returns the wire length.
+func (b Blob) Size() int64 {
+	if b.o == nil {
+		return 0
+	}
+	return b.o.size
+}
+
+// Key returns the content digest the blob is stored under.
+func (b Blob) Key() cache.Key {
+	if b.o == nil {
+		return cache.Key{}
+	}
+	return b.o.key
+}
+
+// Release unpins the read. It must be called exactly once per Blob
+// obtained from Get; the bytes are invalid afterwards.
+func (b Blob) Release() {
+	if b.o != nil {
+		b.o.release()
+	}
+}
+
+// Store is the on-disk content-addressed image store. All methods are
+// safe for concurrent use; Get is lock-striped for the serving hot
+// path (one RLock plus two atomics, no allocations).
+type Store struct {
+	dir      string
+	objDir   string
+	manPath  string
+	maxBytes int64
+	// noMmap forces the heap-copy read path (tests exercise the
+	// platform fallback without a second platform).
+	noMmap bool
+
+	mu      sync.RWMutex
+	closed  bool
+	byName  map[string]*object
+	byKey   map[cache.Key]*object
+	bytes   int64
+	man     *os.File // manifest append handle; nil when degraded read-only
+	lock    *os.File // flock guard on <dir>/LOCK
+	appends int      // records since the last compaction
+
+	clock atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr error
+
+	hits, misses           atomic.Uint64
+	puts, putDedups        atomic.Uint64
+	evictions, evictedByte atomic.Uint64
+	mmapServes, copyServes atomic.Uint64
+	recovered, orphans     int // set once by Open's scan
+}
+
+// Stats is a point-in-time snapshot of store activity.
+type Stats struct {
+	// Objects and Names count resident content blobs and the name
+	// bindings over them; Bytes is their on-disk footprint, bounded by
+	// MaxBytes via LRU GC.
+	Objects, Names  int
+	Bytes, MaxBytes int64
+	// Hits and Misses count Get outcomes; Puts counts publishes that
+	// wrote or rebound content, PutDedups those short-circuited because
+	// the name already held the identical digest.
+	Hits, Misses, Puts, PutDedups uint64
+	// Evictions and EvictedBytes account the LRU GC.
+	Evictions, EvictedBytes uint64
+	// MmapServes and CopyServes split Get hits by read path: page-cache
+	// mappings vs the heap-copy fallback.
+	MmapServes, CopyServes uint64
+	// Recovered is the bindings the startup scan restored (the warm
+	// restart); OrphansCleaned the tmp files, unreferenced objects and
+	// corrupt entries it swept.
+	Recovered, OrphansCleaned int
+}
+
+// Open opens (creating as needed) the store rooted at dir, bounded to
+// about maxBytes of serialized images (0 selects DefaultMaxBytes). It
+// replays the manifest, sweeps crash orphans, verifies every recovered
+// object's size and content sum, and compacts the log — after which
+// previously published images serve without recompilation. A directory
+// that exists but cannot be written opens degraded (see Healthy):
+// recovered entries still serve, new publishes fail softly.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	switch {
+	case maxBytes == 0:
+		maxBytes = DefaultMaxBytes
+	case maxBytes < 0:
+		return nil, fmt.Errorf("store: max bytes %d must be positive", maxBytes)
+	}
+	s := &Store{
+		dir:      dir,
+		objDir:   filepath.Join(dir, "objects"),
+		manPath:  filepath.Join(dir, "MANIFEST"),
+		maxBytes: maxBytes,
+		byName:   map[string]*object{},
+		byKey:    map[cache.Key]*object{},
+	}
+	if err := os.MkdirAll(s.objDir, 0o777); err != nil {
+		if fi, statErr := os.Stat(s.objDir); statErr != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.setErr(fmt.Errorf("store dir not writable: %w", err))
+	}
+	if err := s.acquireLock(); err != nil {
+		return nil, err
+	}
+	s.recover()
+	return s, nil
+}
+
+// acquireLock flocks <dir>/LOCK so two Stores cannot share a directory
+// (their manifests would corrupt each other's view). Degraded read-only
+// directories skip the guard — nothing will be written anyway.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		if f, err = os.Open(filepath.Join(s.dir, "LOCK")); err != nil {
+			return nil // read-only dir without a LOCK file: nothing to guard
+		}
+	}
+	if err := lockHandle(f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: directory %s is in use by another store: %w", s.dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+// recover is Open's startup scan. It runs before the store is shared,
+// so it mutates state without the mutex.
+func (s *Store) recover() {
+	binds := scanManifest(s.manPath)
+
+	// Sweep crash debris: temp files from torn publishes (objects dir)
+	// and torn compactions (store root). A publish that crashed before
+	// its rename left only a *.tmp — by construction no manifest record
+	// points at it, so removal is always safe.
+	for _, d := range []string{s.objDir, s.dir} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+				if os.Remove(filepath.Join(d, e.Name())) == nil {
+					s.orphans++
+				}
+			}
+		}
+	}
+
+	// Rebuild bindings in deterministic order, verifying each object:
+	// the file must exist at its recorded size and hash back to the
+	// recorded content sum. Anything else — a torn write, a bit flip, a
+	// hostile manifest — drops the binding; the unreferenced sweep
+	// below then removes the file.
+	names := make([]string, 0, len(binds))
+	for n := range binds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := binds[name]
+		if name == "" || len(name) > maxNameLen || r.size <= 0 || r.size > maxObjectBytes {
+			continue
+		}
+		if o := s.byKey[r.key]; o != nil {
+			if o.sum == r.sum && o.size == r.size {
+				s.bindLocked(name, o)
+				s.recovered++
+			}
+			continue
+		}
+		path := s.objectPath(r.key)
+		fi, err := os.Stat(path)
+		if err != nil || fi.Size() != r.size {
+			continue
+		}
+		data, mapped, err := s.loadObject(path, r.size)
+		if err != nil {
+			continue
+		}
+		if sumBytes(data) != r.sum {
+			if mapped {
+				unmapBytes(data)
+			}
+			s.orphans++ // corrupt object: binding dropped, file swept below
+			continue
+		}
+		o := &object{key: r.key, sum: r.sum, size: r.size, data: data, mapped: mapped}
+		s.byKey[r.key] = o
+		s.bytes += r.size
+		s.bindLocked(name, o)
+		s.recovered++
+	}
+
+	// Sweep object files no surviving binding references.
+	if ents, err := os.ReadDir(s.objDir); err == nil {
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, objectExt) {
+				continue
+			}
+			var k cache.Key
+			raw, err := hex.DecodeString(strings.TrimSuffix(n, objectExt))
+			if err == nil && len(raw) == len(k) {
+				copy(k[:], raw)
+				if _, live := s.byKey[k]; live {
+					continue
+				}
+			}
+			if os.Remove(filepath.Join(s.objDir, n)) == nil {
+				s.orphans++
+			}
+		}
+	}
+
+	s.compactLocked()
+	s.gcLocked()
+}
+
+func (s *Store) objectPath(k cache.Key) string {
+	return filepath.Join(s.objDir, hex.EncodeToString(k[:])+objectExt)
+}
+
+// loadObject maps (or, without mmap, copies) one published object.
+func (s *Store) loadObject(path string, size int64) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	if mmapSupported && !s.noMmap {
+		if data, err := mapFile(f, size); err == nil {
+			return data, true, nil
+		}
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// bindLocked points name at o, displacing any previous binding.
+func (s *Store) bindLocked(name string, o *object) {
+	if old := s.byName[name]; old != nil {
+		if old == o {
+			o.lastUsed.Store(s.clock.Add(1))
+			return
+		}
+		s.unbindLocked(name, old)
+	}
+	s.byName[name] = o
+	o.bound = append(o.bound, name)
+	o.refs.Add(1)
+	o.lastUsed.Store(s.clock.Add(1))
+}
+
+// unbindLocked removes one name -> object binding. When the object's
+// last binding goes its file is unlinked and its accounting released;
+// the mapping itself survives until the last pinned Blob drops.
+func (s *Store) unbindLocked(name string, o *object) {
+	delete(s.byName, name)
+	for i, n := range o.bound {
+		if n == name {
+			o.bound = append(o.bound[:i], o.bound[i+1:]...)
+			break
+		}
+	}
+	if len(o.bound) == 0 {
+		delete(s.byKey, o.key)
+		s.bytes -= o.size
+		if err := os.Remove(s.objectPath(o.key)); err != nil && !os.IsNotExist(err) {
+			s.setErr(fmt.Errorf("removing evicted object: %w", err))
+		}
+	}
+	o.release()
+}
+
+// Get returns a pinned read of the image stored under name. The hot
+// path is one read-lock and two atomic stores — no allocations; the
+// caller must Release the Blob when done writing its bytes out.
+func (s *Store) Get(name string) (Blob, bool) {
+	s.mu.RLock()
+	o := s.byName[name]
+	if o == nil {
+		s.mu.RUnlock()
+		s.misses.Add(1)
+		return Blob{}, false
+	}
+	o.refs.Add(1)
+	o.lastUsed.Store(s.clock.Add(1))
+	mapped := o.mapped
+	s.mu.RUnlock()
+	s.hits.Add(1)
+	if mapped {
+		s.mmapServes.Add(1)
+	} else {
+		s.copyServes.Add(1)
+	}
+	return Blob{o: o}, true
+}
+
+// Contains reports whether name is bound to exactly the given content
+// digest, refreshing its recency when so. It is the publish path's
+// dedup probe: a hit means the bytes are already durable.
+func (s *Store) Contains(name string, key cache.Key) bool {
+	s.mu.RLock()
+	o := s.byName[name]
+	ok := o != nil && o.key == key
+	if ok {
+		o.lastUsed.Store(s.clock.Add(1))
+	}
+	s.mu.RUnlock()
+	return ok
+}
+
+// Put publishes wire (a serialized image) under name with the given
+// content digest. Publishing is atomic and durable: temp file, fsync,
+// rename, manifest append, fsync. Re-publishing a name with unchanged
+// content is a metadata touch; identical content under a second name
+// shares one object file. The store's byte budget is enforced after
+// the insert with LRU eviction.
+func (s *Store) Put(name string, key cache.Key, wire []byte) error {
+	switch {
+	case name == "" || len(name) > maxNameLen:
+		return fmt.Errorf("store: invalid image name (%d bytes)", len(name))
+	case len(wire) == 0 || int64(len(wire)) > maxObjectBytes:
+		return fmt.Errorf("store: image of %d bytes is not storable", len(wire))
+	}
+	if s.Contains(name, key) {
+		s.putDedups.Add(1)
+		return nil
+	}
+
+	var (
+		data     []byte
+		mapped   bool
+		sum      cache.Key
+		prepared bool
+	)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			if mapped {
+				unmapBytes(data)
+			}
+			return errClosed
+		}
+		if o := s.byName[name]; o != nil && o.key == key {
+			o.lastUsed.Store(s.clock.Add(1))
+			s.mu.Unlock()
+			if mapped {
+				unmapBytes(data)
+			}
+			s.putDedups.Add(1)
+			return nil
+		}
+		o := s.byKey[key]
+		if o == nil && !prepared {
+			// Publish the object file outside the lock: reads must not
+			// stall behind write IO and fsyncs.
+			s.mu.Unlock()
+			var err error
+			if data, mapped, sum, err = s.publish(key, wire); err != nil {
+				s.setErr(err)
+				return err
+			}
+			prepared = true
+			continue
+		}
+		if o == nil {
+			o = &object{key: key, sum: sum, size: int64(len(wire)), data: data, mapped: mapped}
+			s.byKey[key] = o
+			s.bytes += o.size
+		} else if prepared && mapped {
+			// A concurrent Put of the same content won the insert; ours
+			// mapped the same file and is redundant.
+			unmapBytes(data)
+		}
+		s.bindLocked(name, o)
+		err := appendRecord(s.man, opBind, name, bindRec{key: o.key, sum: o.sum, size: o.size})
+		if err != nil {
+			s.setErr(fmt.Errorf("manifest append: %w", err))
+		}
+		s.appends++
+		s.gcLocked()
+		s.maybeCompactLocked()
+		s.mu.Unlock()
+		s.puts.Add(1)
+		if err == nil {
+			s.clearErr()
+		}
+		return nil
+	}
+}
+
+// publish writes wire to a temp file in the objects directory, fsyncs,
+// and renames it to its content address, then maps it back for serving.
+func (s *Store) publish(key cache.Key, wire []byte) (data []byte, mapped bool, sum cache.Key, err error) {
+	sum = sumBytes(wire)
+	f, err := os.CreateTemp(s.objDir, "pub-*.tmp")
+	if err != nil {
+		return nil, false, sum, fmt.Errorf("publishing object: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(wire)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	path := s.objectPath(key)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, false, sum, fmt.Errorf("publishing object: %w", err)
+	}
+	data, mapped, err = s.loadObject(path, int64(len(wire)))
+	if err != nil {
+		// The bytes are durable but unreadable back (exotic FS): serve
+		// this process from a private copy; the next open re-verifies.
+		data = append([]byte(nil), wire...)
+		mapped = false
+	}
+	return data, mapped, sum, nil
+}
+
+// wireBufPool stages PutImage serializations; buffers keep their
+// capacity so steady publish traffic serializes allocation-free.
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// PutImage serializes img and publishes it under name. Images the wire
+// format cannot represent (non-int-DCT-W variants, empty libraries)
+// are skipped silently — persistence mirrors exactly what GET
+// /v1/images can serve. Content already stored under name is detected
+// by digest before any serialization happens, so the write-through on
+// a steady compile stream costs one hash and one map probe.
+func (s *Store) PutImage(name string, img *core.Image) error {
+	if img == nil || name == "" || len(img.Entries) == 0 || img.WindowSize == 0 {
+		return nil
+	}
+	key := DigestImage(img)
+	if s.Contains(name, key) {
+		s.putDedups.Add(1)
+		return nil
+	}
+	bp := wireBufPool.Get().(*[]byte)
+	wire, err := img.AppendTo((*bp)[:0])
+	if err != nil {
+		*bp = wire[:0]
+		wireBufPool.Put(bp)
+		return nil // not representable on the wire: nothing to persist
+	}
+	err = s.Put(name, key, wire)
+	*bp = wire[:0]
+	wireBufPool.Put(bp)
+	return err
+}
+
+// gcLocked evicts least-recently-used objects until the byte budget
+// holds. Pinned readers do not block eviction: the file is unlinked
+// and the entry unindexed immediately, while the mapped region lives
+// until its refcount drains. The most recent object always survives,
+// even alone over budget.
+func (s *Store) gcLocked() {
+	for s.bytes > s.maxBytes && len(s.byKey) > 1 {
+		var victim *object
+		for _, o := range s.byKey {
+			if victim == nil || o.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = o
+			}
+		}
+		if victim == nil {
+			return
+		}
+		size := victim.size
+		for len(victim.bound) > 0 {
+			name := victim.bound[len(victim.bound)-1]
+			if err := appendRecord(s.man, opUnbind, name, bindRec{}); err != nil {
+				s.setErr(fmt.Errorf("manifest append: %w", err))
+			}
+			s.appends++
+			s.unbindLocked(name, victim)
+		}
+		s.evictions.Add(1)
+		s.evictedByte.Add(uint64(size))
+	}
+}
+
+// maybeCompactLocked rewrites the manifest once the log carries
+// several times more records than live bindings.
+func (s *Store) maybeCompactLocked() {
+	if s.appends > 64 && s.appends > 4*len(s.byName) {
+		s.compactLocked()
+	}
+}
+
+// compactLocked atomically rewrites the manifest with only the live
+// bindings and reopens the append handle. Failure (a read-only
+// directory, typically) degrades the store but keeps it serving: the
+// old log remains a superset of the live bindings, so a later open
+// still recovers correctly.
+func (s *Store) compactLocked() {
+	binds := make([]namedBind, 0, len(s.byName))
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		o := s.byName[n]
+		binds = append(binds, namedBind{name: n, rec: bindRec{key: o.key, sum: o.sum, size: o.size}})
+	}
+	if err := writeCompactManifest(s.manPath, binds); err != nil {
+		s.setErr(fmt.Errorf("manifest compaction: %w", err))
+	}
+	if s.man != nil {
+		s.man.Close()
+		s.man = nil
+	}
+	f, err := openAppend(s.manPath)
+	if err != nil {
+		s.setErr(fmt.Errorf("manifest open: %w", err))
+		return
+	}
+	s.man = f
+	s.appends = 0
+}
+
+// Names returns the bound image names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	objects, names, bytes := len(s.byKey), len(s.byName), s.bytes
+	s.mu.RUnlock()
+	return Stats{
+		Objects: objects, Names: names,
+		Bytes: bytes, MaxBytes: s.maxBytes,
+		Hits: s.hits.Load(), Misses: s.misses.Load(),
+		Puts: s.puts.Load(), PutDedups: s.putDedups.Load(),
+		Evictions: s.evictions.Load(), EvictedBytes: s.evictedByte.Load(),
+		MmapServes: s.mmapServes.Load(), CopyServes: s.copyServes.Load(),
+		Recovered: s.recovered, OrphansCleaned: s.orphans,
+	}
+}
+
+// Healthy reports the store's readiness: nil when fully operational,
+// the most recent persistence failure otherwise (read-only directory,
+// failing GC, manifest trouble). A degraded store keeps serving reads;
+// callers surface the state as degraded, not down.
+func (s *Store) Healthy() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+func (s *Store) setErr(err error) {
+	s.errMu.Lock()
+	s.lastErr = err
+	s.errMu.Unlock()
+}
+
+func (s *Store) clearErr() {
+	s.errMu.Lock()
+	s.lastErr = nil
+	s.errMu.Unlock()
+}
+
+// Flush fsyncs the manifest. Appends are already durable record by
+// record; Flush exists for drain paths that want an explicit barrier.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.man == nil {
+		return nil
+	}
+	return s.man.Sync()
+}
+
+// Close flushes and releases the store: binding references drop (so
+// mappings unmap as their last pinned readers finish), the manifest
+// and lock handles close. Object files stay on disk — they are the
+// point. Close is idempotent; reads after Close miss, puts fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, o := range s.byKey {
+		n := int64(len(o.bound))
+		o.bound = nil
+		if o.refs.Add(-n) == 0 {
+			if o.mapped {
+				unmapBytes(o.data)
+				o.mapped = false
+			}
+			o.data = nil
+		}
+	}
+	s.byName = map[string]*object{}
+	s.byKey = map[cache.Key]*object{}
+	s.bytes = 0
+	var err error
+	if s.man != nil {
+		err = s.man.Sync()
+		if cerr := s.man.Close(); err == nil {
+			err = cerr
+		}
+		s.man = nil
+	}
+	if s.lock != nil {
+		s.lock.Close()
+		s.lock = nil
+	}
+	return err
+}
