@@ -1,0 +1,175 @@
+// Package bench is COMPAQT's benchmark-circuit catalog and workload
+// generator: an open-ended corpus of scalable circuit families behind
+// a uniform registry, replacing the paper's fixed Table VI / RB / QEC
+// evaluation set with instances generatable at any qubit count.
+//
+// A Family is registered under a name (mirroring the codec registry)
+// with per-entry metadata — description, supported qubit range, depth
+// class — and a deterministic builder: Generate(name, qubits, seed)
+// always returns the same circuit for the same triple, so property
+// tests, golden corpora and load generators can regenerate instances
+// byte-identically instead of shipping them. Nine families register at
+// init: ghz, qft, bv, dj, graph-state, qaoa, vqe, mirror and
+// random-clifford (the latter reusing the single-qubit Clifford group
+// of internal/clifford). New families plug in through Register.
+//
+// The families are constructed to be *nested*: the n-qubit instance's
+// gates on the first m qubits equal the m-qubit instance's (per-gate
+// randomness is hashed from (seed, layer, qubit), never drawn from a
+// serial stream). Growing n therefore only inserts gates, which makes
+// gate counts and depth provably monotone in n — the property the
+// catalog tests pin down.
+//
+// On top of the catalog, Workload lowers instances through the
+// transpile/schedule path onto a machine's calibrated pulse library
+// and emits compile traffic — single requests and CompileBatch-shaped
+// mixes with configurable repetition skew — the realistic input for
+// the serving stack's cache, dedup and load tests. cmd/compaqt-bench
+// sweeps family x qubits x codec x window over the same corpus.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"compaqt/circuit"
+)
+
+// Depth classes describe how a family's hardware depth grows with the
+// qubit count — coarse metadata for picking workloads (a "constant"
+// family stresses wide concurrency, a "quadratic" one long sequences).
+const (
+	DepthConstant  = "constant"
+	DepthLinear    = "linear"
+	DepthQuadratic = "quadratic"
+)
+
+// Family is one registered benchmark-circuit family.
+type Family struct {
+	// Name is the registry key ("ghz", "qft", ...).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// MinQubits is the smallest valid instance.
+	MinQubits int
+	// MaxQubits bounds the family, 0 meaning unbounded (every family
+	// shipped here is unbounded; external registrations may cap).
+	MaxQubits int
+	// DepthClass is one of the Depth* constants.
+	DepthClass string
+	// Build generates the n-qubit instance for a seed. Implementations
+	// must be deterministic in (n, seed) and safe for concurrent use.
+	Build func(n int, seed int64) (*circuit.Circuit, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	families map[string]Family
+}{families: map[string]Family{}}
+
+// canonical normalizes registry names: lookup is case-insensitive.
+func canonical(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// Register adds a family to the catalog. Like codec.Register it panics
+// on an empty name, a duplicate, a nil builder or a nonsensical qubit
+// range — registration happens at init time, where a panic surfaces
+// the programming error immediately.
+func Register(f Family) {
+	key := canonical(f.Name)
+	if key == "" {
+		panic("bench: Register with empty family name")
+	}
+	if f.Build == nil {
+		panic("bench: Register with nil builder for " + f.Name)
+	}
+	if f.MinQubits < 1 {
+		panic("bench: Register " + f.Name + " with MinQubits < 1")
+	}
+	if f.MaxQubits != 0 && f.MaxQubits < f.MinQubits {
+		panic("bench: Register " + f.Name + " with MaxQubits < MinQubits")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.families[key]; dup {
+		panic("bench: Register called twice for " + key)
+	}
+	f.Name = key
+	registry.families[key] = f
+}
+
+// Get returns the family registered under name (case-insensitive).
+func Get(name string) (Family, error) {
+	registry.RLock()
+	f, ok := registry.families[canonical(name)]
+	registry.RUnlock()
+	if !ok {
+		return Family{}, fmt.Errorf("bench: unknown family %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// Names lists the registered family names in sorted order.
+func Names() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.families))
+	for n := range registry.families {
+		names = append(names, n)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Catalog returns every registered family sorted by name.
+func Catalog() []Family {
+	registry.RLock()
+	out := make([]Family, 0, len(registry.families))
+	for _, f := range registry.families {
+		out = append(out, f)
+	}
+	registry.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Supports reports whether the family has an n-qubit instance.
+func (f Family) Supports(n int) bool {
+	return n >= f.MinQubits && (f.MaxQubits == 0 || n <= f.MaxQubits)
+}
+
+// Generate builds the named family's n-qubit instance for a seed. The
+// returned circuit's name encodes the full generation triple
+// ("ghz-n8-s3"), so two instances are content-identical exactly when
+// their names match.
+func Generate(name string, n int, seed int64) (*circuit.Circuit, error) {
+	f, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Generate(n, seed)
+}
+
+// Generate builds the family's n-qubit instance for a seed.
+func (f Family) Generate(n int, seed int64) (*circuit.Circuit, error) {
+	if !f.Supports(n) {
+		if f.MaxQubits != 0 {
+			return nil, fmt.Errorf("bench: family %s supports %d..%d qubits, got %d",
+				f.Name, f.MinQubits, f.MaxQubits, n)
+		}
+		return nil, fmt.Errorf("bench: family %s needs >= %d qubits, got %d", f.Name, f.MinQubits, n)
+	}
+	c, err := f.Build(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating %s at %d qubits: %w", f.Name, n, err)
+	}
+	c.Name = InstanceName(f.Name, n, seed)
+	return c, nil
+}
+
+// InstanceName is the canonical circuit name of a generation triple.
+func InstanceName(family string, n int, seed int64) string {
+	return fmt.Sprintf("%s-n%d-s%d", canonical(family), n, seed)
+}

@@ -1,0 +1,279 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"compaqt/bench"
+	"compaqt/circuit"
+)
+
+// sweepMax bounds the per-family qubit sweep of the property tests.
+// The deepest families (mirror, random-clifford) have n layers, so 10
+// qubits already exercises hundreds of gates.
+const sweepMax = 10
+
+// propertySeeds are the circuit seeds each property is checked under.
+var propertySeeds = []int64{1, 7}
+
+func sweep(f bench.Family) []int {
+	var ns []int
+	for n := f.MinQubits; n <= sweepMax; n++ {
+		if f.Supports(n) {
+			ns = append(ns, n)
+		}
+	}
+	return ns
+}
+
+func TestCatalogHasTheBuiltinFamilies(t *testing.T) {
+	want := []string{"bv", "dj", "ghz", "graph-state", "mirror", "qaoa", "qft", "random-clifford", "vqe"}
+	got := bench.Names()
+	if len(got) < 8 {
+		t.Fatalf("catalog has %d families, want >= 8", len(got))
+	}
+	have := map[string]bool{}
+	for _, n := range got {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("family %q missing from catalog %v", w, got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("Names() not sorted: %q before %q", got[i-1], got[i])
+		}
+	}
+}
+
+func TestCatalogMetadataComplete(t *testing.T) {
+	classes := map[string]bool{bench.DepthConstant: true, bench.DepthLinear: true, bench.DepthQuadratic: true}
+	for _, f := range bench.Catalog() {
+		if f.Description == "" {
+			t.Errorf("family %s has no description", f.Name)
+		}
+		if !classes[f.DepthClass] {
+			t.Errorf("family %s has unknown depth class %q", f.Name, f.DepthClass)
+		}
+		if f.MinQubits < 1 {
+			t.Errorf("family %s has MinQubits %d", f.Name, f.MinQubits)
+		}
+	}
+}
+
+// Every family's every instance in the sweep must pass the circuit
+// validator: gates in range, correct arity, no repeated qubits.
+func TestFamilyInstancesValidate(t *testing.T) {
+	for _, f := range bench.Catalog() {
+		t.Run(f.Name, func(t *testing.T) {
+			for _, seed := range propertySeeds {
+				for _, n := range sweep(f) {
+					c, err := f.Generate(n, seed)
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+					}
+					if c.N != n {
+						t.Fatalf("n=%d seed=%d: circuit reports %d qubits", n, seed, c.N)
+					}
+					if err := c.Validate(); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+					}
+					if want := bench.InstanceName(f.Name, n, seed); c.Name != want {
+						t.Fatalf("instance named %q, want %q", c.Name, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Regenerating the same (family, qubits, seed) triple must reproduce
+// the instance gate-for-gate — the contract golden corpora and the
+// workload generator rely on.
+func TestFamilyRegenerationIsIdentical(t *testing.T) {
+	for _, f := range bench.Catalog() {
+		t.Run(f.Name, func(t *testing.T) {
+			for _, seed := range propertySeeds {
+				for _, n := range sweep(f) {
+					a, err := f.Generate(n, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := f.Generate(n, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameGates(a, b) {
+						t.Fatalf("n=%d seed=%d: regeneration differs", n, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sameGates(a, b *circuit.Circuit) bool {
+	if a.N != b.N || len(a.Gates) != len(b.Gates) {
+		return false
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Name != gb.Name || ga.Param != gb.Param || len(ga.Qubits) != len(gb.Qubits) {
+			return false
+		}
+		for j := range ga.Qubits {
+			if ga.Qubits[j] != gb.Qubits[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The families are nested (per-gate randomness is hashed from the
+// gate's own coordinates), so growing the qubit count can only insert
+// gates: gate counts and scheduled depth are monotone non-decreasing.
+func TestFamilyGrowthIsMonotone(t *testing.T) {
+	for _, f := range bench.Catalog() {
+		t.Run(f.Name, func(t *testing.T) {
+			for _, seed := range propertySeeds {
+				prevGates, prevDepth := -1, -1
+				for _, n := range sweep(f) {
+					c, err := f.Generate(n, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(c.Gates) < prevGates {
+						t.Fatalf("seed=%d: gate count drops %d -> %d at n=%d", seed, prevGates, len(c.Gates), n)
+					}
+					if d := c.Depth(); d < prevDepth {
+						t.Fatalf("seed=%d: depth drops %d -> %d at n=%d", seed, prevDepth, d, n)
+					} else {
+						prevDepth = d
+					}
+					prevGates = len(c.Gates)
+				}
+			}
+		})
+	}
+}
+
+// Seeded families must actually depend on their seed (the structural
+// families ghz/qft are seed-invariant by design and excluded).
+func TestSeededFamiliesVaryWithSeed(t *testing.T) {
+	seedless := map[string]bool{"ghz": true, "qft": true}
+	for _, f := range bench.Catalog() {
+		if seedless[f.Name] || strings.HasPrefix(f.Name, "test-") {
+			// ghz/qft are structurally seed-free; test- families are
+			// registry-plumbing stand-ins (persisting across -count=2).
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			// A single small instance can coincide across seeds (one
+			// hashed bit); require divergence somewhere in the sweep.
+			n0 := f.MinQubits
+			if n0 < 6 {
+				n0 = 6
+			}
+			for n := n0; n <= sweepMax; n++ {
+				a, err := f.Generate(n, 101)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := f.Generate(n, 202)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Name, b.Name = "", ""
+				if !sameGates(a, b) {
+					return
+				}
+			}
+			t.Errorf("seeds 101 and 202 identical across the whole sweep")
+		})
+	}
+}
+
+func TestGetIsCaseInsensitiveAndDescriptiveOnMiss(t *testing.T) {
+	f, err := bench.Get("  GHZ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "ghz" {
+		t.Fatalf("Get(\"  GHZ \") = %q", f.Name)
+	}
+	_, err = bench.Get("nope")
+	if err == nil {
+		t.Fatal("Get of unknown family succeeded")
+	}
+	if !strings.Contains(err.Error(), "ghz") || !strings.Contains(err.Error(), "qft") {
+		t.Errorf("miss error %q does not list registered families", err)
+	}
+}
+
+func TestGenerateRejectsUnsupportedSizes(t *testing.T) {
+	if _, err := bench.Generate("bv", 1, 0); err == nil {
+		t.Error("bv at 1 qubit should fail (needs inputs + ancilla)")
+	}
+	if _, err := bench.Generate("ghz", 0, 0); err == nil {
+		t.Error("ghz at 0 qubits should fail")
+	}
+	if _, err := bench.Generate("missing-family", 4, 0); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestRegisterRejectsBadFamilies(t *testing.T) {
+	build := func(n int, _ int64) (*circuit.Circuit, error) { return circuit.GHZ(n) }
+	cases := []struct {
+		name string
+		f    bench.Family
+	}{
+		{"empty name", bench.Family{Name: "  ", MinQubits: 1, Build: build}},
+		{"nil builder", bench.Family{Name: "test-nilbuild", MinQubits: 1}},
+		{"zero min qubits", bench.Family{Name: "test-zeromin", Build: build}},
+		{"inverted range", bench.Family{Name: "test-inverted", MinQubits: 5, MaxQubits: 2, Build: build}},
+		{"duplicate", bench.Family{Name: "GHZ", MinQubits: 1, Build: build}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%s) did not panic", tc.name)
+				}
+			}()
+			bench.Register(tc.f)
+		})
+	}
+}
+
+func TestRegisterAcceptsExternalFamilyOnce(t *testing.T) {
+	// The shared process-wide registry persists across -count=2 runs,
+	// so registration must be idempotent-guarded here.
+	const name = "test-external"
+	if _, err := bench.Get(name); err != nil {
+		bench.Register(bench.Family{
+			Name:        name,
+			Description: "registry plumbing stand-in",
+			MinQubits:   1,
+			MaxQubits:   3,
+			DepthClass:  bench.DepthConstant,
+			Build:       func(n int, _ int64) (*circuit.Circuit, error) { return circuit.GHZ(n) },
+		})
+	}
+	f, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Supports(4) {
+		t.Error("MaxQubits 3 family claims to support 4 qubits")
+	}
+	if _, err := f.Generate(4, 0); err == nil {
+		t.Error("Generate beyond MaxQubits succeeded")
+	}
+	if c, err := f.Generate(2, 0); err != nil || c.N != 2 {
+		t.Errorf("Generate(2) = %v, %v", c, err)
+	}
+}

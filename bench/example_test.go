@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"compaqt/bench"
+	"compaqt/qctrl"
+)
+
+// Generate builds any registered family at any qubit count; the same
+// (family, qubits, seed) triple always yields the same circuit.
+func ExampleGenerate() {
+	c, err := bench.Generate("ghz", 4, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d qubits, %d gates, depth %d\n", c.Name, c.N, len(c.Gates), c.Depth())
+	// Output:
+	// ghz-n4-s0: 4 qubits, 8 gates, depth 5
+}
+
+// A Workload turns the catalog into compile traffic: each request is a
+// catalog instance lowered through transpile/schedule onto a machine's
+// calibrated pulse library, ready for Service.CompileBatch.
+func ExampleWorkload() {
+	w, err := bench.NewWorkload(bench.WorkloadOptions{
+		Machine:  qctrl.Bogota(),
+		Families: []string{"ghz", "qft"},
+		Seeds:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	reqs, err := w.Requests(3)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range reqs {
+		fmt.Printf("%s on %s: %d pulses (%d distinct)\n",
+			r.Name(), r.Library, len(r.Pulses), bench.UniquePulses(r.Pulses))
+	}
+	// Output:
+	// ghz-n5-s0 on ibmq_bogota: 19 pulses (12 distinct)
+	// qft-n2-s0 on ibmq_bogota: 11 pulses (8 distinct)
+	// ghz-n4-s0 on ibmq_bogota: 17 pulses (10 distinct)
+}

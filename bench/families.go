@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"math"
+
+	"compaqt/circuit"
+	"compaqt/internal/clifford"
+)
+
+// The built-in families. Every seeded family derives per-gate
+// randomness from mix(seed, salts...) — a stateless splitmix64-style
+// hash of the generation coordinates (layer, qubit, role) — never from
+// a serial rng stream. That makes each family *nested*: the n-qubit
+// instance's gate list contains the (n-1)-qubit instance's gates as a
+// subsequence (growing n only inserts gates), so gate counts and
+// scheduled depth are monotone non-decreasing in n by construction.
+// The catalog property tests rely on exactly this.
+
+func init() {
+	Register(Family{
+		Name:        "ghz",
+		Description: "GHZ state preparation: H then a CX chain",
+		MinQubits:   1,
+		DepthClass:  DepthLinear,
+		Build:       func(n int, _ int64) (*circuit.Circuit, error) { return circuit.GHZ(n) },
+	})
+	Register(Family{
+		Name:        "qft",
+		Description: "Quantum Fourier Transform on |1...1> with final reversal swaps",
+		MinQubits:   1,
+		DepthClass:  DepthQuadratic,
+		Build:       func(n int, _ int64) (*circuit.Circuit, error) { return circuit.QFT(n) },
+	})
+	Register(Family{
+		Name:        "bv",
+		Description: "Bernstein-Vazirani with a seed-hashed secret string (bit 0 always set)",
+		MinQubits:   2,
+		DepthClass:  DepthConstant,
+		Build:       buildBV,
+	})
+	Register(Family{
+		Name:        "dj",
+		Description: "Deutsch-Jozsa with a seed-hashed balanced oracle",
+		MinQubits:   2,
+		DepthClass:  DepthConstant,
+		Build:       buildDJ,
+	})
+	Register(Family{
+		Name:        "graph-state",
+		Description: "Cluster state on a path plus seed-hashed chords",
+		MinQubits:   2,
+		DepthClass:  DepthLinear,
+		Build:       buildGraphState,
+	})
+	Register(Family{
+		Name:        "qaoa",
+		Description: "2-layer QAOA for MaxCut on the path graph, angles seed-hashed per layer",
+		MinQubits:   2,
+		DepthClass:  DepthLinear,
+		Build:       buildQAOA,
+	})
+	Register(Family{
+		Name:        "vqe",
+		Description: "Hardware-efficient VQE ansatz: hashed RY/RZ layers with CX ladders",
+		MinQubits:   1,
+		DepthClass:  DepthLinear,
+		Build:       buildVQE,
+	})
+	Register(Family{
+		Name:        "mirror",
+		Description: "Mirror benchmark: n hashed 1Q+brick-CX layers, then the exact inverse",
+		MinQubits:   1,
+		DepthClass:  DepthLinear,
+		Build:       buildMirror,
+	})
+	Register(Family{
+		Name:        "random-clifford",
+		Description: "n layers of hashed 1Q Cliffords (as H/S words) with brick-CX entanglers",
+		MinQubits:   1,
+		DepthClass:  DepthLinear,
+		Build:       buildRandomClifford,
+	})
+}
+
+// mix hashes a seed and generation coordinates into 64 uniform bits
+// (splitmix64 finalizer per salt). Stateless: a gate's randomness
+// depends only on its own coordinates, which is what keeps the
+// families nested across qubit counts.
+func mix(seed int64, salts ...uint64) uint64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, s := range salts {
+		z += s ^ 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// angle maps a hash to an angle in (0, 2pi), avoiding exact zero so
+// hashed rotations never degenerate to identity.
+func angle(h uint64) float64 { return 2 * math.Pi * (0.5 + unit(h)) / 2 }
+
+// Per-family salt constants, so the same (seed, layer, qubit) triple
+// never collides across families or roles.
+const (
+	saltBVSecret = 1 + iota
+	saltDJLink
+	saltDJWrap
+	saltGraphChordOn
+	saltGraphChordTo
+	saltQAOAGamma
+	saltQAOABeta
+	saltVQERY
+	saltVQERZ
+	saltMirrorGate
+	saltCliffordWord
+)
+
+func buildBV(n int, seed int64) (*circuit.Circuit, error) {
+	// Secret bit q is set iff its own hash says so; bit 0 is always set
+	// so the oracle is never empty. Growing n only appends candidate
+	// bits, keeping the secret (and the circuit) nested.
+	ones := []int{0}
+	for q := 1; q < n-1; q++ {
+		if mix(seed, saltBVSecret, uint64(q))&1 == 1 {
+			ones = append(ones, q)
+		}
+	}
+	return circuit.BV(n, ones)
+}
+
+func buildDJ(n int, seed int64) (*circuit.Circuit, error) {
+	// Balanced oracle f(x) = s.x XOR b realized per input bit: a hashed
+	// subset links to the ancilla (bit 0 always, keeping f balanced),
+	// and an independently hashed subset is X-conjugated (the constant
+	// offset b). Each input bit's gates depend only on its own hash.
+	c := circuit.New("dj", n)
+	anc := n - 1
+	c.Add("x", 0, anc)
+	for q := 0; q < n; q++ {
+		c.Add("h", 0, q)
+	}
+	for q := 0; q < n-1; q++ {
+		link := q == 0 || mix(seed, saltDJLink, uint64(q))&1 == 1
+		wrap := mix(seed, saltDJWrap, uint64(q))&1 == 1
+		if !link {
+			continue
+		}
+		if wrap {
+			c.Add("x", 0, q)
+		}
+		c.Add("cx", 0, q, anc)
+		if wrap {
+			c.Add("x", 0, q)
+		}
+	}
+	for q := 0; q < n-1; q++ {
+		c.Add("h", 0, q)
+	}
+	return c.MeasureAll(), nil
+}
+
+func buildGraphState(n int, seed int64) (*circuit.Circuit, error) {
+	c := circuit.New("graph-state", n)
+	for q := 0; q < n; q++ {
+		c.Add("h", 0, q)
+	}
+	for q := 0; q+1 < n; q++ {
+		c.Add("cz", 0, q, q+1)
+	}
+	// Hash-gated chords: vertex v >= 2 may gain one extra edge to a
+	// hashed earlier vertex u <= v-2 (never duplicating a path edge).
+	// Chord existence and endpoint depend only on (seed, v).
+	for v := 2; v < n; v++ {
+		if mix(seed, saltGraphChordOn, uint64(v))&1 == 1 {
+			u := int(mix(seed, saltGraphChordTo, uint64(v)) % uint64(v-1))
+			c.Add("cz", 0, u, v)
+		}
+	}
+	return c.MeasureAll(), nil
+}
+
+func buildQAOA(n int, seed int64) (*circuit.Circuit, error) {
+	// MaxCut on the path graph so the edge set is nested by
+	// construction; two layers with per-layer hashed angles that do not
+	// depend on n.
+	const layers = 2
+	c := circuit.New("qaoa", n)
+	for q := 0; q < n; q++ {
+		c.Add("h", 0, q)
+	}
+	for l := 0; l < layers; l++ {
+		gamma := angle(mix(seed, saltQAOAGamma, uint64(l)))
+		beta := angle(mix(seed, saltQAOABeta, uint64(l)))
+		for q := 0; q+1 < n; q++ {
+			c.Add("cx", 0, q, q+1)
+			c.Add("rz", 2*gamma, q+1)
+			c.Add("cx", 0, q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.Add("rx", 2*beta, q)
+		}
+	}
+	return c.MeasureAll(), nil
+}
+
+func buildVQE(n int, seed int64) (*circuit.Circuit, error) {
+	// Hardware-efficient ansatz: rotation layers with per-(layer,qubit)
+	// hashed angles, entangled by a serial CX ladder, plus a final
+	// rotation layer.
+	const layers = 2
+	c := circuit.New("vqe", n)
+	rotations := func(l int) {
+		for q := 0; q < n; q++ {
+			c.Add("ry", angle(mix(seed, saltVQERY, uint64(l), uint64(q))), q)
+			c.Add("rz", angle(mix(seed, saltVQERZ, uint64(l), uint64(q))), q)
+		}
+	}
+	for l := 0; l < layers; l++ {
+		rotations(l)
+		for q := 0; q+1 < n; q++ {
+			c.Add("cx", 0, q, q+1)
+		}
+	}
+	rotations(layers)
+	return c.MeasureAll(), nil
+}
+
+// mirrorGates pairs each forward 1Q gate with its inverse; every
+// element is self-inverse or has its adjoint in the native composite
+// set, so the mirror's second half needs no synthesis.
+var (
+	mirrorForward = []string{"h", "s", "t", "x"}
+	mirrorInverse = []string{"h", "sdg", "tdg", "x"}
+)
+
+func buildMirror(n int, seed int64) (*circuit.Circuit, error) {
+	// n layers of hashed 1Q gates and brick-pattern CXs, then the exact
+	// inverse appended in reverse — the whole circuit composes to
+	// identity, so the ideal output is |0...0> regardless of n or seed.
+	layers := n
+	c := circuit.New("mirror", n)
+	pick := func(l, q int) int {
+		return int(mix(seed, saltMirrorGate, uint64(l), uint64(q)) % uint64(len(mirrorForward)))
+	}
+	brick := func(l int) {
+		for q := l % 2; q+1 < n; q += 2 {
+			c.Add("cx", 0, q, q+1)
+		}
+	}
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Add(mirrorForward[pick(l, q)], 0, q)
+		}
+		brick(l)
+	}
+	for l := layers - 1; l >= 0; l-- {
+		brick(l) // CX is self-inverse
+		for q := n - 1; q >= 0; q-- {
+			c.Add(mirrorInverse[pick(l, q)], 0, q)
+		}
+	}
+	return c.MeasureAll(), nil
+}
+
+// words1Q is the generator-word table of the 24 single-qubit
+// Cliffords, built once at package init (the table is deterministic).
+var words1Q = clifford.Words1Q()
+
+func buildRandomClifford(n int, seed int64) (*circuit.Circuit, error) {
+	// n layers: a hashed uniform 1Q Clifford per qubit, emitted as its
+	// BFS-minimal {H,S} generator word, then a brick-CX entangler.
+	layers := n
+	c := circuit.New("random-clifford", n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			w := words1Q[mix(seed, saltCliffordWord, uint64(l), uint64(q))%uint64(len(words1Q))]
+			for _, g := range w.Gates {
+				c.Add(g, 0, q)
+			}
+		}
+		for q := l % 2; q+1 < n; q += 2 {
+			c.Add("cx", 0, q, q+1)
+		}
+	}
+	return c.MeasureAll(), nil
+}

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compaqt/circuit"
+	"compaqt/qctrl"
+)
+
+// SchedulePulses maps every op of a scheduled circuit to the
+// calibrated pulse it plays on the machine (mirroring the sequencer's
+// gate -> waveform-key mapping): x -> X, sx -> SX, cx -> directed CX,
+// measure -> Meas; rz is virtual and emits nothing. Repeats are
+// preserved — Service.CompileBatch dedups them by content.
+func SchedulePulses(m *qctrl.Machine, sched *circuit.Schedule) ([]*qctrl.Pulse, error) {
+	pulses := make([]*qctrl.Pulse, 0, len(sched.Ops))
+	for _, op := range sched.Ops {
+		g := op.Gate
+		var (
+			p   *qctrl.Pulse
+			err error
+		)
+		switch g.Name {
+		case "rz":
+			continue // virtual
+		case "x":
+			p = m.XPulse(g.Qubits[0])
+		case "sx":
+			p = m.SXPulse(g.Qubits[0])
+		case "cx":
+			p, err = m.CXPulse(g.Qubits[0], g.Qubits[1])
+		case "measure":
+			p = m.MeasPulse(g.Qubits[0])
+		default:
+			return nil, fmt.Errorf("bench: cannot map gate %q to a pulse", g.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pulses = append(pulses, p)
+	}
+	return pulses, nil
+}
+
+// PulsesFor lowers a logical circuit onto the machine — transpile to
+// the native basis, route onto the coupling map, ASAP-schedule against
+// the gate latencies — and returns the scheduled pulse stream, the
+// exact CompileBatch input that playing the circuit demands.
+func PulsesFor(m *qctrl.Machine, c *circuit.Circuit) ([]*qctrl.Pulse, error) {
+	r, err := circuit.Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		return nil, fmt.Errorf("bench: transpiling %s onto %s: %w", c.Name, m.Name, err)
+	}
+	sched, err := circuit.ScheduleASAP(r.Circuit, m.Latency)
+	if err != nil {
+		return nil, fmt.Errorf("bench: scheduling %s on %s: %w", c.Name, m.Name, err)
+	}
+	return SchedulePulses(m, sched)
+}
+
+// Request is one compile job emitted by a Workload: a catalog instance
+// lowered onto the workload's machine. Library names the machine,
+// (Family, Qubits, Seed) the generation triple — so a request is fully
+// reproducible from its header — and Pulses the scheduled stream ready
+// for Service.CompileBatch. Repeat marks a request replayed from the
+// workload's history (the cache-hit traffic of a skewed client mix).
+type Request struct {
+	Library string
+	Family  string
+	Qubits  int
+	Seed    int64
+	Repeat  bool
+	Pulses  []*qctrl.Pulse
+}
+
+// Name is the canonical instance name of the request's circuit.
+func (r *Request) Name() string { return InstanceName(r.Family, r.Qubits, r.Seed) }
+
+// WorkloadOptions configures a Workload. The zero value is usable:
+// every catalog family on ibmq_guadalupe, qubit counts spanning the
+// machine, 4 distinct circuit seeds, no replay traffic.
+type WorkloadOptions struct {
+	// Machine is the compile target (default qctrl.Guadalupe()).
+	Machine *qctrl.Machine
+	// Families restricts the draw (default: every registered family).
+	Families []string
+	// MinQubits / MaxQubits bound instance sizes; zero means "as the
+	// family and machine allow". The machine's qubit count is always an
+	// upper bound (routing cannot place a wider circuit).
+	MinQubits int
+	MaxQubits int
+	// Seeds is the number of distinct circuit seeds drawn per family
+	// (default 4). A small pool makes instances recur, which is what
+	// exercises the compile cache and batch dedup downstream.
+	Seeds int
+	// RepeatSkew in [0, 1) is the probability a request replays one
+	// from history instead of drawing fresh (default 0). Replays are
+	// power-law skewed toward the earliest instances, approximating a
+	// production mix with a hot set.
+	RepeatSkew float64
+	// Seed seeds the workload's draws (families, sizes, replays). Two
+	// workloads with equal options emit identical request streams.
+	Seed int64
+}
+
+// Workload deterministically generates compile traffic from the
+// catalog: each Next() draws a family, size and circuit seed (or a
+// skewed replay), lowers the instance through transpile/schedule, and
+// returns the pulse stream to feed Service.Compile or CompileBatch.
+// Not safe for concurrent use; give each goroutine its own Workload
+// (same options + distinct Seed) instead of sharing one.
+type Workload struct {
+	opts    WorkloadOptions
+	machine *qctrl.Machine
+	fams    []Family
+	rng     *rand.Rand
+	history []*Request
+	cache   map[string][]*qctrl.Pulse
+}
+
+// NewWorkload validates the options and builds a generator.
+func NewWorkload(opts WorkloadOptions) (*Workload, error) {
+	m := opts.Machine
+	if m == nil {
+		m = qctrl.Guadalupe()
+	}
+	if opts.Seeds == 0 {
+		opts.Seeds = 4
+	}
+	if opts.Seeds < 1 {
+		return nil, fmt.Errorf("bench: workload needs Seeds >= 1, got %d", opts.Seeds)
+	}
+	if opts.RepeatSkew < 0 || opts.RepeatSkew >= 1 {
+		return nil, fmt.Errorf("bench: RepeatSkew %v outside [0, 1)", opts.RepeatSkew)
+	}
+	names := opts.Families
+	if len(names) == 0 {
+		names = Names()
+	}
+	fams := make([]Family, 0, len(names))
+	for _, name := range names {
+		f, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := sizeRange(f, m, opts); err != nil {
+			return nil, err
+		}
+		fams = append(fams, f)
+	}
+	return &Workload{
+		opts:    opts,
+		machine: m,
+		fams:    fams,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		cache:   map[string][]*qctrl.Pulse{},
+	}, nil
+}
+
+// sizeRange intersects the option bounds with what the family and
+// machine support.
+func sizeRange(f Family, m *qctrl.Machine, opts WorkloadOptions) (lo, hi int, err error) {
+	lo = f.MinQubits
+	if opts.MinQubits > lo {
+		lo = opts.MinQubits
+	}
+	hi = m.Qubits
+	if f.MaxQubits != 0 && f.MaxQubits < hi {
+		hi = f.MaxQubits
+	}
+	if opts.MaxQubits != 0 && opts.MaxQubits < hi {
+		hi = opts.MaxQubits
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("bench: family %s has no instance in [%d, %d] on %s (%d qubits)",
+			f.Name, opts.MinQubits, opts.MaxQubits, m.Name, m.Qubits)
+	}
+	return lo, hi, nil
+}
+
+// Machine returns the workload's compile target.
+func (w *Workload) Machine() *qctrl.Machine { return w.machine }
+
+// Next emits the next request in the stream.
+func (w *Workload) Next() (*Request, error) {
+	if len(w.history) > 0 && w.rng.Float64() < w.opts.RepeatSkew {
+		// Replay: square the uniform draw so early (hot) instances are
+		// picked quadratically more often than the tail.
+		u := w.rng.Float64()
+		prev := w.history[int(u*u*float64(len(w.history)))]
+		rep := *prev
+		rep.Repeat = true
+		return &rep, nil
+	}
+	f := w.fams[w.rng.Intn(len(w.fams))]
+	lo, hi, err := sizeRange(f, w.machine, w.opts)
+	if err != nil {
+		return nil, err
+	}
+	n := lo + w.rng.Intn(hi-lo+1)
+	seed := int64(w.rng.Intn(w.opts.Seeds))
+	req := &Request{
+		Library: w.machine.Name,
+		Family:  f.Name,
+		Qubits:  n,
+		Seed:    seed,
+	}
+	name := req.Name()
+	if pulses, ok := w.cache[name]; ok {
+		// Same triple drawn again: identical by determinism, so reuse
+		// the lowered stream instead of re-transpiling.
+		req.Pulses = pulses
+		req.Repeat = true
+	} else {
+		c, err := Generate(f.Name, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		req.Pulses, err = PulsesFor(w.machine, c)
+		if err != nil {
+			return nil, err
+		}
+		w.cache[name] = req.Pulses
+	}
+	w.history = append(w.history, req)
+	return req, nil
+}
+
+// Requests emits the next n requests.
+func (w *Workload) Requests(n int) ([]*Request, error) {
+	out := make([]*Request, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := w.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Batch flattens the next n requests into one CompileBatch-shaped
+// pulse slice — a mixed-circuit compile with cross-request repeats for
+// the batch deduplicator to collapse.
+func (w *Workload) Batch(n int) ([]*qctrl.Pulse, error) {
+	reqs, err := w.Requests(n)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Pulses)
+	}
+	batch := make([]*qctrl.Pulse, 0, total)
+	for _, r := range reqs {
+		batch = append(batch, r.Pulses...)
+	}
+	return batch, nil
+}
+
+// UniquePulses counts distinct waveform keys across a pulse stream —
+// the dedup headroom a batch offers.
+func UniquePulses(pulses []*qctrl.Pulse) int {
+	uniq := map[string]bool{}
+	for _, p := range pulses {
+		uniq[p.Key()] = true
+	}
+	return len(uniq)
+}

@@ -1,0 +1,291 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"compaqt/bench"
+	"compaqt/circuit"
+	"compaqt/codec"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// testFamilies pins the workload tests to built-in families so the
+// registry stand-ins other tests register can't change the draws.
+var testFamilies = []string{"ghz", "qft", "bv", "mirror", "qaoa"}
+
+func testWorkload(t *testing.T, opts bench.WorkloadOptions) *bench.Workload {
+	t.Helper()
+	if opts.Machine == nil {
+		opts.Machine = qctrl.Bogota()
+	}
+	if len(opts.Families) == 0 {
+		opts.Families = testFamilies
+	}
+	w, err := bench.NewWorkload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func requestKeys(r *bench.Request) string {
+	keys := make([]string, len(r.Pulses))
+	for i, p := range r.Pulses {
+		keys[i] = p.Key()
+	}
+	return strings.Join(keys, " ")
+}
+
+// Two workloads with identical options must emit identical request
+// streams, pulse-for-pulse.
+func TestWorkloadIsDeterministic(t *testing.T) {
+	opts := bench.WorkloadOptions{Seeds: 3, RepeatSkew: 0.3, Seed: 5}
+	a := testWorkload(t, opts)
+	b := testWorkload(t, opts)
+	ra, err := a.Requests(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Requests(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		x, y := ra[i], rb[i]
+		if x.Name() != y.Name() || x.Repeat != y.Repeat || x.Library != y.Library {
+			t.Fatalf("request %d differs: %s/%v vs %s/%v", i, x.Name(), x.Repeat, y.Name(), y.Repeat)
+		}
+		if requestKeys(x) != requestKeys(y) {
+			t.Fatalf("request %d (%s): pulse streams differ", i, x.Name())
+		}
+	}
+}
+
+func TestWorkloadSeedChangesTheStream(t *testing.T) {
+	a := testWorkload(t, bench.WorkloadOptions{Seed: 1})
+	b := testWorkload(t, bench.WorkloadOptions{Seed: 2})
+	ra, err := a.Requests(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Requests(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i].Name() != rb[i].Name() {
+			return
+		}
+	}
+	t.Error("30 draws identical under different workload seeds")
+}
+
+// Skewed replay must mark repeats, and a repeat's pulse stream must be
+// identical to a fresh generation of the same triple.
+func TestWorkloadRepeatTraffic(t *testing.T) {
+	w := testWorkload(t, bench.WorkloadOptions{Seeds: 2, RepeatSkew: 0.5, Seed: 9})
+	reqs, err := w.Requests(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeats := 0
+	first := map[string]string{}
+	for _, r := range reqs {
+		keys := requestKeys(r)
+		if prev, ok := first[r.Name()]; ok {
+			if !r.Repeat {
+				t.Errorf("second occurrence of %s not marked Repeat", r.Name())
+			}
+			if keys != prev {
+				t.Errorf("repeat of %s has a different pulse stream", r.Name())
+			}
+		} else {
+			first[r.Name()] = keys
+		}
+		if r.Repeat {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Error("RepeatSkew 0.5 over 60 requests produced no repeats")
+	}
+	// Every request must regenerate exactly from its header.
+	r := reqs[len(reqs)-1]
+	c, err := bench.Generate(r.Family, r.Qubits, r.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := bench.PulsesFor(w.Machine(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requestKeys(&bench.Request{Pulses: fresh}) != requestKeys(r) {
+		t.Errorf("request %s does not regenerate from its header", r.Name())
+	}
+}
+
+func TestWorkloadBatchFlattensRequests(t *testing.T) {
+	opts := bench.WorkloadOptions{Seeds: 2, Seed: 3}
+	a := testWorkload(t, opts)
+	b := testWorkload(t, opts)
+	reqs, err := a.Requests(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := b.Batch(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range reqs {
+		want += len(r.Pulses)
+	}
+	if len(batch) != want {
+		t.Fatalf("batch has %d pulses, requests total %d", len(batch), want)
+	}
+	if uniq := bench.UniquePulses(batch); uniq <= 0 || uniq > len(batch) {
+		t.Fatalf("UniquePulses = %d of %d", uniq, len(batch))
+	}
+}
+
+func TestNewWorkloadRejectsBadOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts bench.WorkloadOptions
+		want string
+	}{
+		{"negative seeds", bench.WorkloadOptions{Seeds: -1}, "Seeds >= 1"},
+		{"skew too high", bench.WorkloadOptions{RepeatSkew: 1.0}, "RepeatSkew"},
+		{"negative skew", bench.WorkloadOptions{RepeatSkew: -0.1}, "RepeatSkew"},
+		{"unknown family", bench.WorkloadOptions{Families: []string{"nope"}}, "unknown family"},
+		{"impossible size", bench.WorkloadOptions{MinQubits: 30}, "no instance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Machine = qctrl.Bogota()
+			if len(opts.Families) == 0 {
+				opts.Families = testFamilies
+			}
+			_, err := bench.NewWorkload(opts)
+			if err == nil {
+				t.Fatalf("want error mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSchedulePulsesRejectsNonNativeGates(t *testing.T) {
+	sched := &circuit.Schedule{Ops: []circuit.ScheduledOp{
+		{Gate: circuit.Gate{Name: "h", Qubits: []int{0}}},
+	}}
+	if _, err := bench.SchedulePulses(qctrl.Bogota(), sched); err == nil {
+		t.Fatal("scheduling a non-native gate should fail")
+	}
+}
+
+func TestPulsesForMatchesScheduleShape(t *testing.T) {
+	m := qctrl.Bogota()
+	c, err := bench.Generate("ghz", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulses, err := bench.PulsesFor(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := circuit.Transpile(c, m.Qubits, m.Coupling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := circuit.ScheduleASAP(r.Circuit, m.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	physical := 0
+	for _, op := range sched.Ops {
+		if op.Name != "rz" {
+			physical++
+		}
+	}
+	if len(pulses) != physical {
+		t.Fatalf("%d pulses for %d physical ops", len(pulses), physical)
+	}
+	for _, p := range pulses {
+		if p.Waveform == nil || p.Waveform.Quantize().Samples() == 0 {
+			t.Fatalf("pulse %s has an empty waveform", p.Key())
+		}
+	}
+}
+
+// codecBudgets mirrors the per-codec round-trip MSE budgets the codec
+// package declares at default parameters (unit-amplitude terms).
+var codecBudgets = map[string]float64{
+	"delta":         1e-12,
+	"delta-wrapped": 1e-12, // ExampleRegister's delegating wrapper
+	"dict":          5e-2,
+	"dct-n":         1e-4,
+	"dct-w":         5e-5,
+	"intdct-w":      5e-5,
+}
+
+// Every registered codec must round-trip the bench corpus's calibrated
+// waveforms within its declared fidelity budget — the catalog-wide
+// version of the codec package's single-pulse contract.
+func TestCorpusRoundTripsWithinCodecBudgets(t *testing.T) {
+	m := qctrl.Bogota()
+	// A corpus slice mixing depth classes; unique waveforms on Bogota
+	// are few (one per gate per qubit/pair), so dedup keeps this fast.
+	corpus := map[string]*waveform.Fixed{}
+	for _, name := range []string{"ghz", "qft", "qaoa", "vqe"} {
+		c, err := bench.Generate(name, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pulses, err := bench.PulsesFor(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pulses {
+			if _, ok := corpus[p.Key()]; !ok {
+				corpus[p.Key()] = p.Waveform.Quantize()
+			}
+		}
+	}
+	if len(corpus) < 10 {
+		t.Fatalf("corpus has only %d distinct waveforms", len(corpus))
+	}
+	for _, name := range codec.Names() {
+		t.Run(name, func(t *testing.T) {
+			if strings.HasPrefix(name, "test-") {
+				t.Skip("test-registered stand-in codec")
+			}
+			budget, ok := codecBudgets[name]
+			if !ok {
+				t.Fatalf("no fidelity budget declared for registered codec %q", name)
+			}
+			cdc, err := codec.New(name, codec.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for key, f := range corpus {
+				enc, err := cdc.Encode(f)
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				dec, err := cdc.Decode(enc)
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				if mse := waveform.MSEFixed(f, dec); mse > budget {
+					t.Errorf("%s: round-trip MSE %g exceeds budget %g", key, mse, budget)
+				}
+			}
+		})
+	}
+}

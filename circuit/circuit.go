@@ -75,7 +75,11 @@ var (
 	CompressionNoise = circuit.CompressionNoise
 )
 
-// The Table VI benchmark circuits.
+// The Table VI benchmark circuits. The parametrized families (QFT,
+// BV, GHZ, QAOA) validate their arguments and return an error for
+// impossible instances; Must unwraps known-good calls. For an
+// open-ended catalog of scalable families beyond Table VI, see the
+// compaqt/bench package.
 var (
 	Benchmarks = circuit.Benchmarks
 	Swap       = circuit.Swap
@@ -85,4 +89,7 @@ var (
 	BV         = circuit.BV
 	QAOA       = circuit.QAOA
 	GHZ        = circuit.GHZ
+	// Must unwraps a builder result, panicking on error — for call
+	// sites with compile-time-constant arguments.
+	Must = circuit.Must
 )

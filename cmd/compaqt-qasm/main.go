@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"compaqt"
+	"compaqt/bench"
 	"compaqt/circuit"
 	"compaqt/qctrl"
 )
@@ -88,7 +89,7 @@ func main() {
 	if *batch {
 		// Compile only what the schedule plays: one pulse reference per
 		// scheduled op, deduplicated by content inside CompileBatch.
-		pulses, err := scheduledPulses(m, sched)
+		pulses, err := bench.SchedulePulses(m, sched)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,39 +134,6 @@ func main() {
 	fmt.Printf("memory traffic:   %d words compressed vs %d uncompressed (%.2fx reduction)\n",
 		st.Engine.MemWords, st.UncompressedWords, st.BandwidthReduction())
 	fmt.Printf("engines at peak:  %d concurrent decompression pipelines\n", st.PeakConcurrentEngines)
-}
-
-// scheduledPulses maps every scheduled op to the calibrated pulse(s)
-// it plays (mirroring the sequencer's gate -> waveform-key mapping),
-// with repeats preserved — CompileBatch dedups them by content.
-func scheduledPulses(m *qctrl.Machine, sched *circuit.Schedule) ([]*qctrl.Pulse, error) {
-	var pulses []*qctrl.Pulse
-	for _, op := range sched.Ops {
-		g := op.Gate
-		var (
-			p   *qctrl.Pulse
-			err error
-		)
-		switch g.Name {
-		case "rz":
-			continue // virtual
-		case "x":
-			p = m.XPulse(g.Qubits[0])
-		case "sx":
-			p = m.SXPulse(g.Qubits[0])
-		case "cx":
-			p, err = m.CXPulse(g.Qubits[0], g.Qubits[1])
-		case "measure":
-			p = m.MeasPulse(g.Qubits[0])
-		default:
-			return nil, fmt.Errorf("cannot map gate %q to a pulse", g.Name)
-		}
-		if err != nil {
-			return nil, err
-		}
-		pulses = append(pulses, p)
-	}
-	return pulses, nil
 }
 
 func fatal(err error) {

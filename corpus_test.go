@@ -1,0 +1,121 @@
+// End-to-end corpus tests: the bench package's catalog workload driven
+// through the public Service — batch compile, image serialization,
+// and playback through the decompression-engine model.
+package compaqt_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"compaqt"
+	"compaqt/bench"
+	"compaqt/qctrl"
+	"compaqt/waveform"
+)
+
+// corpusWorkload is the fixed catalog mix these tests compile.
+func corpusWorkload(t *testing.T) *bench.Workload {
+	t.Helper()
+	wl, err := bench.NewWorkload(bench.WorkloadOptions{
+		Machine:    qctrl.Bogota(),
+		Families:   []string{"ghz", "qft", "dj", "graph-state", "random-clifford"},
+		Seeds:      2,
+		RepeatSkew: 0.25,
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// The whole catalog workload must compile through the default service
+// deterministically: the same generated batch yields byte-identical
+// images across services, with one entry per scheduled pulse and a
+// compression ratio above 1.
+func TestServiceCompilesCatalogCorpus(t *testing.T) {
+	ctx := context.Background()
+	batch, err := corpusWorkload(t).Batch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 {
+		t.Fatal("workload produced an empty batch")
+	}
+
+	serialize := func() []byte {
+		svc, err := compaqt.New(compaqt.WithCache(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := svc.CompileBatch(ctx, "corpus", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img.Entries) != len(batch) {
+			t.Fatalf("image has %d entries for %d batch pulses", len(img.Entries), len(batch))
+		}
+		if st := img.Stats(); st.PackedRatio <= 1 {
+			t.Fatalf("corpus compressed at %.2fx, want > 1x", st.PackedRatio)
+		}
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Error("catalog batch compiles to different image bytes across services")
+	}
+}
+
+// Every distinct waveform a corpus instance schedules must play back
+// through the engine model within the default codec's fidelity budget.
+func TestCorpusPlaybackWithinBudget(t *testing.T) {
+	ctx := context.Background()
+	c, err := bench.Generate("random-clifford", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := qctrl.Bogota()
+	pulses, err := bench.PulsesFor(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CompileBatch(ctx, c.Name, pulses); err != nil {
+		t.Fatal(err)
+	}
+	// intdct-w at default parameters carries a 5e-5 round-trip MSE
+	// budget (the codec suite's figure); playback through the engine
+	// must reconstruct the same stream bit-exactly, so the same bound
+	// applies end to end.
+	const budget = 5e-5
+	seen := map[string]bool{}
+	for _, p := range pulses {
+		key := p.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		got, _, err := svc.Play(ctx, key)
+		if err != nil {
+			t.Fatalf("playing %s: %v", key, err)
+		}
+		want := p.Waveform.Quantize()
+		if got.Samples() != want.Samples() {
+			t.Fatalf("%s: played %d samples, want %d", key, got.Samples(), want.Samples())
+		}
+		if mse := waveform.MSEFixed(want, got); mse > budget {
+			t.Errorf("%s: playback MSE %g exceeds budget %g", key, mse, budget)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("corpus instance scheduled only %d distinct waveforms", len(seen))
+	}
+}

@@ -1,0 +1,102 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parametrized builders must reject impossible instances with a
+// descriptive error instead of panicking or silently emitting circuits
+// that fail Validate (the failure mode before they returned errors).
+func TestBuilderArgumentValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Circuit, error)
+		wantErr string // "" means the instance is valid
+	}{
+		{"qft zero", func() (*Circuit, error) { return QFT(0) }, "n >= 1"},
+		{"qft negative", func() (*Circuit, error) { return QFT(-3) }, "n >= 1"},
+		{"qft one", func() (*Circuit, error) { return QFT(1) }, ""},
+		{"ghz zero", func() (*Circuit, error) { return GHZ(0) }, "n >= 1"},
+		{"ghz one", func() (*Circuit, error) { return GHZ(1) }, ""},
+		{"bv too small", func() (*Circuit, error) { return BV(1, nil) }, "n >= 2"},
+		{"bv ones out of range high", func() (*Circuit, error) { return BV(4, []int{3}) }, "out of range"},
+		{"bv ones negative", func() (*Circuit, error) { return BV(4, []int{-1}) }, "out of range"},
+		{"bv ones repeated", func() (*Circuit, error) { return BV(5, []int{1, 1}) }, "repeated"},
+		{"bv empty secret", func() (*Circuit, error) { return BV(3, nil) }, ""},
+		{"bv full secret", func() (*Circuit, error) { return BV(4, []int{0, 1, 2}) }, ""},
+		{"qaoa one qubit", func() (*Circuit, error) { return QAOA("q", 1, 1, 1, 7) }, "n >= 2"},
+		{"qaoa degree zero", func() (*Circuit, error) { return QAOA("q", 4, 0, 1, 7) }, "degree"},
+		{"qaoa degree too big", func() (*Circuit, error) { return QAOA("q", 4, 4, 1, 7) }, "degree"},
+		{"qaoa odd degree sum", func() (*Circuit, error) { return QAOA("q", 5, 3, 1, 7) }, "odd degree sum"},
+		{"qaoa zero layers", func() (*Circuit, error) { return QAOA("q", 4, 3, 0, 7) }, "layers >= 1"},
+		{"qaoa valid ring", func() (*Circuit, error) { return QAOA("q", 5, 2, 2, 7) }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.build()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if verr := c.Validate(); verr != nil {
+					t.Fatalf("valid instance fails Validate: %v", verr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got a circuit with %d gates", tc.wantErr, len(c.Gates))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Must of a failed build should panic")
+		}
+	}()
+	Must(QFT(0))
+}
+
+func TestBuildersDeterministicPerSeed(t *testing.T) {
+	a := Must(QAOA("q", 8, 3, 2, 42))
+	b := Must(QAOA("q", 8, 3, 2, 42))
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatalf("gate counts differ: %d vs %d", len(a.Gates), len(b.Gates))
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Name != gb.Name || ga.Param != gb.Param || len(ga.Qubits) != len(gb.Qubits) {
+			t.Fatalf("gate %d differs: %+v vs %+v", i, ga, gb)
+		}
+		for j := range ga.Qubits {
+			if ga.Qubits[j] != gb.Qubits[j] {
+				t.Fatalf("gate %d qubits differ", i)
+			}
+		}
+	}
+	c := Must(QAOA("q", 8, 3, 2, 43))
+	same := len(a.Gates) == len(c.Gates)
+	if same {
+		diff := false
+		for i := range a.Gates {
+			if a.Gates[i].Param != c.Gates[i].Param {
+				diff = true
+				break
+			}
+			if len(a.Gates[i].Qubits) == 2 && len(c.Gates[i].Qubits) == 2 &&
+				(a.Gates[i].Qubits[0] != c.Gates[i].Qubits[0] || a.Gates[i].Qubits[1] != c.Gates[i].Qubits[1]) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical QAOA instances")
+		}
+	}
+}

@@ -17,7 +17,7 @@ func TestBuildersValidate(t *testing.T) {
 	if err := QAOA40().Validate(); err != nil {
 		t.Error(err)
 	}
-	if err := GHZ(8).Validate(); err != nil {
+	if err := Must(GHZ(8)).Validate(); err != nil {
 		t.Error(err)
 	}
 }
@@ -133,7 +133,7 @@ func applyCCX(s *quantum.State, a, b, t int) {
 
 func TestDecomposeSemantics(t *testing.T) {
 	cases := []*Circuit{
-		Swap(), Toffoli(), QFT(3), Adder4(), BV(4, []int{0, 2}),
+		Swap(), Toffoli(), Must(QFT(3)), Adder4(), Must(BV(4, []int{0, 2})),
 	}
 	// Plus targeted single-gate circuits.
 	single := New("singles", 2)
@@ -187,7 +187,7 @@ func TestRoutedSemanticsMatchUnrouted(t *testing.T) {
 	// Routing must preserve measured-outcome distributions. Compare the
 	// BV circuit simulated directly vs. routed+simulated.
 	m := device.Guadalupe()
-	c := BV(4, []int{0, 2})
+	c := Must(BV(4, []int{0, 2}))
 	want := marginalRef(c)
 	r, err := Transpile(c, m.Qubits, m.Coupling)
 	if err != nil {
@@ -241,7 +241,7 @@ func TestTranspiledCXCountsNearPaper(t *testing.T) {
 
 func TestScheduleASAP(t *testing.T) {
 	m := device.Guadalupe()
-	c := GHZ(4)
+	c := Must(GHZ(4))
 	r, err := Transpile(c, m.Qubits, m.Coupling)
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +339,7 @@ func TestSimulateNoiselessIsExact(t *testing.T) {
 		m.Cal[q].EPG2Q = 0
 		m.Cal[q].EPReadout = 0
 	}
-	r, err := Transpile(GHZ(3), m.Qubits, m.Coupling)
+	r, err := Transpile(Must(GHZ(3)), m.Qubits, m.Coupling)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestSimulateNoiselessIsExact(t *testing.T) {
 
 func TestSimulateNoiseReducesFidelity(t *testing.T) {
 	m := device.Guadalupe()
-	r, err := Transpile(QFT(4), m.Qubits, m.Coupling)
+	r, err := Transpile(Must(QFT(4)), m.Qubits, m.Coupling)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestSimulateNoiseReducesFidelity(t *testing.T) {
 
 func TestSimulateDeterministicPerSeed(t *testing.T) {
 	m := device.Guadalupe()
-	r, err := Transpile(BV(6, []int{1, 3}), m.Qubits, m.Coupling)
+	r, err := Transpile(Must(BV(6, []int{1, 3})), m.Qubits, m.Coupling)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,12 +396,12 @@ func TestSimulateDeterministicPerSeed(t *testing.T) {
 }
 
 func TestDepthAndCounts(t *testing.T) {
-	c := GHZ(3)
+	c := Must(GHZ(3))
 	if c.CountGate("cx") != 2 {
-		t.Errorf("GHZ(3) CX count = %d", c.CountGate("cx"))
+		t.Errorf("Must(GHZ(3)) CX count = %d", c.CountGate("cx"))
 	}
 	if c.Depth() < 3 {
-		t.Errorf("GHZ(3) depth = %d", c.Depth())
+		t.Errorf("Must(GHZ(3)) depth = %d", c.Depth())
 	}
 	// rz is virtual: a pure-rz circuit has zero depth.
 	z := New("z", 1)

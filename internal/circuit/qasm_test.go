@@ -71,7 +71,7 @@ func TestParseQASMErrors(t *testing.T) {
 }
 
 func TestQASMRoundTrip(t *testing.T) {
-	for _, c := range []*Circuit{Swap(), Toffoli(), QFT(4), BV(5, []int{0, 2}), GHZ(4)} {
+	for _, c := range []*Circuit{Swap(), Toffoli(), Must(QFT(4)), Must(BV(5, []int{0, 2})), Must(GHZ(4))} {
 		src, err := WriteQASM(c)
 		if err != nil {
 			t.Fatal(err)
@@ -125,7 +125,7 @@ func TestEvalAngle(t *testing.T) {
 }
 
 func TestWriteQASMContainsHeader(t *testing.T) {
-	src, err := WriteQASM(GHZ(2))
+	src, err := WriteQASM(Must(GHZ(2)))
 	if err != nil {
 		t.Fatal(err)
 	}

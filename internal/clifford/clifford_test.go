@@ -61,6 +61,48 @@ func TestGroup1QClosedUnderComposition(t *testing.T) {
 	}
 }
 
+func TestWords1QComposeToGroup(t *testing.T) {
+	g := Group1Q()
+	words := Words1Q()
+	if len(words) != len(g) {
+		t.Fatalf("Words1Q returned %d words, want %d", len(words), len(g))
+	}
+	gates := map[string]quantum.M2{"h": quantum.H(), "s": quantum.S()}
+	for i, w := range words {
+		u := quantum.I2()
+		for _, name := range w.Gates {
+			m, ok := gates[name]
+			if !ok {
+				t.Fatalf("word %d contains non-generator gate %q", i, name)
+			}
+			// Circuit order: each gate multiplies from the left.
+			u = quantum.Mul2(m, u)
+		}
+		if !quantum.EqualUpToPhase2(u, g[i].U, 1e-9) {
+			t.Errorf("word %d (%v) does not compose to Group1Q()[%d]", i, w.Gates, i)
+		}
+		if w.SXCount != g[i].SXCount {
+			t.Errorf("word %d SXCount = %d, want %d", i, w.SXCount, g[i].SXCount)
+		}
+	}
+	// Identity is index 0 with an empty (BFS-minimal) word.
+	if len(words[0].Gates) != 0 {
+		t.Errorf("identity word = %v, want empty", words[0].Gates)
+	}
+	// Deterministic across calls: families regenerate byte-identically.
+	again := Words1Q()
+	for i := range words {
+		if len(words[i].Gates) != len(again[i].Gates) {
+			t.Fatalf("Words1Q not deterministic at index %d", i)
+		}
+		for j := range words[i].Gates {
+			if words[i].Gates[j] != again[i].Gates[j] {
+				t.Fatalf("Words1Q not deterministic at index %d gate %d", i, j)
+			}
+		}
+	}
+}
+
 func TestTwoQubitGroupOrder(t *testing.T) {
 	// The fundamental group-theory check: the four-class construction
 	// enumerates exactly the 11520 distinct two-qubit Cliffords.

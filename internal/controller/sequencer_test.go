@@ -23,7 +23,7 @@ func TestSequencerPlaysGHZ(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := seq.RunCircuit(circuit.GHZ(3))
+	st, err := seq.RunCircuit(circuit.Must(circuit.GHZ(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestSequencerBenchmarkCircuits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, c := range []*circuit.Circuit{circuit.QFT(4), circuit.BV(6, []int{1, 3})} {
+	for _, c := range []*circuit.Circuit{circuit.Must(circuit.QFT(4)), circuit.Must(circuit.BV(6, []int{1, 3}))} {
 		st, err := seq.RunCircuit(c)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
@@ -96,7 +96,7 @@ func TestSequencerTrafficMatchesScheduleMath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := circuit.Transpile(circuit.GHZ(2), m.Qubits, m.Coupling)
+	r, err := circuit.Transpile(circuit.Must(circuit.GHZ(2)), m.Qubits, m.Coupling)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,7 +89,7 @@ func variantWords(f *wave.Fixed, v compress.Variant, ws int) (int, error) {
 // representative qft-4 waveforms.
 func Fig7PerWaveform() (*Table, error) {
 	m := device.Guadalupe()
-	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	lib, err := benchmarkLibrary(m, circuit.Must(circuit.QFT(4)))
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func Fig7PerWaveform() (*Table, error) {
 // and window size.
 func Fig7Overall() (*Table, error) {
 	m := device.Guadalupe()
-	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	lib, err := benchmarkLibrary(m, circuit.Must(circuit.QFT(4)))
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func Fig7Overall() (*Table, error) {
 // Fig7MSE regenerates the average round-trip MSE per DCT variant.
 func Fig7MSE() (*Table, error) {
 	m := device.Guadalupe()
-	lib, err := benchmarkLibrary(m, circuit.QFT(4))
+	lib, err := benchmarkLibrary(m, circuit.Must(circuit.QFT(4)))
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"compaqt"
+	"compaqt/bench"
 	"compaqt/client"
 	"compaqt/qctrl"
 )
@@ -25,14 +26,23 @@ import (
 // TestServerLoadConcurrent hammers the server with 120 concurrent
 // clients mixing batch compiles, single compiles, stats reads and
 // image fetches, with admission bounded well below the client count.
-// Every batch response must be byte-identical to the in-process
-// compile of the same pulses, and the observed compile concurrency
-// must never exceed MaxInFlight.
+// The batch shapes come from the bench workload generator — catalog
+// circuits of mixed families lowered onto ibmq_bogota, with skewed
+// repetition, the realistic production mix. Every batch response must
+// be byte-identical to the in-process compile of the same pulses, the
+// observed compile concurrency must never exceed MaxInFlight, and the
+// repeat-heavy traffic must show up in the compile cache and batch
+// dedup statistics.
 func TestServerLoadConcurrent(t *testing.T) {
-	const maxInFlight = 4
+	const (
+		maxInFlight = 4
+		cacheSize   = 32
+	)
 	srv, hs, _ := newTestServer(t, Config{
 		MaxInFlight: maxInFlight,
-		CacheSize:   32, // far smaller than the distinct-pulse count: eviction churn
+		// Bogota's distinct calibrated waveforms fit: once warm, every
+		// repeated shape resolves from the compile cache.
+		CacheSize:   cacheSize,
 		Parallelism: 2,
 	})
 
@@ -42,24 +52,46 @@ func TestServerLoadConcurrent(t *testing.T) {
 		clients, iters = 40, 2
 	}
 
-	// Reference images compiled in process: one per distinct batch
-	// shape the load generators submit.
+	// Batch shapes drawn from the catalog workload generator: mixed
+	// families, a small seed pool and skewed replay, so shapes repeat
+	// instances and share waveforms — cache-hit and dedup traffic by
+	// construction.
+	wl, err := bench.NewWorkload(bench.WorkloadOptions{
+		Machine:    qctrl.Bogota(),
+		Families:   []string{"ghz", "qft", "bv", "mirror", "qaoa", "vqe"},
+		Seeds:      2,
+		RepeatSkew: 0.4,
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shapes = 8
+	reqs, err := wl.Requests(shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]bool{}
+	for _, r := range reqs {
+		families[r.Family] = true
+	}
+	if len(families) < 2 {
+		t.Fatalf("workload drew a single family %v; want a mix", families)
+	}
+
+	// Reference images compiled in process: one per batch shape the
+	// load generators submit (repeated shapes recompile identically).
 	ctx := context.Background()
 	ref, err := compaqt.New()
 	if err != nil {
 		t.Fatal(err)
 	}
-	const shapes = 8
+	names := make([]string, shapes)
 	wantBytes := make([][]byte, shapes)
 	specSets := make([][]client.PulseSpec, shapes)
-	for s := 0; s < shapes; s++ {
-		pulses := make([]*qctrl.Pulse, 0, 10)
-		for j := 0; j < 10; j++ {
-			pulses = append(pulses, testPulse(j, s*100+j+1, 64))
-		}
-		// Duplicates exercise dedup under load.
-		pulses = append(pulses, pulses[0], pulses[3])
-		img, err := ref.CompileBatch(ctx, fmt.Sprintf("shape-%d", s), pulses)
+	for s, r := range reqs {
+		names[s] = r.Name()
+		img, err := ref.CompileBatch(ctx, names[s], r.Pulses)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,8 +100,8 @@ func TestServerLoadConcurrent(t *testing.T) {
 			t.Fatal(err)
 		}
 		wantBytes[s] = buf.Bytes()
-		specs := make([]client.PulseSpec, len(pulses))
-		for i, p := range pulses {
+		specs := make([]client.PulseSpec, len(r.Pulses))
+		for i, p := range r.Pulses {
 			specs[i] = client.FromPulse(p)
 		}
 		specSets[s] = specs
@@ -87,7 +119,7 @@ func TestServerLoadConcurrent(t *testing.T) {
 				switch c % 4 {
 				case 0, 1: // batch compile with byte-identity check
 					resp, err := cl.CompileBatch(ctx, client.BatchRequest{
-						Image:        fmt.Sprintf("shape-%d", s),
+						Image:        names[s],
 						Pulses:       specSets[s],
 						IncludeImage: true,
 					})
@@ -114,7 +146,7 @@ func TestServerLoadConcurrent(t *testing.T) {
 					if _, err := cl.Stats(ctx); err != nil {
 						errc <- err
 					}
-					if _, err := cl.ImageRaw(ctx, fmt.Sprintf("shape-%d", s)); err != nil {
+					if _, err := cl.ImageRaw(ctx, names[s]); err != nil {
 						// 404 is fine until some batch stored that shape.
 						var apiErr *client.APIError
 						if !asAPIError(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
@@ -139,6 +171,30 @@ func TestServerLoadConcurrent(t *testing.T) {
 	}
 	if srv.m.serverErrors.Load() != 0 {
 		t.Errorf("server errors under load: %d", srv.m.serverErrors.Load())
+	}
+
+	// The skewed workload mix must leave sane cache and dedup numbers:
+	// repeated shapes hit the compile cache, in-batch waveform repeats
+	// collapse before encoding, and the cache respects its capacity.
+	st, err := client.New(hs.URL).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compile.Pulses == 0 {
+		t.Fatal("stats report no compiled pulses after load")
+	}
+	if st.Compile.Encodes >= st.Compile.Pulses {
+		t.Errorf("encodes %d not below pulses %d: batch dedup had no effect on workload traffic",
+			st.Compile.Encodes, st.Compile.Pulses)
+	}
+	if st.Cache.Hits == 0 {
+		t.Error("no compile-cache hits despite repeated workload shapes")
+	}
+	if st.Cache.Entries > cacheSize {
+		t.Errorf("cache holds %d entries, capacity %d", st.Cache.Entries, cacheSize)
+	}
+	if st.Cache.HitRate < 0 || st.Cache.HitRate > 1 {
+		t.Errorf("cache hit rate %v outside [0, 1]", st.Cache.HitRate)
 	}
 }
 
