@@ -14,6 +14,8 @@ package client
 
 import (
 	"fmt"
+	"net/http"
+	"time"
 
 	"compaqt/qctrl"
 	"compaqt/waveform"
@@ -191,6 +193,9 @@ type RequestStats struct {
 	ClientErrors uint64 `json:"client_errors"`
 	ServerErrors uint64 `json:"server_errors"`
 	Canceled     uint64 `json:"canceled"`
+	// Shed counts requests turned away with 429 because they waited the
+	// full admission deadline for a compile slot (overload shedding).
+	Shed uint64 `json:"shed"`
 	// WriteErrors counts response encode/write failures — responses the
 	// server built but could not deliver (the client usually hung up).
 	WriteErrors  uint64 `json:"write_errors"`
@@ -240,6 +245,11 @@ type StoreStats struct {
 	// MmapServes/CopyServes split hits by read path.
 	MmapServes uint64 `json:"mmap_serves"`
 	CopyServes uint64 `json:"copy_serves"`
+	// RecoveredWrites counts degraded -> healthy transitions (a failing
+	// disk that healed without a restart); Probes the degraded-mode
+	// re-probe attempts behind them.
+	RecoveredWrites uint64 `json:"recovered_writes"`
+	Probes          uint64 `json:"probes"`
 	// Recovered counts warm-restart bindings the startup scan restored;
 	// OrphansCleaned the crash debris it swept.
 	Recovered      int `json:"recovered"`
@@ -262,9 +272,11 @@ type StatsResponse struct {
 type HealthResponse struct {
 	Status string `json:"status"`
 	// Store reports persistent-store readiness when one is configured:
-	// "ok", or "degraded: <cause>" while persistence is failing (the
-	// server keeps serving — degraded is not down, so the status stays
-	// 200 "ok").
+	// "ok", or "degraded: <cause>" while persistence is failing. By
+	// default the server keeps serving — degraded is not down, so the
+	// status stays 200 "ok". With ?strict=1 a degraded store turns the
+	// response into a 503 "degraded" — the hard signal load balancers
+	// need to rotate a node with a misbehaving disk out.
 	Store string `json:"store,omitempty"`
 }
 
@@ -273,12 +285,33 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// APIError is a non-2xx server response surfaced as a Go error.
+// APIError is a non-2xx server response surfaced as a Go error: the
+// status code, the parsed error message, the raw (bounded) response
+// body, and the server's Retry-After hint when one was sent (429
+// overload and 503 drain responses carry it).
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Body is the raw error response body (bounded at 4 KiB), for
+	// callers that need more than the parsed message.
+	Body string
+	// RetryAfter is the server-supplied backoff hint; 0 when absent.
+	// The client's retry layer floors its jittered backoff at this.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Temporary reports whether the response is worth retrying: the server
+// was overloaded (429) or transiently failing (5xx), as opposed to
+// rejecting the request itself (4xx).
+func (e *APIError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }

@@ -4,20 +4,64 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"compaqt"
 )
 
 // Client talks to a compaqt compile server. It is safe for concurrent
 // use; the zero http.Client default is replaced by http.DefaultClient.
+//
+// Every API call the server serves idempotently — Compile and
+// CompileBatch are content-addressed (recompiling the same pulses
+// yields byte-identical results), image and stats reads are plain GETs
+// — is retried automatically on transport failures and retryable
+// server responses (429/5xx) with exponential backoff and full jitter,
+// honoring a server-supplied Retry-After. See RetryPolicy and
+// WithRetry; WithHedge additionally races a second ImageRaw attempt
+// against a slow first one.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	hedge time.Duration
+
+	// sleep and rng are test seams; production clients keep the
+	// defaults (context-aware timer sleep, the shared PRNG).
+	sleep func(ctx context.Context, d time.Duration) error
+	rng   func() uint64
+}
+
+// RetryPolicy shapes the client's automatic retries. All calls except
+// Health (a liveness probe must not mask flapping) retry under it.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, first included; values
+	// below 1 mean a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; attempt n draws a full-jitter
+	// delay in [0, min(MaxDelay, BaseDelay<<n)).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff and any server-supplied Retry-After.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; 0 leaves attempts
+	// bounded only by the caller's context. When set it is also sent to
+	// the server as X-Request-Timeout, so an abandoned attempt stops
+	// consuming server compile capacity.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the policy New installs: three attempts, 50ms
+// base, 2s cap, no per-attempt timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
 }
 
 // Option configures a Client.
@@ -29,10 +73,41 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetry replaces the retry policy (see DefaultRetryPolicy).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithRetryDisabled turns automatic retries off: every call makes
+// exactly one attempt.
+func WithRetryDisabled() Option {
+	return func(c *Client) { c.retry = RetryPolicy{MaxAttempts: 1} }
+}
+
+// WithHedge enables hedged image reads: if an ImageRaw (or Image) GET
+// has not completed after delay, a second identical request is raced
+// against it — the first response wins and the loser is canceled.
+// Pick the delay near the endpoint's tail latency (p95/p99); stored
+// images serve in microseconds, so even a small delay only fires when
+// something is genuinely wrong with the first attempt.
+func WithHedge(delay time.Duration) Option {
+	return func(c *Client) {
+		if delay > 0 {
+			c.hedge = delay
+		}
+	}
+}
+
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8371").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    http.DefaultClient,
+		retry: DefaultRetryPolicy(),
+		sleep: sleepCtx,
+		rng:   rand.Uint64,
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -40,71 +115,244 @@ func New(baseURL string, opts ...Option) *Client {
 }
 
 // Health checks GET /healthz. It returns nil when the server reports
-// "ok" and an *APIError while the server is draining or down.
+// "ok" and an *APIError while the server is draining or down. Health
+// is deliberately never retried: a probe that masks flapping is not a
+// probe.
 func (c *Client) Health(ctx context.Context) error {
 	var h HealthResponse
 	return c.getJSON(ctx, "/healthz", &h)
 }
 
+// HealthStrict checks GET /healthz?strict=1, which additionally fails
+// (503) while the server's persistent store is degraded. It is the
+// load-balancer signal: strict health pulls a node whose disk is
+// misbehaving out of rotation even though it still serves.
+func (c *Client) HealthStrict(ctx context.Context) error {
+	var h HealthResponse
+	return c.getJSON(ctx, "/healthz?strict=1", &h)
+}
+
 // Stats fetches the server's cache and request metrics.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var s StatsResponse
-	if err := c.getJSON(ctx, "/v1/stats", &s); err != nil {
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		s = StatsResponse{}
+		return c.getJSON(ctx, "/v1/stats", &s)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &s, nil
 }
 
-// Compile compresses a single pulse.
+// Compile compresses a single pulse. Compiles are content-addressed
+// and therefore idempotent, which is what makes the automatic retry
+// safe: a retried request can only re-derive the same bytes.
 func (c *Client) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
 	var resp CompileResponse
-	if err := c.postJSON(ctx, "/v1/compile", req, &resp); err != nil {
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		resp = CompileResponse{}
+		return c.postJSON(ctx, "/v1/compile", req, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // CompileBatch compresses a pulse list as one order-stable,
-// dedup-aware batch.
+// dedup-aware batch. Retries are safe for the same reason Compile's
+// are: the batch result is a pure function of its pulse content.
 func (c *Client) CompileBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
 	var resp BatchResponse
-	if err := c.postJSON(ctx, "/v1/compile/batch", req, &resp); err != nil {
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		resp = BatchResponse{}
+		return c.postJSON(ctx, "/v1/compile/batch", req, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// ImageRaw streams a stored image's serialized wire-format bytes.
+// ImageRaw streams a stored image's serialized wire-format bytes,
+// retrying (and, under WithHedge, racing a second attempt against a
+// slow first one) like every idempotent call.
 func (c *Client) ImageRaw(ctx context.Context, name string) ([]byte, error) {
-	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
+	var b []byte
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		var err error
+		b, err = c.imageRawHedged(ctx, name)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		return nil, apiError(res)
-	}
-	return io.ReadAll(res.Body)
+	return b, nil
 }
 
 // Image fetches a stored image and deserializes it, ready for local
 // playback through a compaqt.Service.
 func (c *Client) Image(ctx context.Context, name string) (*compaqt.Image, error) {
+	b, err := c.ImageRaw(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	// The body is fully in hand; the byte decoder skips the streaming
+	// reader's chunked re-buffering.
+	return compaqt.DecodeImageBytes(b)
+}
+
+// imageRawHedged runs one hedged image GET: a second attempt launches
+// if the first is still in flight after the hedge delay, the first
+// response wins, and the loser is canceled through the shared context.
+// A failed first attempt before the hedge fires is returned directly —
+// failure handling belongs to the retry layer, hedging only covers
+// slowness.
+func (c *Client) imageRawHedged(ctx context.Context, name string) ([]byte, error) {
+	if c.hedge <= 0 {
+		return c.imageRawOnce(ctx, name)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		b   []byte
+		err error
+	}
+	resc := make(chan result, 2)
+	run := func() {
+		b, err := c.imageRawOnce(hctx, name)
+		resc <- result{b, err}
+	}
+	go run()
+	outstanding := 1
+	hedged := false
+	timer := time.NewTimer(c.hedge)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-resc:
+			if r.err == nil {
+				return r.b, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding--; outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				go run()
+			}
+		}
+	}
+}
+
+func (c *Client) imageRawOnce(ctx context.Context, name string) ([]byte, error) {
 	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
 	if err != nil {
 		return nil, err
 	}
-	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		return nil, apiError(res)
 	}
-	// The body is fully in hand either way; the byte decoder skips the
-	// streaming reader's chunked re-buffering.
 	b, err := io.ReadAll(res.Body)
 	if err != nil {
+		drainClose(res)
 		return nil, err
 	}
-	return compaqt.DecodeImageBytes(b)
+	res.Body.Close()
+	return b, nil
+}
+
+// withRetry runs op under the retry policy: transport failures,
+// per-attempt timeouts and retryable server statuses (429/5xx) back
+// off with full jitter and try again; everything else — including
+// cancellation of the caller's own context — returns immediately.
+func (c *Client) withRetry(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if c.retry.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		}
+		err := op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil || attempt+1 >= attempts || ctx.Err() != nil || !retryableErr(err) {
+			return err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
+// retryableErr classifies an attempt failure. Server responses retry
+// only on explicitly transient statuses; anything that never reached a
+// response (connection reset, truncated body, attempt timeout) is
+// transport trouble and retries — the caller-context check in
+// withRetry keeps a canceled caller from looping.
+func retryableErr(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// backoff draws the full-jitter delay for one retry: uniform in
+// [0, min(MaxDelay, BaseDelay<<attempt)), floored by a server-supplied
+// Retry-After (itself capped at MaxDelay — the server's hint wins over
+// jitter, but never stalls the client unboundedly).
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base, most := c.retry.BaseDelay, c.retry.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if most <= 0 {
+		most = 2 * time.Second
+	}
+	ceil := base << attempt
+	if ceil > most || ceil <= 0 {
+		ceil = most
+	}
+	d := time.Duration(c.rng() % uint64(ceil))
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		ra := apiErr.RetryAfter
+		if ra > most {
+			ra = most
+		}
+		if ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
@@ -115,6 +363,11 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.retry.AttemptTimeout > 0 {
+		// Propagate the attempt budget so the server can stop working on
+		// an attempt this client has already given up on.
+		req.Header.Set("X-Request-Timeout", c.retry.AttemptTimeout.String())
+	}
 	return c.hc.Do(req)
 }
 
@@ -123,11 +376,12 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		return apiError(res)
 	}
-	return json.NewDecoder(res.Body).Decode(out)
+	err = json.NewDecoder(res.Body).Decode(out)
+	drainClose(res)
+	return err
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
@@ -139,24 +393,59 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		return apiError(res)
 	}
-	return json.NewDecoder(res.Body).Decode(out)
+	err = json.NewDecoder(res.Body).Decode(out)
+	drainClose(res)
+	return err
+}
+
+// drainClose drains a bounded remainder of the body before closing,
+// so the keep-alive connection returns to the pool instead of being
+// torn down with unread bytes on it.
+func drainClose(res *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(res.Body, 256<<10))
+	res.Body.Close()
 }
 
 // apiError turns a non-2xx response into an *APIError, preferring the
-// server's JSON error body and falling back to the raw text.
+// server's JSON error body and falling back to the raw text; the body
+// is always drained and closed here. A Retry-After header (seconds or
+// HTTP date) rides along for the retry layer.
 func apiError(res *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
-	var e ErrorResponse
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return &APIError{StatusCode: res.StatusCode, Message: e.Error}
+	drainClose(res)
+	e := &APIError{
+		StatusCode: res.StatusCode,
+		RetryAfter: parseRetryAfter(res.Header.Get("Retry-After")),
+		Body:       string(body),
 	}
-	msg := strings.TrimSpace(string(body))
-	if msg == "" {
-		msg = fmt.Sprintf("(%s)", http.StatusText(res.StatusCode))
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		e.Message = er.Error
+		return e
 	}
-	return &APIError{StatusCode: res.StatusCode, Message: msg}
+	e.Message = strings.TrimSpace(string(body))
+	if e.Message == "" {
+		e.Message = fmt.Sprintf("(%s)", http.StatusText(res.StatusCode))
+	}
+	return e
+}
+
+// parseRetryAfter reads a Retry-After value: delta-seconds or an HTTP
+// date; unparseable or absent values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -47,6 +47,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 64 MiB)")
 	maxBatch := flag.Int("max-batch", 0, "max pulses per batch request (0 = 8192)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	admissionWait := flag.Duration("admission-wait", 0, "max queue wait for a compile slot before shedding with 429 (0 = 10s, negative = unbounded)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 0, "http.Server ReadHeaderTimeout (0 = 5s, negative = disabled)")
+	readTimeout := flag.Duration("read-timeout", 0, "http.Server ReadTimeout (0 = 2m, negative = disabled)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "http.Server IdleTimeout (0 = 2m, negative = disabled)")
 	storeDir := flag.String("store-dir", "", "persistent image store directory (empty = no persistence)")
 	storeMax := flag.Int64("store-max-bytes", 0, "persistent store size budget in bytes (0 = 1 GiB)")
 	flag.Parse()
@@ -69,8 +73,13 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxBatchPulses: *maxBatch,
 		DrainTimeout:   *drain,
+		AdmissionWait:  *admissionWait,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMax,
+
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,8 +6,10 @@ package core
 
 import (
 	"bytes"
+	"io"
 	"reflect"
 	"testing"
+	"testing/iotest"
 
 	"compaqt/internal/device"
 	"compaqt/internal/wave"
@@ -75,6 +77,58 @@ func FuzzReadImage(f *testing.F) {
 		}
 		if !reflect.DeepEqual(img, img2) {
 			t.Fatal("WriteTo/ReadImage round trip changed the image")
+		}
+	})
+}
+
+// chunkReader delivers at most chunk bytes per Read — the shape of a
+// congested network connection. chunk 0 degenerates to one byte.
+type chunkReader struct {
+	r     io.Reader
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.chunk < 1 {
+		c.chunk = 1
+	}
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	return c.r.Read(p)
+}
+
+// FuzzReadImageShortRead re-runs the reader invariants under injected
+// short reads: data arriving in fuzzer-chosen chunk sizes, possibly cut
+// off mid-stream. Short reads must never change what parses (a valid
+// image stays valid byte-for-byte) and a cut stream must fail cleanly —
+// an error, never a panic or a hang.
+func FuzzReadImageShortRead(f *testing.F) {
+	for _, ws := range []int{4, 16} {
+		raw := seedImage(f, ws)
+		f.Add(raw, uint32(len(raw)), uint8(1))
+		f.Add(raw, uint32(len(raw)/2), uint8(3))
+		f.Add(raw, uint32(7), uint8(0))
+	}
+	f.Add([]byte("CPQT"), uint32(4), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, cut uint32, chunk uint8) {
+		if len(data) > 1<<20 {
+			t.Skip("input larger than the fuzz budget")
+		}
+		if int(cut) < len(data) {
+			data = data[:cut]
+		}
+		want, wantErr := ReadImage(bytes.NewReader(data))
+		got, gotErr := ReadImage(&chunkReader{r: bytes.NewReader(data), chunk: int(chunk)})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("short reads changed the outcome: %v vs %v", wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(want, got) {
+			t.Fatal("short reads changed the parsed image")
+		}
+		// One-byte reads through the stdlib's pathological reader as well.
+		if _, err := ReadImage(iotest.OneByteReader(bytes.NewReader(data))); (err == nil) != (wantErr == nil) {
+			t.Fatalf("one-byte reads changed the outcome: %v vs %v", err, wantErr)
 		}
 	})
 }

@@ -1,0 +1,21 @@
+// Package faults is compaqt's deterministic fault injector: a seeded
+// source of filesystem and transport failures used to prove the
+// resilience of the store, server and client under real machine
+// conditions (torn writes, ENOSPC, connection resets, truncated
+// responses, latency spikes).
+//
+// The injector is compiled only under the faultinject build tag:
+//
+//	go test -tags faultinject ./...
+//
+// Production binaries never carry it — the seams it drives (the
+// fs* wrappers in internal/store, the http.RoundTripper wrapper used
+// by the chaos suite) compile to direct calls without the tag, so the
+// steady-state serving path pays nothing.
+//
+// Faults are drawn from a splitmix64 sequence advanced per decision,
+// so a fixed seed yields a reproducible schedule: the chaos suite runs
+// the same fault pattern on every machine and every rerun. One-shot
+// faults (ArmOneShot) sit outside the probabilistic schedule for
+// targeted tests — "fail exactly the next fsync".
+package faults

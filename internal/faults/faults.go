@@ -1,0 +1,163 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Op identifies one interceptable filesystem operation in the store's
+// durability path.
+type Op uint8
+
+const (
+	// OpWrite covers object and manifest writes (torn-write capable).
+	OpWrite Op = iota
+	// OpSync covers fsync barriers.
+	OpSync
+	// OpRename covers the atomic publish/compaction renames.
+	OpRename
+	// OpCreate covers temp-file creation.
+	OpCreate
+	// OpMmap covers mapping a published object back for serving.
+	OpMmap
+
+	numOps
+)
+
+var opNames = [numOps]string{"write", "sync", "rename", "create", "mmap"}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ErrInjectedIO and ErrInjectedNoSpace are the injector's stock
+// failures. They wrap the real errnos so code classifying errors with
+// errors.Is(err, syscall.EIO) sees exactly what a failing disk raises.
+var (
+	ErrInjectedIO      = fmt.Errorf("faults: injected I/O error: %w", syscall.EIO)
+	ErrInjectedNoSpace = fmt.Errorf("faults: injected full disk: %w", syscall.ENOSPC)
+)
+
+// Fault is one injected decision: sleep Delay, then fail with Err (nil
+// means proceed after the delay). Partial marks a torn write — the seam
+// lands a prefix of the bytes before reporting the error, modeling a
+// crash mid-write.
+type Fault struct {
+	Err     error
+	Partial bool
+	Delay   time.Duration
+}
+
+// Sleep applies the fault's latency, if any.
+func (f *Fault) Sleep() {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+}
+
+// FSConfig is a probabilistic filesystem fault schedule. Probabilities
+// are per-operation in [0, 1]; the zero config injects nothing.
+type FSConfig struct {
+	// Seed fixes the decision sequence; the same seed replays the same
+	// schedule against the same operation order.
+	Seed uint64
+	// Probs is the per-Op failure probability.
+	Probs [5]float64
+	// Err is the injected failure; nil selects ErrInjectedIO.
+	Err error
+	// TornWrites makes failed OpWrites land a prefix first.
+	TornWrites bool
+	// Delay/DelayProb inject latency (without failure) on any op.
+	Delay     time.Duration
+	DelayProb float64
+}
+
+// Injector draws faults from a seeded splitmix64 sequence. It is safe
+// for concurrent use; every decision advances the shared state with
+// one atomic add.
+type Injector struct {
+	cfg      FSConfig
+	state    atomic.Uint64
+	stopped  atomic.Bool
+	injected atomic.Uint64
+
+	oneShot [numOps]atomic.Pointer[Fault]
+}
+
+// NewInjector builds an injector for the given schedule.
+func NewInjector(cfg FSConfig) *Injector {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjectedIO
+	}
+	i := &Injector{cfg: cfg}
+	i.state.Store(cfg.Seed)
+	return i
+}
+
+// rand returns the next uniform float64 in [0, 1): splitmix64 on the
+// shared state, one atomic add per draw.
+func (i *Injector) rand() float64 {
+	x := i.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// ArmOneShot schedules f to fire on exactly the next occurrence of op,
+// outside the probabilistic schedule. Arming while a previous one-shot
+// for op is still pending replaces it.
+func (i *Injector) ArmOneShot(op Op, f Fault) {
+	i.oneShot[op].Store(&f)
+}
+
+// Fault decides whether op fails or stalls; nil means proceed cleanly.
+func (i *Injector) Fault(op Op) *Fault {
+	if i == nil || i.stopped.Load() {
+		return nil
+	}
+	if f := i.oneShot[op].Swap(nil); f != nil {
+		i.injected.Add(1)
+		return f
+	}
+	if p := i.cfg.Probs[op]; p > 0 && i.rand() < p {
+		i.injected.Add(1)
+		return &Fault{Err: i.cfg.Err, Partial: i.cfg.TornWrites && op == OpWrite, Delay: i.cfg.Delay}
+	}
+	if i.cfg.DelayProb > 0 && i.rand() < i.cfg.DelayProb {
+		return &Fault{Delay: i.cfg.Delay}
+	}
+	return nil
+}
+
+// Stop disables the injector: every later Fault call returns nil. The
+// chaos suite calls it to model "faults cease" and assert recovery.
+func (i *Injector) Stop() { i.stopped.Store(true) }
+
+// Resume re-enables a stopped injector.
+func (i *Injector) Resume() { i.stopped.Store(false) }
+
+// Injected reports how many faults have fired.
+func (i *Injector) Injected() uint64 { return i.injected.Load() }
+
+// fsInjector is the process-wide filesystem injector consulted by the
+// store's faultinject seams. Install/Uninstall bracket a test.
+var fsInjector atomic.Pointer[Injector]
+
+// InstallFS makes i the active filesystem injector.
+func InstallFS(i *Injector) { fsInjector.Store(i) }
+
+// UninstallFS deactivates filesystem injection.
+func UninstallFS() { fsInjector.Store(nil) }
+
+// FS returns the active filesystem injector, or nil.
+func FS() *Injector { return fsInjector.Load() }

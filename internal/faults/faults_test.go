@@ -1,0 +1,182 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+)
+
+// drawSequence records which of the next n OpWrite decisions fault.
+func drawSequence(i *Injector, n int) []bool {
+	seq := make([]bool, n)
+	for k := range seq {
+		seq[k] = i.Fault(OpWrite) != nil
+	}
+	return seq
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := FSConfig{Seed: 42, Probs: [5]float64{OpWrite: 0.3}}
+	a := drawSequence(NewInjector(cfg), 200)
+	b := drawSequence(NewInjector(cfg), 200)
+	faults := 0
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("draw %d: injectors with the same seed disagree", k)
+		}
+		if a[k] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("0.3-probability schedule injected %d/%d faults", faults, len(a))
+	}
+	c := drawSequence(NewInjector(FSConfig{Seed: 43, Probs: [5]float64{OpWrite: 0.3}}), 200)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestInjectorOpsIndependent(t *testing.T) {
+	i := NewInjector(FSConfig{Seed: 7, Probs: [5]float64{OpSync: 1}})
+	if i.Fault(OpWrite) != nil {
+		t.Fatal("OpWrite faulted with only OpSync scheduled")
+	}
+	f := i.Fault(OpSync)
+	if f == nil {
+		t.Fatal("OpSync did not fault at probability 1")
+	}
+	if !errors.Is(f.Err, syscall.EIO) {
+		t.Fatalf("default fault error %v, want EIO", f.Err)
+	}
+	if got := i.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestInjectorOneShot(t *testing.T) {
+	i := NewInjector(FSConfig{Seed: 1})
+	i.ArmOneShot(OpRename, Fault{Err: ErrInjectedNoSpace})
+	if i.Fault(OpSync) != nil {
+		t.Fatal("one-shot armed for rename fired on sync")
+	}
+	f := i.Fault(OpRename)
+	if f == nil || !errors.Is(f.Err, syscall.ENOSPC) {
+		t.Fatalf("armed rename fault = %+v, want ENOSPC", f)
+	}
+	if i.Fault(OpRename) != nil {
+		t.Fatal("one-shot fired twice")
+	}
+}
+
+func TestInjectorStopResume(t *testing.T) {
+	i := NewInjector(FSConfig{Seed: 9, Probs: [5]float64{OpWrite: 1}})
+	i.ArmOneShot(OpWrite, Fault{Err: ErrInjectedIO})
+	i.Stop()
+	if i.Fault(OpWrite) != nil {
+		t.Fatal("stopped injector still faulting")
+	}
+	i.Resume()
+	if i.Fault(OpWrite) == nil {
+		t.Fatal("resumed injector stays silent")
+	}
+}
+
+func TestInstallFS(t *testing.T) {
+	if FS() != nil {
+		t.Fatal("an injector is installed at test start")
+	}
+	i := NewInjector(FSConfig{Seed: 3})
+	InstallFS(i)
+	if FS() != i {
+		t.Fatal("InstallFS did not take")
+	}
+	UninstallFS()
+	if FS() != nil {
+		t.Fatal("UninstallFS left the injector installed")
+	}
+	// Fault on a nil receiver (no injector installed) must be a no-op.
+	if FS().Fault(OpWrite) != nil {
+		t.Fatal("nil injector returned a fault")
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	rt := NewRoundTripper(nil, HTTPConfig{Seed: 5, ResetProb: 1})
+	hc := &http.Client{Transport: rt}
+	_, err := hc.Get(ts.URL)
+	if err == nil || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want an injected ECONNRESET", err)
+	}
+	rt.Stop()
+	res, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("stopped transport: %v", err)
+	}
+	res.Body.Close()
+	if got := rt.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestRoundTripper503(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request reached the server through an injected 503")
+	}))
+	defer ts.Close()
+	rt := NewRoundTripper(nil, HTTPConfig{Seed: 5, Prob503: 1, RetryAfter: 7})
+	res, err := (&http.Client{Transport: rt}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", res.StatusCode)
+	}
+	if got := res.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+	if _, err := io.ReadAll(res.Body); err != nil {
+		t.Fatalf("reading synthesized body: %v", err)
+	}
+}
+
+func TestRoundTripperTruncate(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+	rt := NewRoundTripper(nil, HTTPConfig{Seed: 5, TruncateProb: 1})
+	res, err := (&http.Client{Transport: rt}).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	got, err := io.ReadAll(res.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error, want an injected reset", len(got))
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want ECONNRESET", err)
+	}
+	if len(got) >= len(body) {
+		t.Fatalf("truncated body delivered %d bytes of %d", len(got), len(body))
+	}
+}

@@ -1,0 +1,161 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// HTTPConfig is a probabilistic transport fault schedule for the
+// RoundTripper. Probabilities are per-request; the zero config injects
+// nothing.
+type HTTPConfig struct {
+	// Seed fixes the decision sequence.
+	Seed uint64
+	// ResetProb drops the request with a connection-reset error before
+	// it reaches the server.
+	ResetProb float64
+	// Prob503 short-circuits the request with a synthesized 503 carrying
+	// a Retry-After header — the shape of an overloaded peer.
+	Prob503 float64
+	// RetryAfter is the Retry-After value (seconds) on injected 503s;
+	// 0 means 1.
+	RetryAfter int
+	// TruncateProb lets the request through but cuts the response body
+	// partway, modeling a mid-transfer connection loss.
+	TruncateProb float64
+	// Latency/LatencyProb stall a request before it is sent.
+	Latency     time.Duration
+	LatencyProb float64
+}
+
+// ErrInjectedReset is the transport-level failure injected by
+// ResetProb and by body truncation; it wraps ECONNRESET so callers
+// classify it exactly like a real peer reset.
+var ErrInjectedReset = fmt.Errorf("faults: injected connection reset: %w", syscall.ECONNRESET)
+
+// RoundTripper injects transport faults in front of Inner. It is safe
+// for concurrent use and deterministic for a fixed seed and request
+// order.
+type RoundTripper struct {
+	Inner http.RoundTripper
+
+	cfg      HTTPConfig
+	state    atomic.Uint64
+	stopped  atomic.Bool
+	injected atomic.Uint64
+}
+
+// NewRoundTripper wraps inner (nil selects http.DefaultTransport) with
+// the given fault schedule.
+func NewRoundTripper(inner http.RoundTripper, cfg HTTPConfig) *RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	rt := &RoundTripper{Inner: inner, cfg: cfg}
+	rt.state.Store(cfg.Seed)
+	return rt
+}
+
+func (rt *RoundTripper) rand() float64 {
+	x := rt.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Stop disables injection: later requests pass through untouched.
+func (rt *RoundTripper) Stop() { rt.stopped.Store(true) }
+
+// Injected reports how many requests were faulted.
+func (rt *RoundTripper) Injected() uint64 { return rt.injected.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt.stopped.Load() {
+		return rt.Inner.RoundTrip(req)
+	}
+	if rt.cfg.LatencyProb > 0 && rt.rand() < rt.cfg.LatencyProb {
+		time.Sleep(rt.cfg.Latency)
+	}
+	if rt.cfg.ResetProb > 0 && rt.rand() < rt.cfg.ResetProb {
+		rt.injected.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	if rt.cfg.Prob503 > 0 && rt.rand() < rt.cfg.Prob503 {
+		rt.injected.Add(1)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		retryAfter := rt.cfg.RetryAfter
+		if retryAfter == 0 {
+			retryAfter = 1
+		}
+		body := `{"error":"injected overload"}` + "\n"
+		h := http.Header{}
+		h.Set("Content-Type", "application/json")
+		h.Set("Retry-After", strconv.Itoa(retryAfter))
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	res, err := rt.Inner.RoundTrip(req)
+	if err != nil {
+		return res, err
+	}
+	if rt.cfg.TruncateProb > 0 && res.StatusCode == http.StatusOK &&
+		res.ContentLength > 1 && rt.rand() < rt.cfg.TruncateProb {
+		rt.injected.Add(1)
+		// Cut the body at half its declared length; the unchanged
+		// Content-Length makes the shortfall a hard read error at the
+		// client, exactly like a dropped connection.
+		res.Body = &truncatedBody{rc: res.Body, remaining: res.ContentLength / 2}
+	}
+	return res, nil
+}
+
+// truncatedBody serves a prefix of the wrapped body, then fails reads
+// with an injected reset.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, ErrInjectedReset
+	}
+	if int64(len(p)) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.rc.Read(p)
+	t.remaining -= int64(n)
+	if err == nil && t.remaining <= 0 {
+		err = ErrInjectedReset
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"compaqt"
 	"compaqt/client"
@@ -19,10 +21,13 @@ import (
 )
 
 // httpError is an error with a status code attached; handlers build
-// them for every client-visible failure.
+// them for every client-visible failure. A nonzero retryAfter is sent
+// as a Retry-After header — the server's explicit backoff hint for
+// retryable failures (429 shedding, degraded health).
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -98,6 +103,13 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+		if he.retryAfter > 0 {
+			secs := int(he.retryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 	case isCancel(err):
 		status = 499
 	}
@@ -116,11 +128,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	resp := client.HealthResponse{Status: "ok"}
 	// A degraded store (read-only directory, failing GC) is reported
-	// but does not fail the health check: compiles and reads still
-	// work, only persistence of new images is impaired.
+	// but, by default, does not fail the health check: compiles and
+	// reads still work, only persistence of new images is impaired.
+	var storeErr error
 	if s.store != nil {
-		if err := s.store.Healthy(); err != nil {
-			resp.Store = "degraded: " + err.Error()
+		if storeErr = s.store.Healthy(); storeErr != nil {
+			resp.Store = "degraded: " + storeErr.Error()
 		} else {
 			resp.Store = "ok"
 		}
@@ -130,7 +143,57 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
+	// ?strict=1 opts a probe into treating store degradation as a
+	// failing check (503 + Retry-After) — for orchestrators that should
+	// stop routing durability-sensitive work here until the store's
+	// re-probe loop heals it.
+	if storeErr != nil && r.URL.Query().Get("strict") == "1" {
+		resp.Status = "degraded"
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// requestContext derives the compile context for a request. When the
+// client declares its per-attempt budget in X-Request-Timeout (a Go
+// duration string, or bare seconds), the server adopts it as a context
+// deadline, so an attempt the client has already abandoned stops
+// consuming compile capacity instead of running to completion for
+// nobody. Returns a nil cancel when no budget was declared.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	v := r.Header.Get("X-Request-Timeout")
+	if v == "" {
+		return r.Context(), nil, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		secs, ferr := strconv.ParseFloat(v, 64)
+		if ferr != nil {
+			return nil, nil, badRequest("invalid X-Request-Timeout %q (want a duration like 2s)", v)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d <= 0 {
+		return nil, nil, badRequest("X-Request-Timeout %q must be positive", v)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// mapDeadline distinguishes the server-enforced header deadline from a
+// true client disconnect: when the derived deadline fired while the
+// connection is still live, the right answer is 504 (the work exceeded
+// the declared budget), not 499 (nobody is listening).
+func mapDeadline(r *http.Request, hadDeadline bool, err error) error {
+	if hadDeadline && errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil {
+		return &httpError{
+			status: http.StatusGatewayTimeout,
+			msg:    "compile exceeded the X-Request-Timeout budget",
+		}
+	}
+	return err
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +207,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ClientErrors: s.m.clientErrors.Load(),
 			ServerErrors: s.m.serverErrors.Load(),
 			Canceled:     s.m.canceled.Load(),
+			Shed:         s.m.shed.Load(),
 			WriteErrors:  s.m.writeErrors.Load(),
 			InFlight:     s.m.inFlight.Load(),
 			PeakInFlight: s.m.peakInFlight.Load(),
@@ -168,20 +232,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &client.StoreStats{
-			Objects:        st.Objects,
-			Names:          st.Names,
-			Bytes:          st.Bytes,
-			MaxBytes:       st.MaxBytes,
-			Hits:           st.Hits,
-			Misses:         st.Misses,
-			Puts:           st.Puts,
-			PutDedups:      st.PutDedups,
-			Evictions:      st.Evictions,
-			EvictedBytes:   st.EvictedBytes,
-			MmapServes:     st.MmapServes,
-			CopyServes:     st.CopyServes,
-			Recovered:      st.Recovered,
-			OrphansCleaned: st.OrphansCleaned,
+			Objects:         st.Objects,
+			Names:           st.Names,
+			Bytes:           st.Bytes,
+			MaxBytes:        st.MaxBytes,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			Puts:            st.Puts,
+			PutDedups:       st.PutDedups,
+			Evictions:       st.Evictions,
+			EvictedBytes:    st.EvictedBytes,
+			MmapServes:      st.MmapServes,
+			CopyServes:      st.CopyServes,
+			RecoveredWrites: st.RecoveredWrites,
+			Probes:          st.Probes,
+			Recovered:       st.Recovered,
+			OrphansCleaned:  st.OrphansCleaned,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -279,9 +345,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("%v", err))
 		return
 	}
-	ctx := r.Context()
-	if err := s.acquire(ctx); err != nil {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.fail(w, mapDeadline(r, cancel != nil, err))
 		return
 	}
 	defer s.release()
@@ -292,7 +365,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	sc.one[0] = p
 	img, err := svc.CompilePulses(ctx, name, sc.one[:])
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, mapDeadline(r, cancel != nil, err))
 		return
 	}
 	if req.Image != "" {
@@ -337,9 +410,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("%v", err))
 		return
 	}
-	ctx := r.Context()
-	if err := s.acquire(ctx); err != nil {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.fail(w, mapDeadline(r, cancel != nil, err))
 		return
 	}
 	defer s.release()
@@ -349,7 +429,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	img, err := svc.CompileBatch(ctx, name, pulses)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, mapDeadline(r, cancel != nil, err))
 		return
 	}
 	var si *storedImage

@@ -57,6 +57,13 @@ type Config struct {
 	// means 2*NumCPU. Excess requests queue on the admission semaphore
 	// and abort if their client disconnects while waiting.
 	MaxInFlight int
+	// AdmissionWait bounds how long an over-capacity request queues for
+	// a compile slot before the server sheds it with 429 + Retry-After
+	// (load-shedding beats queue collapse: a shed client backs off and
+	// retries, a queued one ties up a connection). 0 means 10s;
+	// negative restores unbounded queueing (the request waits as long
+	// as its client does).
+	AdmissionWait time.Duration
 	// MaxBodyBytes bounds a request body; 0 means 64 MiB.
 	MaxBodyBytes int64
 	// MaxBatchPulses bounds the pulse count of one batch; 0 means 8192.
@@ -74,6 +81,16 @@ type Config struct {
 	// StoreMaxBytes bounds the persistent store; 0 means
 	// compaqt.DefaultStoreMaxBytes.
 	StoreMaxBytes int64
+	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden Run's
+	// http.Server against slow and stalled clients (slowloris): 0
+	// selects the defaults (5s, 2m, 2m); negative disables a timeout.
+	// WriteTimeout is deliberately not set — large batch compiles
+	// legitimately take a while to answer, and the drain path already
+	// bounds shutdown. Handlers mounted via Handler() are unaffected;
+	// the timeouts belong to the listener Run owns.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +115,23 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = 10 * time.Second
+	}
+	// Resolve the listener timeouts to their final values: 0 selects
+	// the safe default, negative means disabled (0 on http.Server).
+	resolve := func(d, def time.Duration) time.Duration {
+		switch {
+		case d == 0:
+			return def
+		case d < 0:
+			return 0
+		}
+		return d
+	}
+	c.ReadHeaderTimeout = resolve(c.ReadHeaderTimeout, 5*time.Second)
+	c.ReadTimeout = resolve(c.ReadTimeout, 2*time.Minute)
+	c.IdleTimeout = resolve(c.IdleTimeout, 2*time.Minute)
 	switch {
 	case c.CacheSize == 0:
 		c.CacheSize = compaqt.DefaultCacheSize
@@ -178,6 +212,9 @@ type metrics struct {
 	clientErrors atomic.Uint64
 	serverErrors atomic.Uint64
 	canceled     atomic.Uint64
+	// shed counts requests turned away with 429 at the admission
+	// deadline — the overload signal, distinct from client errors.
+	shed         atomic.Uint64
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 
@@ -350,20 +387,54 @@ func (s *Server) service(o *client.CompileOptions) (*compaqt.Service, error) {
 	return svc, nil
 }
 
-// acquire admits one compile into the bounded in-flight section,
-// blocking while the server is saturated. It fails when the caller's
-// context is canceled first (client disconnect, shutdown).
+// acquire admits one compile into the bounded in-flight section. A
+// saturated server queues the request up to AdmissionWait and then
+// sheds it with 429 + Retry-After — overload becomes an explicit,
+// retryable signal instead of an ever-growing queue. The fast path is
+// one non-blocking channel send; the timer exists only while actually
+// queued. It fails immediately when the caller's context is canceled
+// (client disconnect, shutdown).
 func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+		if err := s.acquireSlow(ctx); err != nil {
+			return err
+		}
 	}
 	n := s.m.inFlight.Add(1)
 	for {
 		peak := s.m.peakInFlight.Load()
 		if n <= peak || s.m.peakInFlight.CompareAndSwap(peak, n) {
 			return nil
+		}
+	}
+}
+
+// acquireSlow is acquire's queued path: wait for a slot, the caller's
+// disconnect, or the admission deadline, whichever comes first.
+func (s *Server) acquireSlow(ctx context.Context) error {
+	if s.cfg.AdmissionWait < 0 {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.cfg.AdmissionWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		s.m.shed.Add(1)
+		return &httpError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("server is at compile capacity (%d in flight); retry after backoff", s.cfg.MaxInFlight),
+			retryAfter: time.Second,
 		}
 	}
 }
@@ -458,8 +529,15 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(net.Addr)) err
 	}
 	// Request contexts deliberately derive from their connections, not
 	// from ctx: graceful shutdown must let in-flight compiles finish
-	// (Shutdown waits for them), not cancel them mid-encode.
-	hs := &http.Server{Handler: s.Handler()}
+	// (Shutdown waits for them), not cancel them mid-encode. The read
+	// and idle timeouts bound slow/stalled clients (slowloris); write
+	// timeouts are deliberately absent — see Config.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	if ready != nil {
 		ready(ln.Addr())
 	}

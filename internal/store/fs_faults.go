@@ -1,0 +1,70 @@
+//go:build faultinject
+
+package store
+
+import (
+	"os"
+
+	"compaqt/internal/faults"
+)
+
+// Faultinject builds route the durability-path filesystem operations
+// through the process-wide injector (faults.InstallFS). With no
+// injector installed the seams behave exactly like the production
+// wrappers in fs_prod.go.
+
+func fsCreateTemp(dir, pattern string) (*os.File, error) {
+	if ft := faults.FS().Fault(faults.OpCreate); ft != nil {
+		ft.Sleep()
+		if ft.Err != nil {
+			return nil, ft.Err
+		}
+	}
+	return os.CreateTemp(dir, pattern)
+}
+
+func fsWrite(f *os.File, b []byte) (int, error) {
+	if ft := faults.FS().Fault(faults.OpWrite); ft != nil {
+		ft.Sleep()
+		if ft.Err != nil {
+			if ft.Partial && len(b) > 1 {
+				// Torn write: land a prefix before failing, the
+				// crash-mid-write shape recovery must tolerate.
+				n, _ := f.Write(b[:len(b)/2])
+				return n, ft.Err
+			}
+			return 0, ft.Err
+		}
+	}
+	return f.Write(b)
+}
+
+func fsSync(f *os.File) error {
+	if ft := faults.FS().Fault(faults.OpSync); ft != nil {
+		ft.Sleep()
+		if ft.Err != nil {
+			return ft.Err
+		}
+	}
+	return f.Sync()
+}
+
+func fsRename(oldpath, newpath string) error {
+	if ft := faults.FS().Fault(faults.OpRename); ft != nil {
+		ft.Sleep()
+		if ft.Err != nil {
+			return ft.Err
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func fsMapFile(f *os.File, size int64) ([]byte, error) {
+	if ft := faults.FS().Fault(faults.OpMmap); ft != nil {
+		ft.Sleep()
+		if ft.Err != nil {
+			return nil, ft.Err
+		}
+	}
+	return mapFile(f, size)
+}

@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package store
+
+import "os"
+
+// The fs* seams route every durability-path filesystem operation
+// (publish, manifest append, compaction) through one indirection point
+// so the faultinject build can interpose a deterministic injector. In
+// production builds they are these trivial wrappers, which the
+// compiler inlines — the serving and publish paths carry zero
+// fault-injection overhead.
+
+func fsCreateTemp(dir, pattern string) (*os.File, error) { return os.CreateTemp(dir, pattern) }
+
+func fsWrite(f *os.File, b []byte) (int, error) { return f.Write(b) }
+
+func fsSync(f *os.File) error { return f.Sync() }
+
+func fsRename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func fsMapFile(f *os.File, size int64) ([]byte, error) { return mapFile(f, size) }

@@ -136,10 +136,10 @@ func appendRecord(f *os.File, op byte, name string, r bindRec) error {
 	if f == nil {
 		return fmt.Errorf("store: manifest is not writable")
 	}
-	if _, err := f.Write(encodeRecord(op, name, r)); err != nil {
+	if _, err := fsWrite(f, encodeRecord(op, name, r)); err != nil {
 		return err
 	}
-	return f.Sync()
+	return fsSync(f)
 }
 
 // namedBind pairs a name with its binding for compaction.
@@ -152,7 +152,7 @@ type namedBind struct {
 // fresh log holding exactly the given binds: temp file in the same
 // directory, one fsync, rename over the old log.
 func writeCompactManifest(path string, binds []namedBind) error {
-	f, err := os.CreateTemp(filepath.Dir(path), "manifest-*.tmp")
+	f, err := fsCreateTemp(filepath.Dir(path), "manifest-*.tmp")
 	if err != nil {
 		return err
 	}
@@ -162,16 +162,16 @@ func writeCompactManifest(path string, binds []namedBind) error {
 		if err != nil {
 			break
 		}
-		_, err = f.Write(encodeRecord(opBind, b.name, b.rec))
+		_, err = fsWrite(f, encodeRecord(opBind, b.name, b.rec))
 	}
 	if err == nil {
-		err = f.Sync()
+		err = fsSync(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fsRename(tmp, path)
 	}
 	if err != nil {
 		os.Remove(tmp)

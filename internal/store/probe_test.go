@@ -1,0 +1,83 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProbeHealsDegradedStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if err := s.PutImage("lib", testImage(t, "lib", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Park the background loop so the direct Probe call below is the
+	// only healer in play.
+	s.SetProbeInterval(time.Hour)
+	s.setErr(errors.New("synthetic degradation"))
+	if err := s.Healthy(); err == nil {
+		t.Fatal("Healthy() = nil after setErr")
+	}
+	if !s.Probe() {
+		t.Fatal("Probe() = false on a store whose disk works")
+	}
+	if err := s.Healthy(); err != nil {
+		t.Fatalf("Healthy() = %v after a successful probe", err)
+	}
+	st := s.Stats()
+	if st.Probes < 1 || st.RecoveredWrites != 1 {
+		t.Fatalf("stats = probes %d / recovered %d, want >=1 / 1", st.Probes, st.RecoveredWrites)
+	}
+	// A healthy store's probe is a no-op success.
+	if !s.Probe() {
+		t.Fatal("Probe() = false on a healthy store")
+	}
+	if got := s.Stats().Probes; got != st.Probes {
+		t.Fatalf("healthy probe did IO: probes %d -> %d", st.Probes, got)
+	}
+}
+
+func TestProbeLoopHealsAutomatically(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	s.SetProbeInterval(2 * time.Millisecond)
+	s.setErr(errors.New("synthetic degradation"))
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Healthy() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("re-probe loop did not heal the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Stats().RecoveredWrites; got != 1 {
+		t.Fatalf("RecoveredWrites = %d, want 1", got)
+	}
+}
+
+func TestProbeFailsWhileManifestUnwritable(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "MANIFEST"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetProbeInterval(time.Hour)
+	if s.Probe() {
+		t.Fatal("Probe() = true with a directory squatting on the manifest")
+	}
+	if err := s.Healthy(); err == nil {
+		t.Fatal("Healthy() = nil while the manifest stays unwritable")
+	}
+}
+
+func TestProbeAfterCloseIsFalse(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	s.Close()
+	if s.Probe() {
+		t.Fatal("Probe() = true on a closed store")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"compaqt/internal/cache"
 	"compaqt/internal/core"
@@ -148,13 +149,21 @@ type Store struct {
 
 	clock atomic.Int64
 
-	errMu   sync.Mutex
-	lastErr error
+	// errMu guards the degraded-state machine: lastErr (nil = healthy),
+	// the re-probe goroutine's liveness flag and its interval. Lock
+	// order is always mu before errMu, never the reverse.
+	errMu      sync.Mutex
+	lastErr    error
+	probing    bool
+	probeEvery time.Duration
+	probeStop  chan struct{}
 
 	hits, misses           atomic.Uint64
 	puts, putDedups        atomic.Uint64
 	evictions, evictedByte atomic.Uint64
 	mmapServes, copyServes atomic.Uint64
+	recoveredWrites        atomic.Uint64
+	probes                 atomic.Uint64
 	recovered, orphans     int // set once by Open's scan
 }
 
@@ -174,6 +183,10 @@ type Stats struct {
 	// MmapServes and CopyServes split Get hits by read path: page-cache
 	// mappings vs the heap-copy fallback.
 	MmapServes, CopyServes uint64
+	// RecoveredWrites counts degraded -> healthy transitions: each is a
+	// persistence failure that healed (by re-probe or a succeeding
+	// write) without a restart. Probes counts re-probe attempts.
+	RecoveredWrites, Probes uint64
 	// Recovered is the bindings the startup scan restored (the warm
 	// restart); OrphansCleaned the tmp files, unreferenced objects and
 	// corrupt entries it swept.
@@ -195,12 +208,14 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		return nil, fmt.Errorf("store: max bytes %d must be positive", maxBytes)
 	}
 	s := &Store{
-		dir:      dir,
-		objDir:   filepath.Join(dir, "objects"),
-		manPath:  filepath.Join(dir, "MANIFEST"),
-		maxBytes: maxBytes,
-		byName:   map[string]*object{},
-		byKey:    map[cache.Key]*object{},
+		dir:        dir,
+		objDir:     filepath.Join(dir, "objects"),
+		manPath:    filepath.Join(dir, "MANIFEST"),
+		maxBytes:   maxBytes,
+		byName:     map[string]*object{},
+		byKey:      map[cache.Key]*object{},
+		probeEvery: defaultProbeEvery,
+		probeStop:  make(chan struct{}),
 	}
 	if err := os.MkdirAll(s.objDir, 0o777); err != nil {
 		if fi, statErr := os.Stat(s.objDir); statErr != nil || !fi.IsDir() {
@@ -338,7 +353,7 @@ func (s *Store) loadObject(path string, size int64) (data []byte, mapped bool, e
 	}
 	defer f.Close()
 	if mmapSupported && !s.noMmap {
-		if data, err := mapFile(f, size); err == nil {
+		if data, err := fsMapFile(f, size); err == nil {
 			return data, true, nil
 		}
 	}
@@ -508,21 +523,21 @@ func (s *Store) Put(name string, key cache.Key, wire []byte) error {
 // and renames it to its content address, then maps it back for serving.
 func (s *Store) publish(key cache.Key, wire []byte) (data []byte, mapped bool, sum cache.Key, err error) {
 	sum = sumBytes(wire)
-	f, err := os.CreateTemp(s.objDir, "pub-*.tmp")
+	f, err := fsCreateTemp(s.objDir, "pub-*.tmp")
 	if err != nil {
 		return nil, false, sum, fmt.Errorf("publishing object: %w", err)
 	}
 	tmp := f.Name()
-	_, err = f.Write(wire)
+	_, err = fsWrite(f, wire)
 	if err == nil {
-		err = f.Sync()
+		err = fsSync(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	path := s.objectPath(key)
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fsRename(tmp, path)
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -664,14 +679,21 @@ func (s *Store) Stats() Stats {
 		Puts: s.puts.Load(), PutDedups: s.putDedups.Load(),
 		Evictions: s.evictions.Load(), EvictedBytes: s.evictedByte.Load(),
 		MmapServes: s.mmapServes.Load(), CopyServes: s.copyServes.Load(),
+		RecoveredWrites: s.recoveredWrites.Load(), Probes: s.probes.Load(),
 		Recovered: s.recovered, OrphansCleaned: s.orphans,
 	}
 }
 
+// defaultProbeEvery is the degraded store's re-probe cadence; see
+// SetProbeInterval.
+const defaultProbeEvery = time.Second
+
 // Healthy reports the store's readiness: nil when fully operational,
 // the most recent persistence failure otherwise (read-only directory,
 // failing GC, manifest trouble). A degraded store keeps serving reads;
-// callers surface the state as degraded, not down.
+// callers surface the state as degraded, not down. Degradation is not
+// terminal: a background re-probe loop retries the write path every
+// probe interval and heals the store as soon as the disk recovers.
 func (s *Store) Healthy() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
@@ -681,13 +703,117 @@ func (s *Store) Healthy() error {
 func (s *Store) setErr(err error) {
 	s.errMu.Lock()
 	s.lastErr = err
+	s.startProbeLoopLocked()
 	s.errMu.Unlock()
 }
 
+// clearErr marks the store healthy; a degraded -> healthy transition
+// counts as one recovered write path.
 func (s *Store) clearErr() {
 	s.errMu.Lock()
+	if s.lastErr != nil {
+		s.recoveredWrites.Add(1)
+	}
 	s.lastErr = nil
 	s.errMu.Unlock()
+}
+
+// SetProbeInterval adjusts the degraded re-probe cadence (default 1s).
+// Non-positive intervals are ignored.
+func (s *Store) SetProbeInterval(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.errMu.Lock()
+	s.probeEvery = d
+	s.errMu.Unlock()
+}
+
+// startProbeLoopLocked (errMu held) ensures exactly one re-probe
+// goroutine runs while the store is degraded.
+func (s *Store) startProbeLoopLocked() {
+	if s.probing {
+		return
+	}
+	s.probing = true
+	go s.probeLoop()
+}
+
+// probeLoop retries the write path until the store heals or closes.
+func (s *Store) probeLoop() {
+	for {
+		s.errMu.Lock()
+		every := s.probeEvery
+		s.errMu.Unlock()
+		select {
+		case <-s.probeStop:
+			s.errMu.Lock()
+			s.probing = false
+			s.errMu.Unlock()
+			return
+		case <-time.After(every):
+		}
+		s.Probe()
+		s.errMu.Lock()
+		if s.lastErr == nil {
+			s.probing = false
+			s.errMu.Unlock()
+			return
+		}
+		s.errMu.Unlock()
+	}
+}
+
+// Probe attempts to restore a degraded store's write path right now:
+// it reopens the manifest append handle if it was lost (a failed
+// compaction leaves it nil), fsyncs it, and round-trips a scratch file
+// through the objects directory. Success clears the degraded state —
+// manifest appends resume and the recovery shows up in
+// Stats.RecoveredWrites. Healthy stores return true immediately; the
+// background loop calls this on the probe interval, and tests may call
+// it directly for a deterministic re-probe.
+func (s *Store) Probe() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.Healthy() == nil {
+		return true
+	}
+	s.probes.Add(1)
+	if s.man == nil {
+		f, err := openAppend(s.manPath)
+		if err != nil {
+			s.setErr(fmt.Errorf("manifest open: %w", err))
+			return false
+		}
+		s.man = f
+	}
+	if err := fsSync(s.man); err != nil {
+		s.setErr(fmt.Errorf("manifest fsync: %w", err))
+		return false
+	}
+	f, err := fsCreateTemp(s.objDir, "probe-*.tmp")
+	if err != nil {
+		s.setErr(fmt.Errorf("object dir probe: %w", err))
+		return false
+	}
+	tmp := f.Name()
+	_, werr := fsWrite(f, []byte("probe"))
+	if werr == nil {
+		werr = fsSync(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	os.Remove(tmp)
+	if werr != nil {
+		s.setErr(fmt.Errorf("object dir probe: %w", werr))
+		return false
+	}
+	s.clearErr()
+	return true
 }
 
 // Flush fsyncs the manifest. Appends are already durable record by
@@ -712,6 +838,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.probeStop) // stop the degraded re-probe loop, if running
 	for _, o := range s.byKey {
 		n := int64(len(o.bound))
 		o.bound = nil

@@ -3,6 +3,7 @@ package compaqt
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"compaqt/codec"
 )
@@ -28,6 +29,9 @@ type config struct {
 	// DefaultStoreMaxBytes).
 	storeDir      string
 	storeMaxBytes int64
+	// storeProbeEvery, when nonzero, overrides the degraded store's
+	// re-probe cadence (WithStoreProbeInterval).
+	storeProbeEvery time.Duration
 }
 
 func defaultConfig() config {
@@ -191,6 +195,22 @@ func WithStore(dir string, maxBytes int64) Option {
 		}
 		c.storeDir = dir
 		c.storeMaxBytes = maxBytes
+		return nil
+	}
+}
+
+// WithStoreProbeInterval sets how often a degraded persistent store
+// re-probes its write path (default 1s). A store degrades — it keeps
+// serving reads but fails new publishes softly — when the disk errors;
+// the re-probe loop heals it automatically once writes succeed again,
+// with no restart. Shorter intervals recover faster at the cost of
+// more probe IO while degraded.
+func WithStoreProbeInterval(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("compaqt: store probe interval %v must be positive", d)
+		}
+		c.storeProbeEvery = d
 		return nil
 	}
 }

@@ -108,6 +108,9 @@ func New(opts ...Option) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.storeProbeEvery > 0 {
+			st.SetProbeInterval(cfg.storeProbeEvery)
+		}
 		s.store = st
 		// The cleanup must capture only the store — referencing s would
 		// keep the Service reachable forever.
