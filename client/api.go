@@ -8,7 +8,9 @@
 //	POST /v1/compile        one pulse  -> entry summary
 //	POST /v1/compile/batch  pulse list -> order-stable, dedup-aware batch
 //	GET  /v1/images/{name}  serialized CPQT image (wire format)
+//	PUT  /v1/images/{name}  publish wire bytes (cluster replication)
 //	GET  /v1/stats          cache + request metrics
+//	GET  /v1/cluster        consistent-hash ring view + peer health
 //	GET  /healthz           liveness / drain state
 package client
 
@@ -256,6 +258,52 @@ type StoreStats struct {
 	OrphansCleaned int `json:"orphans_cleaned"`
 }
 
+// ClusterStats is the cluster-tier block of /v1/stats (absent when the
+// server runs without peers). Like every stats block, the counters are
+// snapshotted per-field from independent atomics: a snapshot taken
+// under load may tear across fields (a forward counted whose fill is
+// not yet), so treat cross-field arithmetic as approximate.
+type ClusterStats struct {
+	// Self is this node's advertised member URL.
+	Self string `json:"self"`
+	// Replication is the publish fan-out: owner plus ring successors.
+	Replication int `json:"replication"`
+	// Forwarded counts image GETs this node answered from a peer;
+	// PeerFills the remote fetches written through to the local store;
+	// PeerErrors the failed peer attempts (fetch or publish).
+	Forwarded  uint64 `json:"forwarded"`
+	PeerFills  uint64 `json:"peer_fills"`
+	PeerErrors uint64 `json:"peer_errors"`
+}
+
+// PeerStatus is one member row of the GET /v1/cluster ring view.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// Self marks the answering node's own row.
+	Self bool `json:"self,omitempty"`
+	// Alive is the node's current liveness verdict: probes and
+	// transport failures mark a peer down, a healthy probe heals it.
+	Alive bool `json:"alive"`
+	// Share is the fraction of the digest space the member's virtual
+	// nodes own (≈ 1/members when balanced).
+	Share float64 `json:"share"`
+	// LastError is the most recent probe or forward failure, empty for
+	// a healthy peer.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: the consistent-hash
+// ring as this node sees it.
+type ClusterResponse struct {
+	Self        string       `json:"self"`
+	Replication int          `json:"replication"`
+	VNodes      int          `json:"vnodes"`
+	Peers       []PeerStatus `json:"peers"`
+	Forwarded   uint64       `json:"forwarded"`
+	PeerFills   uint64       `json:"peer_fills"`
+	PeerErrors  uint64       `json:"peer_errors"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Codec    string       `json:"codec"`
@@ -264,8 +312,11 @@ type StatsResponse struct {
 	Compile  CompileStats `json:"compile"`
 	Cache    CacheStats   `json:"cache"`
 	// Store reports the persistent image store; nil when disabled.
-	Store  *StoreStats `json:"store,omitempty"`
-	Images []string    `json:"images"`
+	Store *StoreStats `json:"store,omitempty"`
+	// Cluster reports the digest-sharded serving tier; nil when the
+	// server runs standalone.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+	Images  []string      `json:"images"`
 }
 
 // HealthResponse is the body of GET /healthz ("ok" or "draining").

@@ -33,6 +33,13 @@ type Client struct {
 	hc    *http.Client
 	retry RetryPolicy
 	hedge time.Duration
+	// timeoutHeader caches retry.AttemptTimeout.String() so the hot
+	// request path does not re-format the same duration per call.
+	timeoutHeader string
+	// extra holds WithHeader's static headers. Values are shared
+	// slices assigned into each request's header map — one map insert
+	// per request instead of a cloning RoundTripper.
+	extra http.Header
 
 	// sleep and rng are test seams; production clients keep the
 	// defaults (context-aware timer sleep, the shared PRNG).
@@ -98,6 +105,19 @@ func WithHedge(delay time.Duration) Option {
 	}
 }
 
+// WithHeader stamps a static header on every request the client
+// sends. The cluster tier marks inter-peer traffic with it; it beats a
+// header-setting RoundTripper, which must clone each request to stay
+// mutation-free.
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.extra == nil {
+			c.extra = make(http.Header, 1)
+		}
+		c.extra.Set(key, value)
+	}
+}
+
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8371").
 func New(baseURL string, opts ...Option) *Client {
@@ -110,6 +130,9 @@ func New(baseURL string, opts ...Option) *Client {
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.retry.AttemptTimeout > 0 {
+		c.timeoutHeader = c.retry.AttemptTimeout.String()
 	}
 	return c
 }
@@ -191,6 +214,37 @@ func (c *Client) ImageRaw(ctx context.Context, name string) ([]byte, error) {
 	return b, nil
 }
 
+// ImageReader streams a stored image's wire bytes without buffering
+// them: the returned reader is the response body, and the int64 is the
+// declared Content-Length (-1 when chunked). Retries cover the
+// connection and header phase only — once bytes flow, a failure
+// surfaces to the caller, who owns closing the reader. This is the
+// relay primitive: a pure-proxy cluster node pipes a peer's body
+// straight into its own response, overlapping the two hops instead of
+// buffering an image of any size in between. Hedging does not apply;
+// it exists to race buffered reads, not to tee two live streams.
+func (c *Client) ImageReader(ctx context.Context, name string) (io.ReadCloser, int64, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
+		if err == nil {
+			if res.StatusCode == http.StatusOK {
+				return res.Body, res.ContentLength, nil
+			}
+			err = apiError(res)
+		}
+		if attempt+1 >= attempts || ctx.Err() != nil || !retryableErr(err) {
+			return nil, 0, err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return nil, 0, err
+		}
+	}
+}
+
 // Image fetches a stored image and deserializes it, ready for local
 // playback through a compaqt.Service.
 func (c *Client) Image(ctx context.Context, name string) (*compaqt.Image, error) {
@@ -208,7 +262,11 @@ func (c *Client) Image(ctx context.Context, name string) (*compaqt.Image, error)
 // response wins, and the loser is canceled through the shared context.
 // A failed first attempt before the hedge fires is returned directly —
 // failure handling belongs to the retry layer, hedging only covers
-// slowness.
+// slowness. When both attempts fail, the error returned is the most
+// recent one, except that a typed *APIError (the server actually
+// answered) always beats a bare transport failure: the attempt whose
+// request died of the shared-context cancellation race must not mask
+// what the server really said.
 func (c *Client) imageRawHedged(ctx context.Context, name string) ([]byte, error) {
 	if c.hedge <= 0 {
 		return c.imageRawOnce(ctx, name)
@@ -229,18 +287,23 @@ func (c *Client) imageRawHedged(ctx context.Context, name string) ([]byte, error
 	hedged := false
 	timer := time.NewTimer(c.hedge)
 	defer timer.Stop()
-	var firstErr error
+	var lastErr, lastAPIErr error
 	for {
 		select {
 		case r := <-resc:
 			if r.err == nil {
 				return r.b, nil
 			}
-			if firstErr == nil {
-				firstErr = r.err
+			lastErr = r.err
+			var apiErr *APIError
+			if errors.As(r.err, &apiErr) {
+				lastAPIErr = r.err
 			}
 			if outstanding--; outstanding == 0 {
-				return nil, firstErr
+				if lastAPIErr != nil {
+					return nil, lastAPIErr
+				}
+				return nil, lastErr
 			}
 		case <-timer.C:
 			if !hedged {
@@ -252,6 +315,54 @@ func (c *Client) imageRawHedged(ctx context.Context, name string) ([]byte, error
 	}
 }
 
+// PutImageRaw publishes serialized wire-format image bytes under name
+// (PUT /v1/images/{name}). The server decodes and validates the bytes
+// before storing them, so a corrupted body is rejected, not served.
+// Content addressing makes the call idempotent — re-putting identical
+// bytes is a server-side dedup — which is what lets it retry. This is
+// the cluster replication primitive: a compiling node pushes each
+// image to its digest's ring owner through it.
+func (c *Client) PutImageRaw(ctx context.Context, name string, wire []byte) error {
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			c.base+"/v1/images/"+url.PathEscape(name), bytes.NewReader(wire))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if c.retry.AttemptTimeout > 0 {
+			req.Header.Set("X-Request-Timeout", c.timeoutHeader)
+		}
+		for k, v := range c.extra {
+			req.Header[k] = v
+		}
+		res, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if res.StatusCode != http.StatusOK && res.StatusCode != http.StatusNoContent {
+			return apiError(res)
+		}
+		drainClose(res)
+		return nil
+	})
+}
+
+// ClusterView fetches the server's ring view (GET /v1/cluster):
+// membership, per-peer health, key-space shares and the forwarding
+// counters. Servers running without a -peers cluster answer 404.
+func (c *Client) ClusterView(ctx context.Context) (*ClusterResponse, error) {
+	var v ClusterResponse
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		v = ClusterResponse{}
+		return c.getJSON(ctx, "/v1/cluster", &v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
 func (c *Client) imageRawOnce(ctx context.Context, name string) ([]byte, error) {
 	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
 	if err != nil {
@@ -260,12 +371,35 @@ func (c *Client) imageRawOnce(ctx context.Context, name string) ([]byte, error) 
 	if res.StatusCode != http.StatusOK {
 		return nil, apiError(res)
 	}
-	b, err := io.ReadAll(res.Body)
+	b, err := readBody(res)
 	if err != nil {
 		drainClose(res)
 		return nil, err
 	}
 	res.Body.Close()
+	return b, nil
+}
+
+// readBody reads a response body into one right-sized buffer when the
+// server declared its length — the image endpoints always do — instead
+// of io.ReadAll's grow-and-copy loop, which matters on the forwarding
+// hot path where every image GET rides this. Chunked or absurd lengths
+// fall back to ReadAll; a body shorter than declared surfaces as
+// io.ErrUnexpectedEOF (a retryable transport failure), longer as an
+// explicit error.
+func readBody(res *http.Response) ([]byte, error) {
+	n := res.ContentLength
+	if n < 0 || n > 1<<30 {
+		return io.ReadAll(res.Body)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(res.Body, b); err != nil {
+		return nil, err
+	}
+	var tail [1]byte
+	if m, _ := res.Body.Read(tail[:]); m > 0 {
+		return nil, fmt.Errorf("client: body exceeds declared Content-Length %d", n)
+	}
 	return b, nil
 }
 
@@ -366,7 +500,10 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	if c.retry.AttemptTimeout > 0 {
 		// Propagate the attempt budget so the server can stop working on
 		// an attempt this client has already given up on.
-		req.Header.Set("X-Request-Timeout", c.retry.AttemptTimeout.String())
+		req.Header.Set("X-Request-Timeout", c.timeoutHeader)
+	}
+	for k, v := range c.extra {
+		req.Header[k] = v
 	}
 	return c.hc.Do(req)
 }

@@ -257,6 +257,47 @@ func TestHedgeFirstFailureReturnsWithoutWaiting(t *testing.T) {
 	}
 }
 
+// TestHedgeFailureDoesNotMaskAPIError pins the hedged-failure error
+// choice: when the first attempt dies of a transport failure after the
+// hedge has launched, the hedge's typed *APIError — the server's
+// actual answer — must come back, not the stale transport error the
+// old code pinned as "first". Channel handshakes order the failures
+// deterministically: first attempt aborts mid-response only once the
+// hedge is in flight, the hedge answers 404 only after the abort.
+func TestHedgeFailureDoesNotMaskAPIError(t *testing.T) {
+	var calls atomic.Int64
+	hedgeStarted := make(chan struct{})
+	firstAborted := make(chan struct{})
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			<-hedgeStarted
+			defer close(firstAborted)
+			panic(http.ErrAbortHandler) // transport-level failure to the client
+		default:
+			close(hedgeStarted)
+			<-firstAborted
+			// Let the first attempt's transport error reach the hedging
+			// loop before this response does, reproducing the masking
+			// order. (The fix holds under either arrival order; only the
+			// old code's failure is order-dependent.)
+			time.Sleep(20 * time.Millisecond)
+			http.Error(w, `{"error":"no stored image"}`, http.StatusNotFound)
+		}
+	}), WithHedge(time.Millisecond), WithRetryDisabled())
+	_, err := c.ImageRaw(context.Background(), "img")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want the hedge's *APIError, not the first attempt's transport error", err)
+	}
+	if apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("StatusCode = %d, want 404", apiErr.StatusCode)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
 func TestBackoffJitterBounds(t *testing.T) {
 	c := New("http://example.invalid")
 	c.rng = func() uint64 { return 1<<63 - 1 }

@@ -9,11 +9,20 @@
 //	compaqt-serve -codec intdct-w -ws 16 -cache 4096 -parallelism 8
 //	compaqt-serve -max-inflight 16 -max-body 67108864
 //	compaqt-serve -store-dir /var/lib/compaqt -store-max-bytes 1073741824
+//	compaqt-serve -self http://10.0.0.1:8371 \
+//	  -peers http://10.0.0.1:8371,http://10.0.0.2:8371,http://10.0.0.3:8371 \
+//	  -replication 2 -store-dir /var/lib/compaqt
 //
 // Endpoints: POST /v1/compile, POST /v1/compile/batch,
-// GET /v1/images/{name}, GET /v1/stats, GET /healthz. See the client
-// package for the typed Go client. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// GET/PUT /v1/images/{name}, GET /v1/stats, GET /v1/cluster,
+// GET /healthz. See the client package for the typed Go client.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// With -peers the process joins a digest-sharded cluster: image names
+// hash onto a consistent-hash ring over the member URLs, GETs for
+// remote shards are forwarded to their owner (and written through to
+// the local store), and each compiled named image is published to its
+// owner plus -replication-1 ring successors.
 package main
 
 import (
@@ -27,10 +36,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"compaqt/codec"
+	"compaqt/internal/cluster"
 	"compaqt/internal/server"
 )
 
@@ -53,6 +64,12 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "http.Server IdleTimeout (0 = 2m, negative = disabled)")
 	storeDir := flag.String("store-dir", "", "persistent image store directory (empty = no persistence)")
 	storeMax := flag.Int64("store-max-bytes", 0, "persistent store size budget in bytes (0 = 1 GiB)")
+	self := flag.String("self", "", "this node's advertised base URL in the cluster (e.g. http://10.0.0.1:8371; required with -peers)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster member, this node included (empty = standalone)")
+	replication := flag.Int("replication", 1, "cluster replication factor: ring members each image is published to")
+	clusterProbe := flag.Duration("cluster-probe", 0, "peer health-probe interval (0 = 1s, negative = disabled)")
+	clusterHedge := flag.Duration("cluster-hedge", 0, "delay before a peer image GET races a hedged second attempt (0 = 25ms, negative = disabled)")
+	noPeerFill := flag.Bool("no-peer-fill", false, "serve forwarded images without write-through-filling the local store (pure proxy)")
 	flag.Parse()
 
 	if *listCodecs {
@@ -60,6 +77,16 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		log.Fatal("compaqt-serve: -peers requires -self (this node's advertised URL)")
 	}
 
 	srv, err := server.New(server.Config{
@@ -76,6 +103,14 @@ func main() {
 		AdmissionWait:  *admissionWait,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMax,
+		Cluster: cluster.Config{
+			Self:          strings.TrimRight(*self, "/"),
+			Peers:         peerList,
+			Replication:   *replication,
+			ProbeInterval: *clusterProbe,
+			Hedge:         *clusterHedge,
+		},
+		ClusterNoFill: *noPeerFill,
 
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compaqt/client"
+)
+
+// Config assembles a Cluster. Self and Peers carry the static
+// membership (Peers is the full member list; Self must appear in it or
+// is added); everything else tunes forwarding and liveness.
+type Config struct {
+	// Self is this node's advertised base URL, the identity other
+	// members route to ("http://10.0.0.1:8371").
+	Self string
+	// Peers is the full member list, Self included. Order does not
+	// matter: every node sorts the list into the identical ring.
+	Peers []string
+	// Replication is the number of ring members an image is published
+	// to (owner plus successors); 0 means 1 — the owner only.
+	Replication int
+	// VNodes is the virtual-node count per member; 0 means
+	// DefaultVNodes (64).
+	VNodes int
+	// Seed perturbs vnode placement, decorrelating clusters that share
+	// member URLs. Every member must agree on it.
+	Seed uint64
+	// ProbeInterval paces the background /healthz sweep that heals
+	// down-marked peers; 0 means 1s, negative disables the loop (the
+	// owner then calls Probe explicitly — the test harness does).
+	ProbeInterval time.Duration
+	// Hedge is the delay after which a peer image GET races a second
+	// attempt (client.WithHedge) — the replica tail-latency cover; 0
+	// means 25ms, negative disables hedging.
+	Hedge time.Duration
+	// Transport substitutes the HTTP transport under every peer client
+	// (fault injection, custom dialers); nil means the default.
+	Transport http.RoundTripper
+}
+
+// Enabled reports whether the config asks for a cluster at all.
+func (c Config) Enabled() bool { return c.Self != "" || len(c.Peers) > 0 }
+
+// ForwardedHeader marks inter-peer requests. A server receiving a
+// marked GET answers from local state only — one hop, never a cycle,
+// even when two nodes transiently disagree about a peer's liveness.
+const ForwardedHeader = "X-Compaqt-Forwarded"
+
+// ErrNoPeer reports a lookup whose live replica set contains no remote
+// member to ask (everyone is down, or this node is the only member).
+var ErrNoPeer = errors.New("cluster: no live peer holds this key")
+
+// peer is one remote member: its resilient client and its liveness
+// state. down flips on transport failures (passive) and on failed
+// probes (active); only a successful probe flips it back.
+type peer struct {
+	url     string
+	cl      *client.Client
+	down    atomic.Bool
+	lastErr atomic.Pointer[string]
+}
+
+// Cluster is one node's view of the serving tier: the shared ring, a
+// pooled client per remote member, liveness, and the forwarding
+// counters /v1/stats reports.
+type Cluster struct {
+	cfg   Config
+	self  string
+	repl  int
+	ring  *Ring
+	peers map[string]*peer // remote members only (self excluded)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	forwarded  atomic.Uint64 // GETs that left this node for a peer
+	peerFills  atomic.Uint64 // remote fetches written through locally
+	peerErrors atomic.Uint64 // failed peer attempts (fetch or publish)
+}
+
+// New builds a Cluster from cfg. The ring covers Peers ∪ {Self}; one
+// retrying, hedging client is built per remote member and reused for
+// every forward and publish (the peer connection pool).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self (this node's advertised URL) is required with Peers")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring, err := NewRing(members, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	repl := cfg.Replication
+	if repl <= 0 {
+		repl = 1
+	}
+	if repl > len(ring.Members()) {
+		repl = len(ring.Members())
+	}
+	hedge := cfg.Hedge
+	if hedge == 0 {
+		hedge = 25 * time.Millisecond
+	}
+	inner := cfg.Transport
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	hc := &http.Client{Transport: inner}
+	c := &Cluster{
+		cfg:   cfg,
+		self:  cfg.Self,
+		repl:  repl,
+		ring:  ring,
+		peers: make(map[string]*peer, len(ring.Members())),
+		stop:  make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m == c.self {
+			continue
+		}
+		opts := []client.Option{
+			client.WithHTTPClient(hc),
+			// Every peer request — forward, publish or probe — is marked
+			// internal so the receiver serves local state only (one hop,
+			// never a cycle).
+			client.WithHeader(ForwardedHeader, "1"),
+			// Two attempts per peer: the forward path itself falls back to
+			// the next replica, so deep per-peer retries only add latency.
+			client.WithRetry(client.RetryPolicy{
+				MaxAttempts:    2,
+				BaseDelay:      25 * time.Millisecond,
+				MaxDelay:       250 * time.Millisecond,
+				AttemptTimeout: 5 * time.Second,
+			}),
+		}
+		if hedge > 0 {
+			opts = append(opts, client.WithHedge(hedge))
+		}
+		c.peers[m] = &peer{url: m, cl: client.New(m, opts...)}
+	}
+	interval := cfg.ProbeInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval > 0 && len(c.peers) > 0 {
+		go c.probeLoop(interval)
+	}
+	return c, nil
+}
+
+// Close stops the probe loop. It is idempotent; in-flight forwards
+// finish on their own contexts.
+func (c *Cluster) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// Self returns this node's advertised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Replication returns the effective replication factor.
+func (c *Cluster) Replication() int { return c.repl }
+
+// alive is the ring liveness predicate: self is always alive, a remote
+// member is alive until marked down.
+func (c *Cluster) alive(m string) bool {
+	if m == c.self {
+		return true
+	}
+	p := c.peers[m]
+	return p != nil && !p.down.Load()
+}
+
+// noteErr records a failed peer attempt. Transport-level failures
+// (never got an HTTP response: resets, refusals, timeouts) mark the
+// peer down so subsequent lookups skip it immediately — the probe loop
+// heals it. An *APIError means the peer is up and answering; its
+// content (404, 429) is the caller's business, not a liveness signal.
+func (c *Cluster) noteErr(p *peer, err error) {
+	c.peerErrors.Add(1)
+	msg := err.Error()
+	p.lastErr.Store(&msg)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		p.down.Store(true)
+	}
+}
+
+// Owns reports whether this node is in name's replica set — the
+// members a publish would target.
+func (c *Cluster) Owns(name string) bool {
+	for _, m := range c.ring.Successors(KeyFor(name), c.repl, c.alive) {
+		if m == c.self {
+			return true
+		}
+	}
+	return false
+}
+
+// FetchImage retrieves name's wire bytes from its replica set,
+// trying the live owner first and falling through the successors. One
+// extra successor beyond the replication factor is consulted to cover
+// membership churn: a just-healed owner that missed a publish answers
+// 404 and the next member still holds the bytes. Returns the serving
+// peer's URL alongside the bytes.
+func (c *Cluster) FetchImage(ctx context.Context, name string) ([]byte, string, error) {
+	targets := c.ring.Successors(KeyFor(name), c.repl+1, c.alive)
+	var lastErr error
+	tried := false
+	for _, m := range targets {
+		if m == c.self {
+			continue
+		}
+		p := c.peers[m]
+		if !tried {
+			tried = true
+			c.forwarded.Add(1)
+		}
+		b, err := p.cl.ImageRaw(ctx, name)
+		if err == nil {
+			return b, m, nil
+		}
+		c.noteErr(p, err)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if !tried {
+		return nil, "", ErrNoPeer
+	}
+	return nil, "", lastErr
+}
+
+// OpenImage is FetchImage's streaming form: the same replica-set walk,
+// but the winning peer's response body comes back as a reader (with
+// its declared length) instead of a buffer. Retries and successor
+// fallback cover the connection and header phase; once the stream is
+// handed over, a mid-body failure belongs to the caller. Pure-proxy
+// nodes relay through this so the two network hops overlap and no
+// image, whatever its size, is buffered on the way through.
+func (c *Cluster) OpenImage(ctx context.Context, name string) (io.ReadCloser, int64, string, error) {
+	targets := c.ring.Successors(KeyFor(name), c.repl+1, c.alive)
+	var lastErr error
+	tried := false
+	for _, m := range targets {
+		if m == c.self {
+			continue
+		}
+		p := c.peers[m]
+		if !tried {
+			tried = true
+			c.forwarded.Add(1)
+		}
+		rc, n, err := p.cl.ImageReader(ctx, name)
+		if err == nil {
+			return rc, n, m, nil
+		}
+		c.noteErr(p, err)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if !tried {
+		return nil, 0, "", ErrNoPeer
+	}
+	return nil, 0, "", lastErr
+}
+
+// PublishImage pushes name's wire bytes to every remote member of its
+// replica set (self, when in the set, already holds them locally).
+// Publishing is best-effort per peer: a failed push is counted and
+// down-marks the peer, but never fails the compile that triggered it —
+// the image is durable on the compiling node and the GET path's
+// successor fallback covers the gap until the peer heals.
+func (c *Cluster) PublishImage(ctx context.Context, name string, wire []byte) int {
+	published := 0
+	for _, m := range c.ring.Successors(KeyFor(name), c.repl, c.alive) {
+		if m == c.self {
+			continue
+		}
+		p := c.peers[m]
+		if err := p.cl.PutImageRaw(ctx, name, wire); err != nil {
+			c.noteErr(p, err)
+			continue
+		}
+		published++
+	}
+	return published
+}
+
+// NoteFill counts one successful write-through of a remote fetch into
+// the local store.
+func (c *Cluster) NoteFill() { c.peerFills.Add(1) }
+
+// Counters snapshots the forwarding counters for /v1/stats. Each field
+// is read independently; a snapshot taken under load may tear across
+// fields (documented in the stats API).
+func (c *Cluster) Counters() (forwarded, peerFills, peerErrors uint64) {
+	return c.forwarded.Load(), c.peerFills.Load(), c.peerErrors.Load()
+}
+
+// MemberView is one row of the ring view: identity, liveness and the
+// share of the key space the member's vnodes own.
+type MemberView struct {
+	URL     string
+	Self    bool
+	Alive   bool
+	Share   float64
+	LastErr string
+}
+
+// View reports the ring for GET /v1/cluster: every member with its
+// health and key-space share, plus the placement parameters.
+func (c *Cluster) View() (members []MemberView, replication, vnodes int) {
+	shares := c.ring.Shares()
+	members = make([]MemberView, 0, len(c.ring.Members()))
+	for _, m := range c.ring.Members() {
+		mv := MemberView{URL: m, Self: m == c.self, Alive: c.alive(m), Share: shares[m]}
+		if p := c.peers[m]; p != nil {
+			if e := p.lastErr.Load(); e != nil {
+				mv.LastErr = *e
+			}
+		}
+		members = append(members, mv)
+	}
+	return members, c.repl, c.ring.VNodes()
+}
+
+// Probe health-checks every remote member once: a live "ok" marks the
+// peer up and clears its error; anything else — transport failure or a
+// draining 503 — marks it down (unlike the passive path, an answering
+// peer that reports unhealthy must still leave the ring). Probe
+// results deliberately stay out of the peer_errors counter, which
+// tracks real forwarding work; Health is never retried by the client,
+// so a probe reflects this instant, not a masked flap.
+func (c *Cluster) Probe(ctx context.Context) {
+	for _, p := range c.peers {
+		pctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := p.cl.Health(pctx)
+		cancel()
+		if err != nil {
+			msg := err.Error()
+			p.lastErr.Store(&msg)
+			p.down.Store(true)
+			continue
+		}
+		if p.down.Swap(false) {
+			p.lastErr.Store(nil)
+		}
+	}
+}
+
+// probeLoop runs Probe on the configured cadence until Close.
+func (c *Cluster) probeLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Probe(context.Background())
+		}
+	}
+}

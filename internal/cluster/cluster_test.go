@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakePeer is a minimal peer: /healthz plus an in-memory image map,
+// recording whether requests arrive with the forwarded mark.
+type fakePeer struct {
+	hs        *httptest.Server
+	healthy   atomic.Bool
+	images    map[string][]byte
+	forwarded atomic.Int64
+	puts      atomic.Int64
+}
+
+func newFakePeer(t *testing.T, images map[string][]byte) *fakePeer {
+	t.Helper()
+	p := &fakePeer{images: images}
+	p.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !p.healthy.Load() {
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/images/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "" {
+			p.forwarded.Add(1)
+		}
+		b, ok := p.images[r.PathValue("name")]
+		if !ok {
+			http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /v1/images/{name}", func(w http.ResponseWriter, r *http.Request) {
+		p.puts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	p.hs = httptest.NewServer(mux)
+	t.Cleanup(p.hs.Close)
+	return p
+}
+
+// newTestCluster builds a Cluster whose sole remote member is the fake
+// peer. Probing and hedging are disabled so every liveness transition
+// in the tests is explicit.
+func newTestCluster(t *testing.T, p *fakePeer, extra ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:          "http://self.invalid:1",
+		Peers:         append([]string{p.hs.URL}, extra...),
+		Replication:   2,
+		ProbeInterval: -1,
+		Hedge:         -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestKeyForDeterministic(t *testing.T) {
+	a, b := KeyFor("pulse-X-q3"), KeyFor("pulse-X-q3")
+	if a != b {
+		t.Fatal("KeyFor is not deterministic")
+	}
+	if a == KeyFor("pulse-X-q4") {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports enabled")
+	}
+	if !(Config{Self: "http://a:1"}).Enabled() {
+		t.Fatal("Self-only Config reports disabled")
+	}
+	if _, err := New(Config{Peers: []string{"http://a:1"}}); err == nil {
+		t.Fatal("New without Self succeeded, want error")
+	}
+}
+
+func TestFetchImageFromPeer(t *testing.T) {
+	wire := []byte("wire-bytes")
+	p := newFakePeer(t, map[string][]byte{"img": wire})
+	c := newTestCluster(t, p)
+
+	b, from, err := c.FetchImage(context.Background(), "img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(wire) || from != p.hs.URL {
+		t.Fatalf("FetchImage = %q from %s, want %q from %s", b, from, wire, p.hs.URL)
+	}
+	if got := p.forwarded.Load(); got == 0 {
+		t.Fatal("peer saw no forwarded mark; forwarded GETs could cycle")
+	}
+	if f, _, e := c.Counters(); f != 1 || e != 0 {
+		t.Fatalf("counters forwarded=%d peerErrors=%d, want 1, 0", f, e)
+	}
+}
+
+func TestFetchImageMissReturnsAPIError(t *testing.T) {
+	p := newFakePeer(t, nil)
+	c := newTestCluster(t, p)
+	_, _, err := c.FetchImage(context.Background(), "absent")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("FetchImage miss = %v, want a 404 API error", err)
+	}
+	// A 404 is an answer, not a liveness signal: the peer stays alive.
+	if !c.alive(p.hs.URL) {
+		t.Fatal("peer marked down by an HTTP-level miss")
+	}
+	if _, _, e := c.Counters(); e != 1 {
+		t.Fatalf("peerErrors = %d, want 1", e)
+	}
+}
+
+func TestTransportFailureMarksDownAndProbeHeals(t *testing.T) {
+	p := newFakePeer(t, nil)
+	// A second member that is never reachable: transport errors.
+	c := newTestCluster(t, p)
+
+	p.hs.CloseClientConnections()
+	p.hs.Close()
+	_, _, err := c.FetchImage(context.Background(), "img")
+	if err == nil {
+		t.Fatal("FetchImage from a dead peer succeeded")
+	}
+	if c.alive(p.hs.URL) {
+		t.Fatal("transport failure did not mark the peer down")
+	}
+	// Every member down → nothing to try.
+	if _, _, err := c.FetchImage(context.Background(), "img"); err != ErrNoPeer {
+		t.Fatalf("FetchImage with all peers down = %v, want ErrNoPeer", err)
+	}
+
+	// Probing the dead peer keeps it down and does not touch peerErrors.
+	_, _, errsBefore := c.Counters()
+	c.Probe(context.Background())
+	if c.alive(p.hs.URL) {
+		t.Fatal("probe of a dead peer marked it up")
+	}
+	if _, _, errsAfter := c.Counters(); errsAfter != errsBefore {
+		t.Fatalf("probe inflated peerErrors %d -> %d", errsBefore, errsAfter)
+	}
+}
+
+func TestProbeMarksDrainingPeerDownThenHeals(t *testing.T) {
+	p := newFakePeer(t, nil)
+	c := newTestCluster(t, p)
+
+	// Draining: answers HTTP but unhealthy — passive fetch errors would
+	// not down-mark it (it answered), the probe must.
+	p.healthy.Store(false)
+	c.Probe(context.Background())
+	if c.alive(p.hs.URL) {
+		t.Fatal("probe left a draining (503) peer alive")
+	}
+
+	p.healthy.Store(true)
+	c.Probe(context.Background())
+	if !c.alive(p.hs.URL) {
+		t.Fatal("probe did not heal a recovered peer")
+	}
+	for _, mv := range firstView(c) {
+		if mv.URL == p.hs.URL && mv.LastErr != "" {
+			t.Fatalf("healed peer still carries LastErr %q", mv.LastErr)
+		}
+	}
+}
+
+func firstView(c *Cluster) []MemberView {
+	members, _, _ := c.View()
+	return members
+}
+
+func TestPublishImage(t *testing.T) {
+	p := newFakePeer(t, nil)
+	c := newTestCluster(t, p)
+	n := c.PublishImage(context.Background(), "img", []byte("wire"))
+	if n != 1 || p.puts.Load() != 1 {
+		t.Fatalf("PublishImage = %d (peer saw %d puts), want 1", n, p.puts.Load())
+	}
+}
+
+func TestViewReportsMembership(t *testing.T) {
+	p := newFakePeer(t, nil)
+	c := newTestCluster(t, p)
+	members, repl, vnodes := c.View()
+	if repl != 2 || vnodes != DefaultVNodes {
+		t.Fatalf("View repl=%d vnodes=%d, want 2, %d", repl, vnodes, DefaultVNodes)
+	}
+	if len(members) != 2 {
+		t.Fatalf("View has %d members, want 2", len(members))
+	}
+	var sawSelf bool
+	var total float64
+	for _, m := range members {
+		total += m.Share
+		if m.Self {
+			sawSelf = true
+			if m.URL != c.Self() {
+				t.Fatalf("self row URL = %s, want %s", m.URL, c.Self())
+			}
+		}
+		if !m.Alive {
+			t.Fatalf("member %s reported down on a healthy cluster", m.URL)
+		}
+	}
+	if !sawSelf {
+		t.Fatal("View lacks the self row")
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("View shares sum to %v, want 1", total)
+	}
+}

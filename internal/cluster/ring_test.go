@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys derives n deterministic routing keys through the production
+// KeyFor path, so the properties below hold for exactly the key
+// distribution the serving tier sees.
+func testKeys(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("img-%d-%x", i, uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return names
+}
+
+func threeMembers() []string {
+	return []string{"http://a:1", "http://b:1", "http://c:1"}
+}
+
+// TestRingBalance pins the ±25% balance bound at the default vnode
+// count: both the analytic key-space shares and the empirical owner
+// histogram over many keys must stay within 25% of the fair share.
+func TestRingBalance(t *testing.T) {
+	members := threeMembers()
+	r, err := NewRing(members, DefaultVNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := 1.0 / float64(len(members))
+	lo, hi := fair*0.75, fair*1.25
+
+	shares := r.Shares()
+	var total float64
+	for m, s := range shares {
+		total += s
+		if s < lo || s > hi {
+			t.Errorf("key-space share of %s = %.4f, want within [%.4f, %.4f]", m, s, lo, hi)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", total)
+	}
+
+	const n = 20000
+	counts := make(map[string]int, len(members))
+	for _, name := range testKeys(n) {
+		owner, ok := r.Owner(KeyFor(name), nil)
+		if !ok {
+			t.Fatalf("no owner for %q", name)
+		}
+		counts[owner]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < lo || frac > hi {
+			t.Errorf("empirical share of %s = %.4f over %d keys, want within [%.4f, %.4f]",
+				m, frac, n, lo, hi)
+		}
+	}
+}
+
+// TestRingDeterministicAndOrderIndependent pins that every node derives
+// the identical ring from the same -peers flag: same members in any
+// order, same seed, same vnodes — same owner for every key. A different
+// seed must move placements.
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, name := range testKeys(2000) {
+		k := KeyFor(name)
+		oa, _ := a.Owner(k, nil)
+		ob, _ := b.Owner(k, nil)
+		if oa != ob {
+			t.Fatalf("owner of %q differs across member orderings: %s vs %s", name, oa, ob)
+		}
+		if oo, _ := other.Owner(k, nil); oo != oa {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed change moved no keys; placement ignores the seed")
+	}
+}
+
+// TestRingMinimalMovementOnJoin pins the consistent-hashing contract:
+// when a member joins, the only keys that move are those the joiner
+// takes, and the moved fraction is close to the fair 1/n.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	before, err := NewRing(threeMembers(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(threeMembers(), "http://d:1"), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	moved := 0
+	for _, name := range testKeys(n) {
+		k := KeyFor(name)
+		ob, _ := before.Owner(k, nil)
+		oa, _ := after.Owner(k, nil)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "http://d:1" {
+			t.Fatalf("key %q moved %s -> %s on join of d; moves may only target the joiner", name, ob, oa)
+		}
+	}
+	frac := float64(moved) / n
+	// Fair share is 1/4; allow generous slack around vnode placement
+	// variance while still catching a rehash-everything regression
+	// (which would move ~3/4 of the keys).
+	if frac < 0.10 || frac > 0.40 {
+		t.Fatalf("join moved %.3f of keys, want ≈0.25 (within [0.10, 0.40])", frac)
+	}
+}
+
+// TestRingMinimalMovementOnLeave is the inverse: when a member leaves,
+// only its own keys move, scattering across the survivors.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	before, err := NewRing(append(threeMembers(), "http://d:1"), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(threeMembers(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range testKeys(20000) {
+		k := KeyFor(name)
+		ob, _ := before.Owner(k, nil)
+		oa, _ := after.Owner(k, nil)
+		if ob != "http://d:1" && ob != oa {
+			t.Fatalf("key %q owned by %s moved to %s on leave of d; only d's keys may move", name, ob, oa)
+		}
+	}
+}
+
+// TestRingDownMemberSkipped pins the liveness fallthrough: a down
+// member's keys resolve to live successors without disturbing anyone
+// else's placement, and heal back exactly when it returns.
+func TestRingDownMemberSkipped(t *testing.T) {
+	r, err := NewRing(threeMembers(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := "http://b:1"
+	alive := func(m string) bool { return m != down }
+	for _, name := range testKeys(5000) {
+		k := KeyFor(name)
+		healthy, _ := r.Owner(k, nil)
+		degraded, ok := r.Owner(k, alive)
+		if !ok {
+			t.Fatalf("no live owner for %q with one member down", name)
+		}
+		if degraded == down {
+			t.Fatalf("key %q routed to the down member", name)
+		}
+		if healthy != down && degraded != healthy {
+			t.Fatalf("key %q owned by live %s rerouted to %s while b was down", name, healthy, degraded)
+		}
+	}
+}
+
+// TestRingSuccessors pins the replica-set walk: distinct members in
+// ring order, truncation at the member count, and down-skipping inside
+// the walk.
+func TestRingSuccessors(t *testing.T) {
+	r, err := NewRing(threeMembers(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyFor("img-0")
+	if got := r.Successors(k, 0, nil); got != nil {
+		t.Fatalf("Successors(n=0) = %v, want nil", got)
+	}
+	all := r.Successors(k, 5, nil)
+	if len(all) != 3 {
+		t.Fatalf("Successors(n=5) over 3 members = %v, want all 3", all)
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if seen[m] {
+			t.Fatalf("duplicate member %s in %v", m, all)
+		}
+		seen[m] = true
+	}
+	two := r.Successors(k, 2, nil)
+	if len(two) != 2 || two[0] != all[0] || two[1] != all[1] {
+		t.Fatalf("Successors(n=2) = %v, want prefix of %v", two, all)
+	}
+	// With the owner down, the remaining walk is the healthy walk minus
+	// the owner — order preserved.
+	downOwner := all[0]
+	left := r.Successors(k, 3, func(m string) bool { return m != downOwner })
+	if len(left) != 2 || left[0] != all[1] || left[1] != all[2] {
+		t.Fatalf("Successors with owner down = %v, want %v", left, all[1:])
+	}
+}
+
+// TestNewRingValidation covers the constructor's error and default
+// paths.
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64, 0); err == nil {
+		t.Fatal("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{""}, 64, 0); err == nil {
+		t.Fatal("NewRing with empty member succeeded, want error")
+	}
+	r, err := NewRing([]string{"http://solo:1"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if s := r.Shares(); s["http://solo:1"] != 1 {
+		t.Fatalf("single-member share = %v, want 1", s)
+	}
+	if o, ok := r.Owner(KeyFor("x"), nil); !ok || o != "http://solo:1" {
+		t.Fatalf("single-member owner = %q, %v", o, ok)
+	}
+}

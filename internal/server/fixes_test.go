@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"testing"
+
+	"compaqt"
+	"compaqt/codec"
+	"compaqt/internal/compress"
+	"compaqt/qctrl"
+)
+
+// TestAdmissionWaitZeroPollsBeforeShedding pins the AdmissionWait == 0
+// boundary: a zero deadline means "shed only if no slot is free right
+// now", not "race a zero-duration timer against the free slot". The
+// old select lost that race roughly half the time, shedding requests
+// into an idle server. 200 iterations make the flake, were it to
+// regress, a statistical certainty.
+func TestAdmissionWaitZeroPollsBeforeShedding(t *testing.T) {
+	srv, err := New(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// withDefaults maps a zero Config.AdmissionWait to 10s; force the
+	// boundary value the way a future config plumbing would see it.
+	srv.cfg.AdmissionWait = 0
+
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		if err := srv.acquireSlow(ctx); err != nil {
+			t.Fatalf("iteration %d: shed with a free slot: %v", i, err)
+		}
+		<-srv.sem
+	}
+	if got := srv.m.shed.Load(); got != 0 {
+		t.Fatalf("shed = %d after acquiring with a free slot, want 0", got)
+	}
+
+	// Full server: the zero deadline must shed immediately, without
+	// arming a timer, and count it.
+	srv.sem <- struct{}{}
+	err = srv.acquireSlow(ctx)
+	var he *httpError
+	if !errors.As(err, &he) || he.status != http.StatusTooManyRequests {
+		t.Fatalf("acquireSlow on full server = %v, want 429 httpError", err)
+	}
+	if he.retryAfter <= 0 {
+		t.Fatalf("shed response carries no Retry-After hint")
+	}
+	if got := srv.m.shed.Load(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	<-srv.sem
+}
+
+// TestRatioOr pins the division guard: packed == 0 is full repeat
+// elimination — the supremum of the ratio, not zero.
+func TestRatioOr(t *testing.T) {
+	for _, tc := range []struct {
+		orig, packed int
+		want         float64
+	}{
+		{128, 64, 2},
+		{128, 128, 1},
+		{100, 200, 0.5},
+		{96, 0, 96}, // fully repeat-eliminated: report orig, not 0
+		{0, 0, 0},
+	} {
+		if got := ratioOr(tc.orig, tc.packed); got != tc.want {
+			t.Errorf("ratioOr(%d, %d) = %v, want %v", tc.orig, tc.packed, got, tc.want)
+		}
+	}
+}
+
+// TestEntrySummary covers the wire condensation of a compiled entry:
+// a real compile for field mirroring, and a synthetic fully-eliminated
+// entry for the packed == 0 ratio path that used to report 0.
+func TestEntrySummary(t *testing.T) {
+	svc, err := compaqt.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPulse(3, 7, 96)
+	img, err := svc.CompilePulses(context.Background(), "summary-test", []*qctrl.Pulse{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &img.Entries[0]
+	s := entrySummary(svc, e)
+	c := e.Compressed
+	if s.Key != e.Key || s.Gate != e.Gate || s.Qubit != e.Qubit || s.Target != e.Target {
+		t.Fatalf("identity fields not mirrored: %+v vs %+v", s, e)
+	}
+	if s.Samples != c.Samples || s.WindowSize != c.WindowSize {
+		t.Fatalf("shape fields not mirrored: %+v", s)
+	}
+	if s.OriginalWords != c.OriginalWords() ||
+		s.PackedWords != c.Words(codec.LayoutPacked) ||
+		s.UniformWords != c.Words(codec.LayoutUniform) {
+		t.Fatalf("word counts not mirrored: %+v", s)
+	}
+	if c.Words(codec.LayoutPacked) == 0 {
+		t.Fatal("real compile unexpectedly packed to zero words; pick a richer test pulse")
+	}
+	want := float64(c.OriginalWords()) / float64(c.Words(codec.LayoutPacked))
+	if math.Abs(s.PackedRatio-want) > 1e-12 {
+		t.Fatalf("PackedRatio = %v, want %v", s.PackedRatio, want)
+	}
+
+	// Fully repeat-eliminated synthetic entry: zero packed words.
+	elim := &compaqt.Entry{
+		Key: "elim", Gate: "X", Qubit: 1, Target: -1,
+		Compressed: &compress.Compressed{
+			Variant:    compress.IntDCTW,
+			WindowSize: 16,
+			Samples:    48,
+		},
+	}
+	es := entrySummary(svc, elim)
+	if es.OriginalWords != 96 || es.PackedWords != 0 {
+		t.Fatalf("synthetic word counts = %d/%d, want 96/0", es.OriginalWords, es.PackedWords)
+	}
+	if es.PackedRatio != 96 {
+		t.Fatalf("PackedRatio for packed == 0 = %v, want 96 (orig words)", es.PackedRatio)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"compaqt"
 	"compaqt/client"
 	"compaqt/codec"
+	"compaqt/internal/cluster"
 	"compaqt/qctrl"
 	"compaqt/waveform"
 )
@@ -56,6 +57,33 @@ var jsonContentType = []string{"application/json"}
 // octetStreamContentType is jsonContentType's counterpart for image
 // bodies.
 var octetStreamContentType = []string{"application/octet-stream"}
+
+// maxRelayBuffer caps how much of a peer image the pure-proxy relay
+// will buffer for a single batched write; larger (or length-less)
+// bodies are piped through a fixed-size copy buffer instead.
+const maxRelayBuffer = 1 << 20
+
+// relayBufPool recycles proxy-relay body buffers so the steady-state
+// forwarded GET allocates nothing per request.
+var relayBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// relayBuf returns a pooled buffer with capacity >= n.
+func relayBuf(n int) *[]byte {
+	b := relayBufPool.Get().(*[]byte)
+	if cap(*b) < n {
+		*b = make([]byte, 0, n)
+	}
+	return b
+}
+
+// onlyWriter hides a ResponseWriter's ReadFrom so io.CopyBuffer
+// actually uses the pooled buffer instead of allocating its own.
+type onlyWriter struct{ w io.Writer }
+
+func (o onlyWriter) Write(p []byte) (int, error) { return o.w.Write(p) }
 
 // writeJSON stages the response in a pooled buffer and writes it in
 // one call. Encode and write failures are counted in the stats
@@ -250,6 +278,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			OrphansCleaned:  st.OrphansCleaned,
 		}
 	}
+	if s.cluster != nil {
+		fwd, fills, perrs := s.cluster.Counters()
+		resp.Cluster = &client.ClusterStats{
+			Self:        s.cluster.Self(),
+			Replication: s.cluster.Replication(),
+			Forwarded:   fwd,
+			PeerFills:   fills,
+			PeerErrors:  perrs,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -369,7 +407,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Image != "" {
-		s.storeImage(req.Image, img)
+		si := s.storeImage(req.Image, img)
+		s.publishToCluster(ctx, req.Image, si)
 	}
 	sc.resp = client.CompileResponse{
 		Codec: svc.Codec().Name(),
@@ -435,6 +474,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var si *storedImage
 	if req.Image != "" {
 		si = s.storeImage(req.Image, img)
+		s.publishToCluster(ctx, req.Image, si)
 	}
 	resp := client.BatchResponse{
 		Codec:   svc.Codec().Name(),
@@ -488,6 +528,13 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// Last resort: the cluster tier. A request already forwarded by
+		// a peer stops here — one hop only, so two nodes with divergent
+		// liveness views can never bounce a miss between each other.
+		if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+			s.serveImageForwarded(w, r, name)
+			return
+		}
 		s.fail(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no stored image %q", name)})
 		return
 	}
@@ -508,6 +555,205 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// serveImageForwarded answers a local image miss from the cluster: the
+// name's digest routes to its ring owner (and replica successors on
+// failure) through the pooled retrying/hedging peer client. The
+// default mode buffers the peer's bytes, decode-validates them and
+// writes them through to the local map and store, so each image
+// migrates to every node that serves it and the next GET is local.
+// Pure-proxy mode (ClusterNoFill) instead pipes the peer's body
+// straight into the response — the two network hops overlap, nothing
+// is retained, and the end client's own decode rejects malformed
+// bytes.
+func (s *Server) serveImageForwarded(w http.ResponseWriter, r *http.Request, name string) {
+	if s.cfg.ClusterNoFill {
+		rc, n, _, err := s.cluster.OpenImage(r.Context(), name)
+		if err != nil {
+			s.failForward(w, name, err)
+			return
+		}
+		defer rc.Close()
+		if n >= 0 && n <= maxRelayBuffer {
+			// Declared, sane length: read the body into a pooled buffer
+			// and answer with one batched write — the steady-state relay
+			// costs no allocation and no fragmented outer writes. A body
+			// shorter than declared dies here, before headers commit, as
+			// a retryable 502.
+			buf := relayBuf(int(n))
+			defer relayBufPool.Put(buf)
+			b := (*buf)[:n]
+			if _, err := io.ReadFull(rc, b); err != nil {
+				s.fail(w, &httpError{
+					status:     http.StatusBadGateway,
+					msg:        fmt.Sprintf("image %q: peer body truncated: %v", name, err),
+					retryAfter: time.Second,
+				})
+				return
+			}
+			h := w.Header()
+			h["Content-Type"] = octetStreamContentType
+			h.Set("Content-Length", strconv.FormatInt(n, 10))
+			if _, err := w.Write(b); err != nil {
+				s.noteWriteError(err)
+			}
+			return
+		}
+		// Unknown or oversized length: pipe the peer's body straight
+		// through so nothing of arbitrary size is buffered on the relay.
+		h := w.Header()
+		h["Content-Type"] = octetStreamContentType
+		if n >= 0 {
+			h.Set("Content-Length", strconv.FormatInt(n, 10))
+		}
+		buf := relayBuf(64 << 10)
+		defer relayBufPool.Put(buf)
+		if _, err := io.CopyBuffer(onlyWriter{w}, rc, *buf); err != nil {
+			// Headers are gone; all that is left is to cut the stream so
+			// the client sees a length mismatch, not silent truncation.
+			s.noteWriteError(err)
+		}
+		return
+	}
+	wire, _, err := s.cluster.FetchImage(r.Context(), name)
+	if err != nil {
+		s.failForward(w, name, err)
+		return
+	}
+	// Decode-validate before anything touches local state: a peer, like
+	// any network input, is not trusted to hand back a well-formed
+	// image, and the store must never be poisoned.
+	img, err := compaqt.DecodeImageBytes(wire)
+	if err != nil {
+		s.fail(w, &httpError{
+			status:     http.StatusBadGateway,
+			msg:        fmt.Sprintf("image %q: peer returned an invalid image: %v", name, err),
+			retryAfter: time.Second,
+		})
+		return
+	}
+	// Write-through fill: the in-memory map for the next GET, the
+	// persistent store (inside storeImage) for restarts.
+	s.storeImage(name, img)
+	s.cluster.NoteFill()
+	h := w.Header()
+	h["Content-Type"] = octetStreamContentType
+	h.Set("Content-Length", strconv.Itoa(len(wire)))
+	if _, err := w.Write(wire); err != nil {
+		s.noteWriteError(err)
+	}
+}
+
+// failForward maps a cluster fetch failure onto the wire: a replica-set
+// miss (or an empty live set) is a plain 404, a canceled caller stays a
+// cancel, and anything else becomes a retryable 502 so the caller's own
+// retry layer takes over.
+func (s *Server) failForward(w http.ResponseWriter, name string, err error) {
+	var apiErr *client.APIError
+	switch {
+	case errors.Is(err, cluster.ErrNoPeer),
+		errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound:
+		s.fail(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no stored image %q", name)})
+	case isCancel(err):
+		s.fail(w, err)
+	default:
+		s.fail(w, &httpError{
+			status:     http.StatusBadGateway,
+			msg:        fmt.Sprintf("image %q: peer fetch failed: %v", name, err),
+			retryAfter: time.Second,
+		})
+	}
+}
+
+// handleImagePut ingests serialized wire-format image bytes under a
+// name — the receiving half of cluster replication (peers push
+// compiled images to their digest's owner here), and a handy admin
+// primitive on any node. The body is decoded and validated before
+// anything is stored; the store dedups identical content by digest, so
+// re-publishing is a metadata touch.
+func (s *Server) handleImagePut(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	name := r.PathValue("name")
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		s.fail(w, &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			msg:    fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+		})
+		return
+	}
+	if r.ContentLength < 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	// The buffer is deliberately fresh, not pooled: DecodeImageBytes is
+	// zero-copy, so the stored image's streams alias these bytes for
+	// its whole lifetime.
+	wire, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			})
+			return
+		}
+		s.fail(w, badRequest("reading request body: %v", err))
+		return
+	}
+	img, err := compaqt.DecodeImageBytes(wire)
+	if err != nil {
+		s.fail(w, badRequest("image %q: invalid wire bytes: %v", name, err))
+		return
+	}
+	s.storeImage(name, img)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCluster reports the ring view: every member with liveness and
+// key-space share, plus this node's forwarding counters.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	members, repl, vnodes := s.cluster.View()
+	fwd, fills, perrs := s.cluster.Counters()
+	resp := client.ClusterResponse{
+		Self:        s.cluster.Self(),
+		Replication: repl,
+		VNodes:      vnodes,
+		Peers:       make([]client.PeerStatus, len(members)),
+		Forwarded:   fwd,
+		PeerFills:   fills,
+		PeerErrors:  perrs,
+	}
+	for i, m := range members {
+		resp.Peers[i] = client.PeerStatus{
+			URL:       m.URL,
+			Self:      m.Self,
+			Alive:     m.Alive,
+			Share:     m.Share,
+			LastError: m.LastErr,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// publishToCluster pushes a just-compiled stored image to its digest's
+// replica set. Best-effort by design: the image is already durable
+// locally and the GET path's successor fallback covers an unreachable
+// owner, so a failed publish costs a peer_errors tick, never a failed
+// compile. Synchronous on the request path: when the response returns,
+// the owner can serve the image — the invariant the cluster tests pin.
+func (s *Server) publishToCluster(ctx context.Context, name string, si *storedImage) {
+	if s.cluster == nil {
+		return
+	}
+	wire, err := s.wireBytes(si.img, si.digest(), true)
+	if err != nil {
+		// Not representable on the wire (non-int-DCT-W codec): nothing
+		// the peers could serve either.
+		return
+	}
+	s.cluster.PublishImage(ctx, name, wire)
+}
+
 // entrySummary condenses one compiled entry for the wire.
 func entrySummary(svc *compaqt.Service, e *compaqt.Entry) client.EntrySummary {
 	c := e.Compressed
@@ -525,9 +771,14 @@ func entrySummary(svc *compaqt.Service, e *compaqt.Entry) client.EntrySummary {
 	}
 }
 
+// ratioOr guards division by zero in the compression ratio. packed ==
+// 0 means the entry was fully repeat-eliminated — the best possible
+// outcome, not the worst — so it reports the original word count (the
+// ratio's supremum: orig words became fewer than one) rather than 0,
+// which read as "worse than uncompressed" in stats.
 func ratioOr(orig, packed int) float64 {
 	if packed == 0 {
-		return 0
+		return float64(orig)
 	}
 	return float64(orig) / float64(packed)
 }

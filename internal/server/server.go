@@ -5,8 +5,16 @@
 //	POST /v1/compile        single pulse
 //	POST /v1/compile/batch  order-stable, dedup-aware batch
 //	GET  /v1/images/{name}  stored image, CPQT wire format
+//	PUT  /v1/images/{name}  ingest wire bytes (cluster replication)
 //	GET  /v1/stats          cache + request metrics
+//	GET  /v1/cluster        ring view + peer health (cluster mode)
 //	GET  /healthz           liveness ("ok" / "draining")
+//
+// With Config.Cluster enabled the server is one cell of a
+// digest-sharded tier: a GET it cannot answer locally is forwarded to
+// the consistent-hash owner of the name's digest (and written through
+// to the local store on success), and compiled named images are
+// published to the digest's replica set. See internal/cluster.
 //
 // Request flow: decode (bounded by MaxBodyBytes) -> validate (pulse
 // shape, per-request codec overrides against the codec registry) ->
@@ -33,6 +41,7 @@ import (
 	"compaqt"
 	"compaqt/client"
 	"compaqt/internal/cache"
+	"compaqt/internal/cluster"
 )
 
 // Config assembles a Server. The zero value serves with the library
@@ -81,6 +90,17 @@ type Config struct {
 	// StoreMaxBytes bounds the persistent store; 0 means
 	// compaqt.DefaultStoreMaxBytes.
 	StoreMaxBytes int64
+	// Cluster, when enabled (Self + Peers), joins this server to a
+	// digest-sharded serving tier: image GETs it cannot answer locally
+	// are forwarded to the key's consistent-hash owner and written
+	// through to the local store, and compiled named images are
+	// published to the owner and its ring successors. See
+	// internal/cluster.
+	Cluster cluster.Config
+	// ClusterNoFill disables the write-through fill of forwarded image
+	// fetches — the node then serves as a pure proxy for remote shards
+	// (diskless front ends, forwarding benchmarks).
+	ClusterNoFill bool
 	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden Run's
 	// http.Server against slow and stalled clients (slowloris): 0
 	// selects the defaults (5s, 2m, 2m); negative disables a timeout.
@@ -177,6 +197,11 @@ type Server struct {
 	// derived services write through to it explicitly.
 	store *compaqt.ImageStore
 
+	// cluster, when non-nil, is this node's membership in the
+	// digest-sharded serving tier: image GETs missing locally forward
+	// to the ring owner, compiles publish to the replica set.
+	cluster *cluster.Cluster
+
 	draining atomic.Bool
 	m        metrics
 
@@ -263,12 +288,24 @@ func New(cfg Config) (*Server, error) {
 	s.svc = svc
 	s.store = svc.Store() // nil without Config.StoreDir
 
+	if cfg.Cluster.Enabled() {
+		cl, err := cluster.New(cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.cluster = cl
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/compile/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/images/{name}", s.handleImage)
+	mux.HandleFunc("PUT /v1/images/{name}", s.handleImagePut)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -422,6 +459,20 @@ func (s *Server) acquireSlow(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
+	// A slot may have freed between acquire's fast-path miss and here.
+	// Poll once more non-blockingly before arming the deadline: with a
+	// zero (or near-zero) AdmissionWait the select below would race an
+	// already-expired timer against an already-free slot and shed the
+	// request half the time — a request must only shed when the server
+	// is actually full at its deadline.
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.AdmissionWait == 0 {
+		return s.shedErr()
+	}
 	t := time.NewTimer(s.cfg.AdmissionWait)
 	defer t.Stop()
 	select {
@@ -430,12 +481,17 @@ func (s *Server) acquireSlow(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-t.C:
-		s.m.shed.Add(1)
-		return &httpError{
-			status:     http.StatusTooManyRequests,
-			msg:        fmt.Sprintf("server is at compile capacity (%d in flight); retry after backoff", s.cfg.MaxInFlight),
-			retryAfter: time.Second,
-		}
+		return s.shedErr()
+	}
+}
+
+// shedErr counts and builds the 429 admission-shedding response.
+func (s *Server) shedErr() error {
+	s.m.shed.Add(1)
+	return &httpError{
+		status:     http.StatusTooManyRequests,
+		msg:        fmt.Sprintf("server is at compile capacity (%d in flight); retry after backoff", s.cfg.MaxInFlight),
+		retryAfter: time.Second,
 	}
 }
 
@@ -506,11 +562,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Service exposes the default-configuration service (tests, embedders).
 func (s *Server) Service() *compaqt.Service { return s.svc }
 
-// Close releases the server's persistent store (flushing its manifest
-// and releasing the directory lock), so a successor process can open
-// the same directory immediately. It is idempotent and safe without a
-// store; Run calls it after draining.
+// Close stops the cluster probe loop and releases the server's
+// persistent store (flushing its manifest and releasing the directory
+// lock), so a successor process can open the same directory
+// immediately. It is idempotent and safe without either; Run calls it
+// after draining.
 func (s *Server) Close() error {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	if s.store == nil {
 		return nil
 	}
