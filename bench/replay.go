@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"compaqt/qctrl"
+)
+
+// Workload replay files: a Request is fully reproducible from its
+// (Library, Family, Qubits, Seed) header — the pulses are a pure
+// function of the triple and the machine's calibration — so a recorded
+// stream is just those headers, one JSON object per line. Replaying
+// re-generates and re-lowers each instance deterministically, which
+// makes a recorded file a portable, diffable benchmark input: two runs
+// of the same file compile byte-identical streams.
+
+// RecordEntry is one line of a workload replay file.
+type RecordEntry struct {
+	Library string `json:"library"`
+	Family  string `json:"family"`
+	Qubits  int    `json:"qubits"`
+	Seed    int64  `json:"seed"`
+	// Repeat preserves the stream's replay marks, so a replayed run
+	// reports the same hot/cold mix the recording saw.
+	Repeat bool `json:"repeat,omitempty"`
+}
+
+// EntryOf captures a request's reproducible header.
+func EntryOf(r *Request) RecordEntry {
+	return RecordEntry{
+		Library: r.Library,
+		Family:  r.Family,
+		Qubits:  r.Qubits,
+		Seed:    r.Seed,
+		Repeat:  r.Repeat,
+	}
+}
+
+// Name is the canonical instance name the entry regenerates to.
+func (e RecordEntry) Name() string { return InstanceName(e.Family, e.Qubits, e.Seed) }
+
+// WriteRecord writes the request stream as JSON lines. The encoding is
+// deterministic: equal streams produce byte-identical files.
+func WriteRecord(w io.Writer, reqs []*Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range reqs {
+		if err := enc.Encode(EntryOf(r)); err != nil {
+			return fmt.Errorf("bench: writing record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecord parses a replay file. Blank lines are skipped; anything
+// else that fails to parse is an error with its line number.
+func ReadRecord(r io.Reader) ([]RecordEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []RecordEntry
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e RecordEntry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("bench: replay file line %d: %w", line, err)
+		}
+		if e.Family == "" || e.Qubits < 1 {
+			return nil, fmt.Errorf("bench: replay file line %d: missing family or qubits", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: reading replay file: %w", err)
+	}
+	return out, nil
+}
+
+// Replayer materializes recorded entries back into compile requests,
+// caching machine lookups and lowered pulse streams so a skewed
+// recording (many repeats) replays as cheaply as it recorded.
+type Replayer struct {
+	machines map[string]*qctrl.Machine
+	pulses   map[string][]*qctrl.Pulse
+}
+
+// NewReplayer builds an empty-cache replayer.
+func NewReplayer() *Replayer {
+	return &Replayer{
+		machines: map[string]*qctrl.Machine{},
+		pulses:   map[string][]*qctrl.Pulse{},
+	}
+}
+
+// Materialize regenerates one entry: catalog generation from the
+// (family, qubits, seed) triple, then transpile/schedule onto the
+// entry's machine — the exact pipeline the Workload ran when the
+// entry was recorded.
+func (rp *Replayer) Materialize(e RecordEntry) (*Request, error) {
+	m, ok := rp.machines[e.Library]
+	if !ok {
+		var err error
+		m, err = qctrl.ByName(e.Library)
+		if err != nil {
+			return nil, fmt.Errorf("bench: replaying on unknown machine %q: %w", e.Library, err)
+		}
+		rp.machines[e.Library] = m
+	}
+	req := &Request{
+		Library: e.Library,
+		Family:  e.Family,
+		Qubits:  e.Qubits,
+		Seed:    e.Seed,
+		Repeat:  e.Repeat,
+	}
+	key := e.Library + "/" + e.Name()
+	if pulses, ok := rp.pulses[key]; ok {
+		req.Pulses = pulses
+		return req, nil
+	}
+	c, err := Generate(e.Family, e.Qubits, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	req.Pulses, err = PulsesFor(m, c)
+	if err != nil {
+		return nil, err
+	}
+	rp.pulses[key] = req.Pulses
+	return req, nil
+}
+
+// MaterializeAll replays a whole file's worth of entries in order.
+func (rp *Replayer) MaterializeAll(entries []RecordEntry) ([]*Request, error) {
+	out := make([]*Request, 0, len(entries))
+	for i, e := range entries {
+		r, err := rp.Materialize(e)
+		if err != nil {
+			return nil, fmt.Errorf("bench: replay entry %d (%s): %w", i+1, e.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"compaqt/qctrl"
+)
+
+func recordedWorkload(t *testing.T, n int) []*Request {
+	t.Helper()
+	wl, err := NewWorkload(WorkloadOptions{
+		Machine:    qctrl.Bogota(),
+		Families:   []string{"ghz", "qft", "bv"},
+		Seeds:      2,
+		RepeatSkew: 0.3,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := wl.Requests(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	reqs := recordedWorkload(t, 24)
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism: recording the identical stream twice yields
+	// byte-identical files.
+	var buf2 bytes.Buffer
+	if err := WriteRecord(&buf2, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two recordings of the same stream differ byte-wise")
+	}
+
+	entries, err := ReadRecord(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(reqs) {
+		t.Fatalf("read %d entries, want %d", len(entries), len(reqs))
+	}
+	for i, e := range entries {
+		if e != EntryOf(reqs[i]) {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, EntryOf(reqs[i]))
+		}
+	}
+}
+
+func TestReplayMaterializesIdenticalStreams(t *testing.T) {
+	reqs := recordedWorkload(t, 24)
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := NewReplayer().MaterializeAll(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(reqs) {
+		t.Fatalf("replayed %d requests, want %d", len(replayed), len(reqs))
+	}
+	for i, r := range replayed {
+		orig := reqs[i]
+		if r.Name() != orig.Name() || r.Repeat != orig.Repeat || r.Library != orig.Library {
+			t.Fatalf("request %d header = %s/%s repeat=%v, want %s/%s repeat=%v",
+				i, r.Library, r.Name(), r.Repeat, orig.Library, orig.Name(), orig.Repeat)
+		}
+		if len(r.Pulses) != len(orig.Pulses) {
+			t.Fatalf("request %d replayed %d pulses, want %d", i, len(r.Pulses), len(orig.Pulses))
+		}
+		for j := range r.Pulses {
+			if r.Pulses[j].Key() != orig.Pulses[j].Key() {
+				t.Fatalf("request %d pulse %d key %q, want %q",
+					i, j, r.Pulses[j].Key(), orig.Pulses[j].Key())
+			}
+		}
+	}
+}
+
+func TestReadRecordRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecord(bytes.NewReader([]byte("{\"family\":\"ghz\",\"qubits\":3,\"seed\":0}\nnot json\n"))); err == nil {
+		t.Fatal("garbage line parsed without error")
+	}
+	if _, err := ReadRecord(bytes.NewReader([]byte("{\"qubits\":3}\n"))); err == nil {
+		t.Fatal("entry without a family parsed without error")
+	}
+	entries, err := ReadRecord(bytes.NewReader([]byte("\n\n")))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("blank-only file = %d entries, %v; want 0, nil", len(entries), err)
+	}
+}

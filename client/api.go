@@ -5,13 +5,15 @@
 //
 // The API surface mirrors the in-process compaqt.Service:
 //
-//	POST /v1/compile        one pulse  -> entry summary
-//	POST /v1/compile/batch  pulse list -> order-stable, dedup-aware batch
-//	GET  /v1/images/{name}  serialized CPQT image (wire format)
-//	PUT  /v1/images/{name}  publish wire bytes (cluster replication)
-//	GET  /v1/stats          cache + request metrics
-//	GET  /v1/cluster        consistent-hash ring view + peer health
-//	GET  /healthz           liveness / drain state
+//	POST /v1/compile         one pulse  -> entry summary
+//	POST /v1/compile/batch   pulse list -> order-stable, dedup-aware batch
+//	GET  /v1/images/{name}   serialized CPQT image (wire format)
+//	PUT  /v1/images/{name}   publish wire bytes (cluster replication)
+//	GET  /v1/stats           cache + request metrics (?scope=cluster aggregates peers)
+//	GET  /v1/cluster         consistent-hash ring view + member health
+//	POST /v1/cluster/gossip  membership push-pull exchange
+//	GET  /v1/cluster/digests owned-image digest listing (anti-entropy)
+//	GET  /healthz            liveness / drain state
 package client
 
 import (
@@ -259,21 +261,40 @@ type StoreStats struct {
 }
 
 // ClusterStats is the cluster-tier block of /v1/stats (absent when the
-// server runs without peers). Like every stats block, the counters are
-// snapshotted per-field from independent atomics: a snapshot taken
-// under load may tear across fields (a forward counted whose fill is
-// not yet), so treat cross-field arithmetic as approximate.
+// server runs without peers). The counters are one internally
+// consistent snapshot — every field is captured under the same lock at
+// the same instant, so cross-field arithmetic (fills per forward, say)
+// is exact for that snapshot.
 type ClusterStats struct {
 	// Self is this node's advertised member URL.
 	Self string `json:"self"`
 	// Replication is the publish fan-out: owner plus ring successors.
 	Replication int `json:"replication"`
+	// Members is the known member count (any state); Live the subset
+	// currently believed alive, self included.
+	Members int `json:"members"`
+	Live    int `json:"live"`
 	// Forwarded counts image GETs this node answered from a peer;
 	// PeerFills the remote fetches written through to the local store;
 	// PeerErrors the failed peer attempts (fetch or publish).
 	Forwarded  uint64 `json:"forwarded"`
 	PeerFills  uint64 `json:"peer_fills"`
 	PeerErrors uint64 `json:"peer_errors"`
+	// Hinted counts replicated publishes deferred to the hint log;
+	// HintsReplayed the hints delivered after their peer healed;
+	// HintsDropped the hints evicted past the log's byte budget;
+	// HintsPending the current queue depth.
+	Hinted        uint64 `json:"hinted"`
+	HintsReplayed uint64 `json:"hints_replayed"`
+	HintsDropped  uint64 `json:"hints_dropped"`
+	HintsPending  int    `json:"hints_pending"`
+	// Repairs counts images pulled by the anti-entropy repair loop.
+	Repairs uint64 `json:"repairs"`
+	// GossipRounds counts initiated membership exchanges; Refutations
+	// the self-incarnation bumps made to refute suspect/dead claims
+	// about this node.
+	GossipRounds uint64 `json:"gossip_rounds"`
+	Refutations  uint64 `json:"refutations"`
 }
 
 // PeerStatus is one member row of the GET /v1/cluster ring view.
@@ -284,6 +305,11 @@ type PeerStatus struct {
 	// Alive is the node's current liveness verdict: probes and
 	// transport failures mark a peer down, a healthy probe heals it.
 	Alive bool `json:"alive"`
+	// State is the gossip membership state: "alive", "suspect" or
+	// "dead". Incarnation is the member's gossip version — only the
+	// member itself bumps it, to refute suspicion.
+	State       string `json:"state,omitempty"`
+	Incarnation uint64 `json:"incarnation,omitempty"`
 	// Share is the fraction of the digest space the member's virtual
 	// nodes own (≈ 1/members when balanced).
 	Share float64 `json:"share"`
@@ -302,6 +328,83 @@ type ClusterResponse struct {
 	Forwarded   uint64       `json:"forwarded"`
 	PeerFills   uint64       `json:"peer_fills"`
 	PeerErrors  uint64       `json:"peer_errors"`
+}
+
+// GossipMember is one row of the membership table two nodes exchange:
+// identity, gossip incarnation, and liveness state ("alive", "suspect",
+// "dead"). A higher incarnation always supersedes a lower one; at equal
+// incarnation the more severe state wins.
+type GossipMember struct {
+	URL         string `json:"url"`
+	Incarnation uint64 `json:"incarnation"`
+	State       string `json:"state"`
+}
+
+// GossipRequest is the body of POST /v1/cluster/gossip: the sender's
+// identity and its full member table (push half of push-pull).
+type GossipRequest struct {
+	From    string         `json:"from"`
+	Members []GossipMember `json:"members"`
+}
+
+// GossipResponse is the answer: the receiver's merged table (pull
+// half), so one exchange converges both sides.
+type GossipResponse struct {
+	From    string         `json:"from"`
+	Members []GossipMember `json:"members"`
+}
+
+// ImageDigest is one row of GET /v1/cluster/digests: an image this
+// node holds (in memory or in its store), with the content digest and
+// wire size a repairing peer validates against.
+type ImageDigest struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+	Size   int64  `json:"size"`
+}
+
+// DigestsResponse is the body of GET /v1/cluster/digests.
+type DigestsResponse struct {
+	Self   string        `json:"self"`
+	Images []ImageDigest `json:"images"`
+}
+
+// PeerStats is one node's slot in the cluster-wide stats aggregate:
+// either its stats or the error that kept them out — a dead peer costs
+// one error slot, never the whole response.
+type PeerStats struct {
+	URL   string         `json:"url"`
+	Self  bool           `json:"self,omitempty"`
+	Stats *StatsResponse `json:"stats,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// ClusterTotals sums the headline counters across every peer that
+// answered the scope=cluster fan-out.
+type ClusterTotals struct {
+	// Nodes counts peers that answered; Errors those that did not.
+	Nodes  int `json:"nodes"`
+	Errors int `json:"errors"`
+	// Requests/CompileCalls/CacheHits aggregate the serving counters.
+	Requests     uint64 `json:"requests"`
+	CompileCalls uint64 `json:"compile_calls"`
+	CacheHits    uint64 `json:"cache_hits"`
+	// Images counts stored image names; StoreBytes their on-disk sum.
+	Images     int   `json:"images"`
+	StoreBytes int64 `json:"store_bytes"`
+	// Forwarded/PeerFills/PeerErrors aggregate the cluster counters.
+	Forwarded  uint64 `json:"forwarded"`
+	PeerFills  uint64 `json:"peer_fills"`
+	PeerErrors uint64 `json:"peer_errors"`
+}
+
+// ClusterStatsResponse is the body of GET /v1/stats?scope=cluster: the
+// answering node fans the stats call out to every live member and
+// aggregates, with per-peer error slots.
+type ClusterStatsResponse struct {
+	Self   string        `json:"self"`
+	Peers  []PeerStats   `json:"peers"`
+	Totals ClusterTotals `json:"totals"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

@@ -363,6 +363,48 @@ func (c *Client) ClusterView(ctx context.Context) (*ClusterResponse, error) {
 	return &v, nil
 }
 
+// Gossip runs one membership push-pull exchange (POST
+// /v1/cluster/gossip): send our member table, receive the peer's
+// merged one. Gossip is deliberately never retried — the next round
+// reaches another peer anyway, and a retry would only mask flapping.
+func (c *Client) Gossip(ctx context.Context, req GossipRequest) (*GossipResponse, error) {
+	var resp GossipResponse
+	if err := c.postJSON(ctx, "/v1/cluster/gossip", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Digests fetches the images a node reports holding (GET
+// /v1/cluster/digests) — the anti-entropy repair loop's shopping list.
+func (c *Client) Digests(ctx context.Context) (*DigestsResponse, error) {
+	var resp DigestsResponse
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		resp = DigestsResponse{}
+		return c.getJSON(ctx, "/v1/cluster/digests", &resp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// StatsCluster fetches the cluster-wide stats aggregate (GET
+// /v1/stats?scope=cluster): the answering node fans out to every live
+// member, so one call sees the whole tier — dead peers appear as error
+// slots, not failures.
+func (c *Client) StatsCluster(ctx context.Context) (*ClusterStatsResponse, error) {
+	var resp ClusterStatsResponse
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		resp = ClusterStatsResponse{}
+		return c.getJSON(ctx, "/v1/stats?scope=cluster", &resp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (c *Client) imageRawOnce(ctx context.Context, name string) ([]byte, error) {
 	res, err := c.do(ctx, http.MethodGet, "/v1/images/"+url.PathEscape(name), nil)
 	if err != nil {

@@ -1,0 +1,11 @@
+//go:build !faultinject
+
+package main
+
+import "net/http"
+
+// peerTransport returns the transport under the cluster's peer
+// clients. Production builds use the default transport; the
+// faultinject build (faults_on.go) substitutes a seeded lossy one when
+// COMPAQT_PEER_FAULTS is set.
+func peerTransport() http.RoundTripper { return nil }

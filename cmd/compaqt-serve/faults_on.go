@@ -1,0 +1,78 @@
+//go:build faultinject
+
+package main
+
+import (
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"compaqt/internal/faults"
+)
+
+// peerTransport (faultinject build) reads COMPAQT_PEER_FAULTS and, when
+// set, wraps the peer transport in a seeded fault injector — the
+// multi-process chaos harness's way of making real compaqt-serve
+// processes mistreat each other deterministically. The schedule is a
+// comma-separated key=value list:
+//
+//	COMPAQT_PEER_FAULTS="seed=7,reset=0.02,p503=0.02,trunc=0.01"
+//
+// keys: seed (uint), reset/p503/trunc (probabilities in [0,1]).
+// SIGUSR1 stops injection in place (faults.RoundTripper.Stop), so the
+// harness can assert the "faults cease, cluster heals fully" half of
+// the invariant without restarting anything.
+func peerTransport() http.RoundTripper {
+	spec := os.Getenv("COMPAQT_PEER_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	var cfg faults.HTTPConfig
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			log.Fatalf("compaqt-serve: bad COMPAQT_PEER_FAULTS entry %q", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				log.Fatalf("compaqt-serve: bad fault seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "reset", "p503", "trunc":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				log.Fatalf("compaqt-serve: bad fault probability %s=%q", k, v)
+			}
+			switch k {
+			case "reset":
+				cfg.ResetProb = p
+			case "p503":
+				cfg.Prob503 = p
+			case "trunc":
+				cfg.TruncateProb = p
+			}
+		default:
+			log.Fatalf("compaqt-serve: unknown COMPAQT_PEER_FAULTS key %q", k)
+		}
+	}
+	rt := faults.NewRoundTripper(nil, cfg)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGUSR1)
+	go func() {
+		<-stop
+		rt.Stop()
+		log.Printf("compaqt-serve: peer fault injection stopped (SIGUSR1)")
+	}()
+	log.Printf("compaqt-serve: peer fault injection active (%s)", spec)
+	return rt
+}

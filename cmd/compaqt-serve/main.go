@@ -10,19 +10,25 @@
 //	compaqt-serve -max-inflight 16 -max-body 67108864
 //	compaqt-serve -store-dir /var/lib/compaqt -store-max-bytes 1073741824
 //	compaqt-serve -self http://10.0.0.1:8371 \
-//	  -peers http://10.0.0.1:8371,http://10.0.0.2:8371,http://10.0.0.3:8371 \
+//	  -join http://10.0.0.2:8371 \
 //	  -replication 2 -store-dir /var/lib/compaqt
 //
 // Endpoints: POST /v1/compile, POST /v1/compile/batch,
-// GET/PUT /v1/images/{name}, GET /v1/stats, GET /v1/cluster,
+// GET/PUT /v1/images/{name}, GET /v1/stats (?scope=cluster),
+// GET /v1/cluster, POST /v1/cluster/gossip, GET /v1/cluster/digests,
 // GET /healthz. See the client package for the typed Go client.
 // SIGINT/SIGTERM drain in-flight requests before exit.
 //
-// With -peers the process joins a digest-sharded cluster: image names
-// hash onto a consistent-hash ring over the member URLs, GETs for
-// remote shards are forwarded to their owner (and written through to
-// the local store), and each compiled named image is published to its
-// owner plus -replication-1 ring successors.
+// With -join (one or more gossip seeds) or -peers (a static member
+// list, still honored) the process joins a digest-sharded cluster:
+// image names hash onto a consistent-hash ring over the member URLs,
+// GETs for remote shards are forwarded to their owner (and written
+// through to the local store), and each compiled named image is
+// published to its owner plus -replication-1 ring successors.
+// Membership is gossiped, failed publishes are hinted to
+// <store-dir>/HINTS and replayed when the peer heals, and a background
+// anti-entropy loop (-repair-interval) streams the shard this node
+// owns from current holders.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -64,10 +71,15 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "http.Server IdleTimeout (0 = 2m, negative = disabled)")
 	storeDir := flag.String("store-dir", "", "persistent image store directory (empty = no persistence)")
 	storeMax := flag.Int64("store-max-bytes", 0, "persistent store size budget in bytes (0 = 1 GiB)")
-	self := flag.String("self", "", "this node's advertised base URL in the cluster (e.g. http://10.0.0.1:8371; required with -peers)")
+	self := flag.String("self", "", "this node's advertised base URL in the cluster (e.g. http://10.0.0.1:8371; required with -peers or -join)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every cluster member, this node included (empty = standalone)")
+	join := flag.String("join", "", "comma-separated gossip seed URLs: join an existing cluster and learn the rest of the table")
 	replication := flag.Int("replication", 1, "cluster replication factor: ring members each image is published to")
 	clusterProbe := flag.Duration("cluster-probe", 0, "peer health-probe interval (0 = 1s, negative = disabled)")
+	gossipInterval := flag.Duration("gossip-interval", 0, "membership gossip push-pull interval (0 = 1s, negative = disabled)")
+	suspectTimeout := flag.Duration("suspect-timeout", 0, "how long a suspect member may stay silent before it is declared dead (0 = 5s)")
+	repairInterval := flag.Duration("repair-interval", 0, "anti-entropy shard-repair interval (0 = 5s, negative = disabled)")
+	hintPath := flag.String("hints", "", "hinted-handoff log path (empty = <store-dir>/HINTS when clustered with a store, else memory-only)")
 	clusterHedge := flag.Duration("cluster-hedge", 0, "delay before a peer image GET races a hedged second attempt (0 = 25ms, negative = disabled)")
 	noPeerFill := flag.Bool("no-peer-fill", false, "serve forwarded images without write-through-filling the local store (pure proxy)")
 	flag.Parse()
@@ -79,14 +91,23 @@ func main() {
 		return
 	}
 
-	var peerList []string
-	for _, p := range strings.Split(*peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peerList = append(peerList, strings.TrimRight(p, "/"))
+	splitURLs := func(s string) []string {
+		var out []string
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, strings.TrimRight(p, "/"))
+			}
 		}
+		return out
 	}
-	if len(peerList) > 0 && *self == "" {
-		log.Fatal("compaqt-serve: -peers requires -self (this node's advertised URL)")
+	peerList := splitURLs(*peers)
+	joinList := splitURLs(*join)
+	if (len(peerList) > 0 || len(joinList) > 0) && *self == "" {
+		log.Fatal("compaqt-serve: -peers and -join require -self (this node's advertised URL)")
+	}
+	hints := *hintPath
+	if hints == "" && *storeDir != "" && (*self != "" || len(peerList) > 0 || len(joinList) > 0) {
+		hints = filepath.Join(*storeDir, "HINTS")
 	}
 
 	srv, err := server.New(server.Config{
@@ -104,13 +125,19 @@ func main() {
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMax,
 		Cluster: cluster.Config{
-			Self:          strings.TrimRight(*self, "/"),
-			Peers:         peerList,
-			Replication:   *replication,
-			ProbeInterval: *clusterProbe,
-			Hedge:         *clusterHedge,
+			Self:           strings.TrimRight(*self, "/"),
+			Peers:          peerList,
+			Join:           joinList,
+			Replication:    *replication,
+			ProbeInterval:  *clusterProbe,
+			GossipInterval: *gossipInterval,
+			SuspectTimeout: *suspectTimeout,
+			HintPath:       hints,
+			Hedge:          *clusterHedge,
+			Transport:      peerTransport(),
 		},
-		ClusterNoFill: *noPeerFill,
+		ClusterNoFill:  *noPeerFill,
+		RepairInterval: *repairInterval,
 
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,

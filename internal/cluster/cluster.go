@@ -6,25 +6,32 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"compaqt/client"
 )
 
-// Config assembles a Cluster. Self and Peers carry the static
-// membership (Peers is the full member list; Self must appear in it or
-// is added); everything else tunes forwarding and liveness.
+// Config assembles a Cluster. Membership seeds come from Peers (the
+// PR 9 static list, still honored) and/or Join (one or more gossip
+// seeds — the table is pulled from them and the ring grows as members
+// are learned); everything else tunes forwarding, liveness and repair.
 type Config struct {
 	// Self is this node's advertised base URL, the identity other
 	// members route to ("http://10.0.0.1:8371").
 	Self string
-	// Peers is the full member list, Self included. Order does not
-	// matter: every node sorts the list into the identical ring.
+	// Peers statically seeds the member table, Self included or not.
+	// Order does not matter: members sort into the identical ring.
 	Peers []string
+	// Join lists gossip seeds: members contacted for their full table
+	// at startup. Unlike Peers it need not be the whole cluster — one
+	// live seed is enough, the rest is learned.
+	Join []string
 	// Replication is the number of ring members an image is published
-	// to (owner plus successors); 0 means 1 — the owner only.
+	// to (owner plus successors); 0 means 1 — the owner only. It may
+	// exceed the current member count: lookups clamp per call, so a
+	// cluster that grows by gossip grows into its factor.
 	Replication int
 	// VNodes is the virtual-node count per member; 0 means
 	// DefaultVNodes (64).
@@ -32,10 +39,22 @@ type Config struct {
 	// Seed perturbs vnode placement, decorrelating clusters that share
 	// member URLs. Every member must agree on it.
 	Seed uint64
-	// ProbeInterval paces the background /healthz sweep that heals
-	// down-marked peers; 0 means 1s, negative disables the loop (the
+	// ProbeInterval paces the background /healthz sweep, one of the
+	// suspicion inputs; 0 means 1s, negative disables the loop (the
 	// owner then calls Probe explicitly — the test harness does).
 	ProbeInterval time.Duration
+	// GossipInterval paces the membership push-pull exchanges; 0 means
+	// 1s, negative disables the loop (tests call GossipOnce directly).
+	GossipInterval time.Duration
+	// SuspectTimeout is how long a member may stay suspect before it is
+	// declared dead; 0 means 5s.
+	SuspectTimeout time.Duration
+	// HintPath is the on-disk hint log for failed replicated publishes
+	// (hinted handoff); "" keeps hints in memory only.
+	HintPath string
+	// MaxHintBytes bounds the hint log; 0 means 16 MiB. Past it the
+	// oldest hints are dropped (anti-entropy repair is the backstop).
+	MaxHintBytes int64
 	// Hedge is the delay after which a peer image GET races a second
 	// attempt (client.WithHedge) — the replica tail-latency cover; 0
 	// means 25ms, negative disables hedging.
@@ -46,7 +65,7 @@ type Config struct {
 }
 
 // Enabled reports whether the config asks for a cluster at all.
-func (c Config) Enabled() bool { return c.Self != "" || len(c.Peers) > 0 }
+func (c Config) Enabled() bool { return c.Self != "" || len(c.Peers) > 0 || len(c.Join) > 0 }
 
 // ForwardedHeader marks inter-peer requests. A server receiving a
 // marked GET answers from local state only — one hop, never a cycle,
@@ -57,52 +76,81 @@ const ForwardedHeader = "X-Compaqt-Forwarded"
 // member to ask (everyone is down, or this node is the only member).
 var ErrNoPeer = errors.New("cluster: no live peer holds this key")
 
-// peer is one remote member: its resilient client and its liveness
-// state. down flips on transport failures (passive) and on failed
-// probes (active); only a successful probe flips it back.
-type peer struct {
-	url     string
-	cl      *client.Client
-	down    atomic.Bool
-	lastErr atomic.Pointer[string]
+// Stats is one consistent snapshot of the cluster counters — every
+// field is captured under the same lock, so the forwarded count and the
+// error count in one snapshot always belong to the same instant.
+type Stats struct {
+	// Forwarded counts GETs that left this node for a peer.
+	Forwarded uint64
+	// PeerFills counts remote fetches written through locally.
+	PeerFills uint64
+	// PeerErrors counts failed peer attempts (fetch or publish).
+	PeerErrors uint64
+	// Hinted counts publishes deferred to the hint log.
+	Hinted uint64
+	// HintsReplayed counts hints delivered after the peer healed.
+	HintsReplayed uint64
+	// HintsDropped counts hints evicted past the log's byte budget.
+	HintsDropped uint64
+	// HintsPending is the current hint-queue depth.
+	HintsPending int
+	// Repairs counts images pulled by the anti-entropy repair loop.
+	Repairs uint64
+	// GossipRounds counts initiated push-pull exchanges.
+	GossipRounds uint64
+	// Refutations counts self-incarnation bumps made to refute a
+	// suspect/dead claim about this node.
+	Refutations uint64
+	// Members is the known member count (any state), Live the subset
+	// currently alive (self included).
+	Members int
+	Live    int
 }
 
-// Cluster is one node's view of the serving tier: the shared ring, a
-// pooled client per remote member, liveness, and the forwarding
-// counters /v1/stats reports.
+// Cluster is one node's view of the serving tier: the member table and
+// ring (grown by gossip), a pooled client per remote member, the hint
+// log, and the counters /v1/stats reports.
 type Cluster struct {
-	cfg   Config
-	self  string
-	repl  int
-	ring  *Ring
-	peers map[string]*peer // remote members only (self excluded)
+	cfg  Config
+	self string
+	repl int
+
+	hedge time.Duration
+	hc    *http.Client
+
+	// mu guards the member table, the ring pointer, and the gossip
+	// bookkeeping. The ring itself is immutable — mutation is a rebuild
+	// plus pointer swap, and only a never-before-seen URL triggers one.
+	mu        sync.RWMutex
+	ring      *Ring
+	members   map[string]*member // self included (self's cl is nil)
+	selfInc   uint64
+	gossipIdx uint64
+
+	// cmu guards the counter snapshot — one lock for every field, which
+	// is what makes Counters tear-free.
+	cmu sync.Mutex
+	st  Stats
+
+	hints *hintLog
+
+	suspectTimeout time.Duration
 
 	stop     chan struct{}
 	stopOnce sync.Once
-
-	forwarded  atomic.Uint64 // GETs that left this node for a peer
-	peerFills  atomic.Uint64 // remote fetches written through locally
-	peerErrors atomic.Uint64 // failed peer attempts (fetch or publish)
 }
 
-// New builds a Cluster from cfg. The ring covers Peers ∪ {Self}; one
-// retrying, hedging client is built per remote member and reused for
-// every forward and publish (the peer connection pool).
+// New builds a Cluster from cfg. The initial table covers
+// {Self} ∪ Peers ∪ Join; gossip grows it from there. One retrying,
+// hedging client is built per remote member and reused for every
+// forward, publish, probe and gossip exchange.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Self == "" {
-		return nil, fmt.Errorf("cluster: Self (this node's advertised URL) is required with Peers")
-	}
-	members := append([]string{cfg.Self}, cfg.Peers...)
-	ring, err := NewRing(members, cfg.VNodes, cfg.Seed)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cluster: Self (this node's advertised URL) is required with Peers or Join")
 	}
 	repl := cfg.Replication
 	if repl <= 0 {
 		repl = 1
-	}
-	if repl > len(ring.Members()) {
-		repl = len(ring.Members())
 	}
 	hedge := cfg.Hedge
 	if hedge == 0 {
@@ -112,88 +160,202 @@ func New(cfg Config) (*Cluster, error) {
 	if inner == nil {
 		inner = http.DefaultTransport
 	}
-	hc := &http.Client{Transport: inner}
+	suspect := cfg.SuspectTimeout
+	if suspect <= 0 {
+		suspect = 5 * time.Second
+	}
 	c := &Cluster{
-		cfg:   cfg,
-		self:  cfg.Self,
-		repl:  repl,
-		ring:  ring,
-		peers: make(map[string]*peer, len(ring.Members())),
-		stop:  make(chan struct{}),
+		cfg:            cfg,
+		self:           cfg.Self,
+		repl:           repl,
+		hedge:          hedge,
+		hc:             &http.Client{Transport: inner},
+		members:        make(map[string]*member),
+		selfInc:        1,
+		suspectTimeout: suspect,
+		hints:          openHintLog(cfg.HintPath, cfg.MaxHintBytes),
+		stop:           make(chan struct{}),
 	}
-	for _, m := range ring.Members() {
-		if m == c.self {
-			continue
-		}
-		opts := []client.Option{
-			client.WithHTTPClient(hc),
-			// Every peer request — forward, publish or probe — is marked
-			// internal so the receiver serves local state only (one hop,
-			// never a cycle).
-			client.WithHeader(ForwardedHeader, "1"),
-			// Two attempts per peer: the forward path itself falls back to
-			// the next replica, so deep per-peer retries only add latency.
-			client.WithRetry(client.RetryPolicy{
-				MaxAttempts:    2,
-				BaseDelay:      25 * time.Millisecond,
-				MaxDelay:       250 * time.Millisecond,
-				AttemptTimeout: 5 * time.Second,
-			}),
-		}
-		if hedge > 0 {
-			opts = append(opts, client.WithHedge(hedge))
-		}
-		c.peers[m] = &peer{url: m, cl: client.New(m, opts...)}
+	c.mu.Lock()
+	if c.addMemberLocked(cfg.Self) == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: invalid Self URL %q", cfg.Self)
 	}
-	interval := cfg.ProbeInterval
-	if interval == 0 {
-		interval = time.Second
+	for _, m := range cfg.Peers {
+		if m != "" && c.addMemberLocked(m) == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("cluster: invalid peer URL %q", m)
+		}
 	}
-	if interval > 0 && len(c.peers) > 0 {
-		go c.probeLoop(interval)
+	for _, m := range cfg.Join {
+		if m != "" && m != c.self && c.addMemberLocked(m) == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("cluster: invalid join seed URL %q", m)
+		}
+	}
+	c.mu.Unlock()
+	if p := cfg.ProbeInterval; p >= 0 {
+		if p == 0 {
+			p = time.Second
+		}
+		go c.probeLoop(p)
+	}
+	if g := cfg.GossipInterval; g >= 0 {
+		if g == 0 {
+			g = time.Second
+		}
+		go c.gossipLoop(g)
 	}
 	return c, nil
 }
 
-// Close stops the probe loop. It is idempotent; in-flight forwards
-// finish on their own contexts.
+// buildPeerClient assembles the resilient client one remote member is
+// talked to with.
+func (c *Cluster) buildPeerClient(url string) *client.Client {
+	opts := []client.Option{
+		client.WithHTTPClient(c.hc),
+		// Every peer request — forward, publish, probe or gossip — is
+		// marked internal so the receiver serves local state only (one
+		// hop, never a cycle).
+		client.WithHeader(ForwardedHeader, "1"),
+		// Two attempts per peer: the forward path itself falls back to
+		// the next replica, so deep per-peer retries only add latency.
+		client.WithRetry(client.RetryPolicy{
+			MaxAttempts:    2,
+			BaseDelay:      25 * time.Millisecond,
+			MaxDelay:       250 * time.Millisecond,
+			AttemptTimeout: 5 * time.Second,
+		}),
+	}
+	if c.hedge > 0 {
+		opts = append(opts, client.WithHedge(c.hedge))
+	}
+	return client.New(url, opts...)
+}
+
+// addMemberLocked adds url to the table (idempotently) and, when it is
+// genuinely new, rebuilds the ring over the grown member set — the only
+// operation that ever changes the ring's point set. Callers hold c.mu.
+func (c *Cluster) addMemberLocked(url string) *member {
+	if url == "" {
+		return nil
+	}
+	if m := c.members[url]; m != nil {
+		return m
+	}
+	m := &member{url: url}
+	if url != c.self {
+		m.cl = c.buildPeerClient(url)
+	}
+	c.members[url] = m
+	urls := make([]string, 0, len(c.members))
+	for u := range c.members {
+		urls = append(urls, u)
+	}
+	ring, err := NewRing(urls, c.cfg.VNodes, c.cfg.Seed)
+	if err != nil {
+		delete(c.members, url)
+		return nil
+	}
+	c.ring = ring
+	return m
+}
+
+// ensureMemberLocked returns the table row for url, creating it if the
+// URL has never been seen. Callers hold c.mu.
+func (c *Cluster) ensureMemberLocked(url string) *member { return c.addMemberLocked(url) }
+
+// Close stops the probe and gossip loops. It is idempotent; in-flight
+// forwards finish on their own contexts.
 func (c *Cluster) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
 
 // Self returns this node's advertised URL.
 func (c *Cluster) Self() string { return c.self }
 
-// Replication returns the effective replication factor.
+// Replication returns the configured replication factor.
 func (c *Cluster) Replication() int { return c.repl }
 
-// alive is the ring liveness predicate: self is always alive, a remote
-// member is alive until marked down.
-func (c *Cluster) alive(m string) bool {
-	if m == c.self {
+// snapshot captures the routing inputs — the current ring pointer and a
+// point-in-time liveness set — so ring lookups never re-enter the lock
+// per member.
+func (c *Cluster) snapshot() (*Ring, func(string) bool) {
+	c.mu.RLock()
+	ring := c.ring
+	alive := make(map[string]bool, len(c.members))
+	for u, m := range c.members {
+		alive[u] = u == c.self || m.state == StateAlive
+	}
+	c.mu.RUnlock()
+	return ring, func(m string) bool { return alive[m] }
+}
+
+// alive reports one member's current liveness verdict (self is always
+// alive). Ring lookups use snapshot instead — one lock for the whole
+// walk; this point query serves the view and tests.
+func (c *Cluster) alive(u string) bool {
+	if u == c.self {
 		return true
 	}
-	p := c.peers[m]
-	return p != nil && !p.down.Load()
+	c.mu.RLock()
+	m := c.members[u]
+	ok := m != nil && m.state == StateAlive
+	c.mu.RUnlock()
+	return ok
+}
+
+// memberFor returns the table row for url, nil when unknown.
+func (c *Cluster) memberFor(url string) *member {
+	c.mu.RLock()
+	m := c.members[url]
+	c.mu.RUnlock()
+	return m
 }
 
 // noteErr records a failed peer attempt. Transport-level failures
-// (never got an HTTP response: resets, refusals, timeouts) mark the
-// peer down so subsequent lookups skip it immediately — the probe loop
-// heals it. An *APIError means the peer is up and answering; its
-// content (404, 429) is the caller's business, not a liveness signal.
-func (c *Cluster) noteErr(p *peer, err error) {
-	c.peerErrors.Add(1)
-	msg := err.Error()
-	p.lastErr.Store(&msg)
+// (never got an HTTP response: resets, refusals, timeouts) feed
+// suspicion so subsequent lookups skip the member immediately — probes
+// and gossip heal it. An *APIError means the peer is up and answering;
+// its content (404, 429) is the caller's business, not a liveness
+// signal.
+func (c *Cluster) noteErr(m *member, err error) {
+	c.cmu.Lock()
+	c.st.PeerErrors++
+	c.cmu.Unlock()
 	var apiErr *client.APIError
-	if !errors.As(err, &apiErr) {
-		p.down.Store(true)
+	transport := !errors.As(err, &apiErr)
+	c.mu.Lock()
+	m.lastErr = err.Error()
+	if transport {
+		c.markSuspectLocked(m, err.Error())
 	}
+	c.mu.Unlock()
+}
+
+// hintable reports whether a failed publish should be deferred to the
+// hint log: transport failures and temporary HTTP answers qualify; a
+// permanent 4xx would fail identically on replay.
+func hintable(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	return true
+}
+
+// hintFor queues one deferred publish for peer.
+func (c *Cluster) hintFor(peer, name string, wire []byte) {
+	dropped := c.hints.add(peer, name, wire)
+	c.cmu.Lock()
+	c.st.Hinted++
+	c.st.HintsDropped += dropped
+	c.cmu.Unlock()
 }
 
 // Owns reports whether this node is in name's replica set — the
 // members a publish would target.
 func (c *Cluster) Owns(name string) bool {
-	for _, m := range c.ring.Successors(KeyFor(name), c.repl, c.alive) {
+	ring, alive := c.snapshot()
+	for _, m := range ring.Successors(KeyFor(name), c.repl, alive) {
 		if m == c.self {
 			return true
 		}
@@ -208,23 +370,29 @@ func (c *Cluster) Owns(name string) bool {
 // 404 and the next member still holds the bytes. Returns the serving
 // peer's URL alongside the bytes.
 func (c *Cluster) FetchImage(ctx context.Context, name string) ([]byte, string, error) {
-	targets := c.ring.Successors(KeyFor(name), c.repl+1, c.alive)
+	ring, alive := c.snapshot()
+	targets := ring.Successors(KeyFor(name), c.repl+1, alive)
 	var lastErr error
 	tried := false
-	for _, m := range targets {
-		if m == c.self {
+	for _, u := range targets {
+		if u == c.self {
 			continue
 		}
-		p := c.peers[m]
+		m := c.memberFor(u)
+		if m == nil || m.cl == nil {
+			continue
+		}
 		if !tried {
 			tried = true
-			c.forwarded.Add(1)
+			c.cmu.Lock()
+			c.st.Forwarded++
+			c.cmu.Unlock()
 		}
-		b, err := p.cl.ImageRaw(ctx, name)
+		b, err := m.cl.ImageRaw(ctx, name)
 		if err == nil {
-			return b, m, nil
+			return b, u, nil
 		}
-		c.noteErr(p, err)
+		c.noteErr(m, err)
 		lastErr = err
 		if ctx.Err() != nil {
 			break
@@ -244,23 +412,29 @@ func (c *Cluster) FetchImage(ctx context.Context, name string) ([]byte, string, 
 // nodes relay through this so the two network hops overlap and no
 // image, whatever its size, is buffered on the way through.
 func (c *Cluster) OpenImage(ctx context.Context, name string) (io.ReadCloser, int64, string, error) {
-	targets := c.ring.Successors(KeyFor(name), c.repl+1, c.alive)
+	ring, alive := c.snapshot()
+	targets := ring.Successors(KeyFor(name), c.repl+1, alive)
 	var lastErr error
 	tried := false
-	for _, m := range targets {
-		if m == c.self {
+	for _, u := range targets {
+		if u == c.self {
 			continue
 		}
-		p := c.peers[m]
+		m := c.memberFor(u)
+		if m == nil || m.cl == nil {
+			continue
+		}
 		if !tried {
 			tried = true
-			c.forwarded.Add(1)
+			c.cmu.Lock()
+			c.st.Forwarded++
+			c.cmu.Unlock()
 		}
-		rc, n, err := p.cl.ImageReader(ctx, name)
+		rc, n, err := m.cl.ImageReader(ctx, name)
 		if err == nil {
-			return rc, n, m, nil
+			return rc, n, u, nil
 		}
-		c.noteErr(p, err)
+		c.noteErr(m, err)
 		lastErr = err
 		if ctx.Err() != nil {
 			break
@@ -272,88 +446,202 @@ func (c *Cluster) OpenImage(ctx context.Context, name string) (io.ReadCloser, in
 	return nil, 0, "", lastErr
 }
 
+// FetchImageFrom retrieves name's wire bytes from one specific member —
+// the anti-entropy repair path, which already knows (from the digest
+// listing) who holds what.
+func (c *Cluster) FetchImageFrom(ctx context.Context, peer, name string) ([]byte, error) {
+	m := c.memberFor(peer)
+	if m == nil || m.cl == nil {
+		return nil, fmt.Errorf("cluster: unknown peer %s", peer)
+	}
+	b, err := m.cl.ImageRaw(ctx, name)
+	if err != nil {
+		c.noteErr(m, err)
+		return nil, err
+	}
+	return b, nil
+}
+
+// PeerDigests lists the images one member reports owning.
+func (c *Cluster) PeerDigests(ctx context.Context, peer string) ([]client.ImageDigest, error) {
+	m := c.memberFor(peer)
+	if m == nil || m.cl == nil {
+		return nil, fmt.Errorf("cluster: unknown peer %s", peer)
+	}
+	resp, err := m.cl.Digests(ctx)
+	if err != nil {
+		c.noteErr(m, err)
+		return nil, err
+	}
+	return resp.Images, nil
+}
+
 // PublishImage pushes name's wire bytes to every remote member of its
 // replica set (self, when in the set, already holds them locally).
-// Publishing is best-effort per peer: a failed push is counted and
-// down-marks the peer, but never fails the compile that triggered it —
-// the image is durable on the compiling node and the GET path's
-// successor fallback covers the gap until the peer heals.
+// Publishing is best-effort per peer and never fails the compile that
+// triggered it — but a push that cannot land on a canonical replica
+// (the member is down, or answered with a temporary failure) is
+// deferred to the hint log and replayed when the member heals.
 func (c *Cluster) PublishImage(ctx context.Context, name string, wire []byte) int {
+	ring, alive := c.snapshot()
+	key := KeyFor(name)
 	published := 0
-	for _, m := range c.ring.Successors(KeyFor(name), c.repl, c.alive) {
-		if m == c.self {
+	landed := make(map[string]bool, c.repl)
+	for _, u := range ring.Successors(key, c.repl, alive) {
+		if u == c.self {
 			continue
 		}
-		p := c.peers[m]
-		if err := p.cl.PutImageRaw(ctx, name, wire); err != nil {
-			c.noteErr(p, err)
+		m := c.memberFor(u)
+		if m == nil || m.cl == nil {
 			continue
 		}
+		if err := m.cl.PutImageRaw(ctx, name, wire); err != nil {
+			c.noteErr(m, err)
+			if hintable(err) {
+				c.hintFor(u, name, wire)
+			}
+			continue
+		}
+		landed[u] = true
 		published++
+	}
+	// The canonical replica set (liveness ignored) is where the bytes
+	// must eventually live; members skipped above for being down get a
+	// hint instead of nothing.
+	for _, u := range ring.Successors(key, c.repl, nil) {
+		if u == c.self || landed[u] || alive(u) {
+			continue
+		}
+		c.hintFor(u, name, wire)
 	}
 	return published
 }
 
 // NoteFill counts one successful write-through of a remote fetch into
 // the local store.
-func (c *Cluster) NoteFill() { c.peerFills.Add(1) }
-
-// Counters snapshots the forwarding counters for /v1/stats. Each field
-// is read independently; a snapshot taken under load may tear across
-// fields (documented in the stats API).
-func (c *Cluster) Counters() (forwarded, peerFills, peerErrors uint64) {
-	return c.forwarded.Load(), c.peerFills.Load(), c.peerErrors.Load()
+func (c *Cluster) NoteFill() {
+	c.cmu.Lock()
+	c.st.PeerFills++
+	c.cmu.Unlock()
 }
 
-// MemberView is one row of the ring view: identity, liveness and the
-// share of the key space the member's vnodes own.
+// NoteRepair counts one image pulled by the anti-entropy repair loop.
+func (c *Cluster) NoteRepair() {
+	c.cmu.Lock()
+	c.st.Repairs++
+	c.cmu.Unlock()
+}
+
+// Counters snapshots the cluster counters for /v1/stats. All counter
+// fields are captured under one lock, so the snapshot is internally
+// consistent — no field can tear against another.
+func (c *Cluster) Counters() Stats {
+	c.cmu.Lock()
+	st := c.st
+	c.cmu.Unlock()
+	st.HintsPending, _ = c.hints.pending()
+	c.mu.RLock()
+	st.Members = len(c.members)
+	for u, m := range c.members {
+		if u == c.self || m.state == StateAlive {
+			st.Live++
+		}
+	}
+	c.mu.RUnlock()
+	return st
+}
+
+// LivePeers lists the remote members currently believed alive, sorted.
+func (c *Cluster) LivePeers() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.members))
+	for u, m := range c.members {
+		if u != c.self && m.state == StateAlive {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClientFor returns the pooled client for one remote member (nil for
+// self or an unknown URL) — the scope=cluster stats fan-out uses it.
+func (c *Cluster) ClientFor(url string) *client.Client {
+	m := c.memberFor(url)
+	if m == nil {
+		return nil
+	}
+	return m.cl
+}
+
+// MemberView is one row of the ring view: identity, gossip state and
+// the share of the key space the member's vnodes own.
 type MemberView struct {
-	URL     string
-	Self    bool
-	Alive   bool
-	Share   float64
-	LastErr string
+	URL         string
+	Self        bool
+	Alive       bool
+	State       string
+	Incarnation uint64
+	Share       float64
+	LastErr     string
 }
 
 // View reports the ring for GET /v1/cluster: every member with its
-// health and key-space share, plus the placement parameters.
+// gossip state and key-space share, plus the placement parameters.
 func (c *Cluster) View() (members []MemberView, replication, vnodes int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	shares := c.ring.Shares()
 	members = make([]MemberView, 0, len(c.ring.Members()))
-	for _, m := range c.ring.Members() {
-		mv := MemberView{URL: m, Self: m == c.self, Alive: c.alive(m), Share: shares[m]}
-		if p := c.peers[m]; p != nil {
-			if e := p.lastErr.Load(); e != nil {
-				mv.LastErr = *e
-			}
+	for _, u := range c.ring.Members() {
+		mv := MemberView{URL: u, Self: u == c.self, Share: shares[u]}
+		if m := c.members[u]; m != nil {
+			mv.State = m.state.String()
+			mv.Incarnation = m.incarnation
+			mv.Alive = m.state == StateAlive
+			mv.LastErr = m.lastErr
+		}
+		if mv.Self {
+			mv.State = StateAlive.String()
+			mv.Incarnation = c.selfInc
+			mv.Alive = true
 		}
 		members = append(members, mv)
 	}
 	return members, c.repl, c.ring.VNodes()
 }
 
-// Probe health-checks every remote member once: a live "ok" marks the
-// peer up and clears its error; anything else — transport failure or a
-// draining 503 — marks it down (unlike the passive path, an answering
-// peer that reports unhealthy must still leave the ring). Probe
-// results deliberately stay out of the peer_errors counter, which
-// tracks real forwarding work; Health is never retried by the client,
-// so a probe reflects this instant, not a masked flap.
+// Probe health-checks every remote member once — the active suspicion
+// input. A live "ok" marks the member alive (firing hint replay if it
+// was not); anything else — transport failure or a draining 503 —
+// feeds suspicion (unlike the passive path, an answering peer that
+// reports unhealthy must still leave the ring). Probe results
+// deliberately stay out of the peer_errors counter, which tracks real
+// forwarding work; Health is never retried by the client, so a probe
+// reflects this instant, not a masked flap.
 func (c *Cluster) Probe(ctx context.Context) {
-	for _, p := range c.peers {
-		pctx, cancel := context.WithTimeout(ctx, time.Second)
-		err := p.cl.Health(pctx)
-		cancel()
-		if err != nil {
-			msg := err.Error()
-			p.lastErr.Store(&msg)
-			p.down.Store(true)
-			continue
-		}
-		if p.down.Swap(false) {
-			p.lastErr.Store(nil)
+	c.mu.RLock()
+	ms := make([]*member, 0, len(c.members))
+	for u, m := range c.members {
+		if u != c.self {
+			ms = append(ms, m)
 		}
 	}
+	c.mu.RUnlock()
+	for _, m := range ms {
+		pctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := m.cl.Health(pctx)
+		cancel()
+		c.mu.Lock()
+		if err != nil {
+			c.markSuspectLocked(m, err.Error())
+		} else {
+			c.markAliveLocked(m, m.incarnation)
+		}
+		c.mu.Unlock()
+	}
+	c.tickSuspects()
 }
 
 // probeLoop runs Probe on the configured cadence until Close.
@@ -368,4 +656,77 @@ func (c *Cluster) probeLoop(interval time.Duration) {
 			c.Probe(context.Background())
 		}
 	}
+}
+
+// healedLocked fires when a member transitions to alive: any hints
+// queued for it start replaying in the background. Callers hold c.mu.
+func (c *Cluster) healedLocked(m *member) {
+	if m.replaying || m.url == c.self || m.cl == nil {
+		return
+	}
+	hs := c.hints.take(m.url)
+	if len(hs) == 0 {
+		return
+	}
+	m.replaying = true
+	go c.replayHints(m, hs)
+}
+
+func (c *Cluster) replayHints(m *member, hs []hint) {
+	c.deliverHints(context.Background(), m, hs)
+	c.mu.Lock()
+	m.replaying = false
+	c.mu.Unlock()
+}
+
+// deliverHints pushes queued hints to a healed member in order,
+// stopping at the first failure (the member flapped again; the
+// remaining hints stay queued for the next heal).
+func (c *Cluster) deliverHints(ctx context.Context, m *member, hs []hint) int {
+	n := 0
+	for _, h := range hs {
+		hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := m.cl.PutImageRaw(hctx, h.name, h.wire)
+		cancel()
+		if err != nil {
+			c.noteErr(m, err)
+			break
+		}
+		c.hints.remove(m.url, h.name)
+		c.cmu.Lock()
+		c.st.HintsReplayed++
+		c.cmu.Unlock()
+		n++
+	}
+	return n
+}
+
+// FlushHints synchronously replays every pending hint whose target is
+// currently alive. The heal path does this in the background;
+// deterministic tests and the repair loop call it directly.
+func (c *Cluster) FlushHints(ctx context.Context) int {
+	type job struct {
+		m  *member
+		hs []hint
+	}
+	c.mu.Lock()
+	var jobs []job
+	for u, m := range c.members {
+		if u == c.self || m.cl == nil || m.state != StateAlive || m.replaying {
+			continue
+		}
+		if hs := c.hints.take(u); len(hs) > 0 {
+			m.replaying = true
+			jobs = append(jobs, job{m, hs})
+		}
+	}
+	c.mu.Unlock()
+	replayed := 0
+	for _, j := range jobs {
+		replayed += c.deliverHints(ctx, j.m, j.hs)
+		c.mu.Lock()
+		j.m.replaying = false
+		c.mu.Unlock()
+	}
+	return replayed
 }

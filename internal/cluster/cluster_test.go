@@ -59,11 +59,12 @@ func newFakePeer(t *testing.T, images map[string][]byte) *fakePeer {
 func newTestCluster(t *testing.T, p *fakePeer, extra ...string) *Cluster {
 	t.Helper()
 	c, err := New(Config{
-		Self:          "http://self.invalid:1",
-		Peers:         append([]string{p.hs.URL}, extra...),
-		Replication:   2,
-		ProbeInterval: -1,
-		Hedge:         -1,
+		Self:           "http://self.invalid:1",
+		Peers:          append([]string{p.hs.URL}, extra...),
+		Replication:    2,
+		ProbeInterval:  -1,
+		GossipInterval: -1,
+		Hedge:          -1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,8 +110,8 @@ func TestFetchImageFromPeer(t *testing.T) {
 	if got := p.forwarded.Load(); got == 0 {
 		t.Fatal("peer saw no forwarded mark; forwarded GETs could cycle")
 	}
-	if f, _, e := c.Counters(); f != 1 || e != 0 {
-		t.Fatalf("counters forwarded=%d peerErrors=%d, want 1, 0", f, e)
+	if st := c.Counters(); st.Forwarded != 1 || st.PeerErrors != 0 {
+		t.Fatalf("counters forwarded=%d peerErrors=%d, want 1, 0", st.Forwarded, st.PeerErrors)
 	}
 }
 
@@ -125,8 +126,8 @@ func TestFetchImageMissReturnsAPIError(t *testing.T) {
 	if !c.alive(p.hs.URL) {
 		t.Fatal("peer marked down by an HTTP-level miss")
 	}
-	if _, _, e := c.Counters(); e != 1 {
-		t.Fatalf("peerErrors = %d, want 1", e)
+	if st := c.Counters(); st.PeerErrors != 1 {
+		t.Fatalf("peerErrors = %d, want 1", st.PeerErrors)
 	}
 }
 
@@ -150,12 +151,12 @@ func TestTransportFailureMarksDownAndProbeHeals(t *testing.T) {
 	}
 
 	// Probing the dead peer keeps it down and does not touch peerErrors.
-	_, _, errsBefore := c.Counters()
+	errsBefore := c.Counters().PeerErrors
 	c.Probe(context.Background())
 	if c.alive(p.hs.URL) {
 		t.Fatal("probe of a dead peer marked it up")
 	}
-	if _, _, errsAfter := c.Counters(); errsAfter != errsBefore {
+	if errsAfter := c.Counters().PeerErrors; errsAfter != errsBefore {
 		t.Fatalf("probe inflated peerErrors %d -> %d", errsBefore, errsAfter)
 	}
 }

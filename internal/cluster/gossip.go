@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"compaqt/client"
+)
+
+// Membership is SWIM-flavored gossip piggybacked on the HTTP plane:
+// every node keeps a versioned member table — URL, incarnation number,
+// alive/suspect/dead state — and periodically push-pulls it with one
+// peer via POST /v1/cluster/gossip. Joining is one seed URL (-join),
+// not a full -peers list: the first exchange pulls the whole table and
+// the ring grows with each newly-learned member. Suspicion is fed by
+// two local signals (a failed /healthz probe, a transport-level
+// forward failure) and by gossip from other members; only the member
+// itself can refute it, by bumping its own incarnation when it learns
+// it is suspected. A suspect member that stays silent past
+// SuspectTimeout is declared dead. The ring's point set only ever
+// changes on join (a URL never seen before); alive/suspect/dead flips
+// are a liveness predicate over an unchanged ring, so a flap storm
+// re-routes keys without ever rebuilding placement.
+
+// State is one member's liveness as this node believes it.
+type State uint8
+
+const (
+	// StateAlive members serve their ring arcs.
+	StateAlive State = iota
+	// StateSuspect members failed a probe, a forward, or were gossiped
+	// suspect; the ring skips them but they can refute.
+	StateSuspect
+	// StateDead members stayed suspect past SuspectTimeout (or were
+	// gossiped dead). Only a higher self-incarnation brings them back.
+	StateDead
+)
+
+var stateNames = [...]string{"alive", "suspect", "dead"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// parseState maps the wire form back; unknown strings are treated as
+// suspect — a conservative reading of a table row we cannot interpret.
+func parseState(s string) State {
+	switch s {
+	case "alive":
+		return StateAlive
+	case "dead":
+		return StateDead
+	}
+	return StateSuspect
+}
+
+// severity orders states at equal incarnation: a more severe claim
+// wins (dead > suspect > alive), because only the member itself can
+// overrule it — by incrementing its incarnation.
+func severity(s State) int { return int(s) }
+
+// member is one row of the table: identity, the resilient client
+// (nil for self), and the gossip state.
+type member struct {
+	url string
+	cl  *client.Client
+
+	state        State
+	incarnation  uint64
+	suspectSince time.Time
+	lastErr      string
+
+	// replaying guards against concurrent hint-replay goroutines for
+	// the same peer (guarded by Cluster.mu).
+	replaying bool
+}
+
+// table builds the wire form of the member table, self included,
+// sorted by URL so two nodes with equal knowledge exchange identical
+// bodies. Callers hold c.mu.
+func (c *Cluster) tableLocked() []client.GossipMember {
+	out := make([]client.GossipMember, 0, len(c.members))
+	for _, m := range c.members {
+		gm := client.GossipMember{URL: m.url, Incarnation: m.incarnation, State: m.state.String()}
+		if m.url == c.self {
+			gm.Incarnation = c.selfInc
+			gm.State = StateAlive.String()
+		}
+		out = append(out, gm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// HandleGossip is the receiving half of one push-pull exchange: merge
+// the sender's table, mark the sender itself alive (it demonstrably
+// is — it just reached us), and answer with the merged table. A node
+// gossiping to itself is a wiring bug and is rejected.
+func (c *Cluster) HandleGossip(req client.GossipRequest) (client.GossipResponse, error) {
+	if req.From == c.self {
+		return client.GossipResponse{}, fmt.Errorf("cluster: rejecting gossip from self (%s)", c.self)
+	}
+	c.mergeTable(req.Members)
+	if req.From != "" {
+		c.mu.Lock()
+		if m := c.ensureMemberLocked(req.From); m != nil {
+			c.markAliveLocked(m, m.incarnation)
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	resp := client.GossipResponse{From: c.self, Members: c.tableLocked()}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// mergeTable folds a received member table into ours under the SWIM
+// rules: a higher incarnation always wins; at equal incarnation the
+// more severe state wins. Claims about ourselves are never adopted —
+// hearing that we are suspect or dead triggers a refutation instead:
+// our incarnation jumps past the claim and the next exchanges spread
+// the correction.
+func (c *Cluster) mergeTable(entries []client.GossipMember) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		if e.URL == "" {
+			continue
+		}
+		st := parseState(e.State)
+		if e.URL == c.self {
+			if st != StateAlive && e.Incarnation >= c.selfInc {
+				c.selfInc = e.Incarnation + 1
+				c.cmu.Lock()
+				c.st.Refutations++
+				c.cmu.Unlock()
+			}
+			continue
+		}
+		m := c.members[e.URL]
+		if m == nil {
+			m = c.addMemberLocked(e.URL)
+			if m == nil {
+				continue
+			}
+			m.incarnation = e.Incarnation
+			c.setStateLocked(m, st)
+			continue
+		}
+		switch {
+		case e.Incarnation > m.incarnation:
+			m.incarnation = e.Incarnation
+			c.setStateLocked(m, st)
+		case e.Incarnation == m.incarnation && severity(st) > severity(m.state):
+			c.setStateLocked(m, st)
+		}
+	}
+}
+
+// setStateLocked applies a state transition, tracking suspicion age
+// and firing the heal hook (hint replay) on a transition to alive.
+// Callers hold c.mu.
+func (c *Cluster) setStateLocked(m *member, st State) {
+	if m.state == st {
+		return
+	}
+	prev := m.state
+	m.state = st
+	switch st {
+	case StateSuspect:
+		m.suspectSince = time.Now()
+	case StateAlive:
+		m.lastErr = ""
+		if prev != StateAlive {
+			c.healedLocked(m)
+		}
+	}
+}
+
+// markAliveLocked records direct evidence that m is up (a successful
+// probe, a gossip exchange it initiated) at the given incarnation.
+func (c *Cluster) markAliveLocked(m *member, inc uint64) {
+	if inc > m.incarnation {
+		m.incarnation = inc
+	}
+	c.setStateLocked(m, StateAlive)
+}
+
+// markSuspectLocked records local evidence that m is unreachable. The
+// incarnation is untouched — only m itself may bump it.
+func (c *Cluster) markSuspectLocked(m *member, cause string) {
+	m.lastErr = cause
+	if m.state == StateAlive {
+		c.setStateLocked(m, StateSuspect)
+	}
+}
+
+// tickSuspects promotes members suspect for longer than SuspectTimeout
+// to dead. It is called from the gossip and probe loops; tests call it
+// directly.
+func (c *Cluster) tickSuspects() {
+	timeout := c.suspectTimeout
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.url == c.self || m.state != StateSuspect {
+			continue
+		}
+		if time.Since(m.suspectSince) >= timeout {
+			c.setStateLocked(m, StateDead)
+		}
+	}
+}
+
+// GossipOnce runs one push-pull exchange with one peer: send our
+// table, merge the response. Targets rotate round-robin through the
+// non-dead remote members; when every remote member is dead the sweep
+// includes them anyway — gossiping at a corpse is the only way to
+// notice it rebooted before it gossips at us. Returns the peer asked,
+// or "" when there was nobody to ask.
+func (c *Cluster) GossipOnce(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	var candidates []string
+	var deadOnly []string
+	for _, m := range c.members {
+		if m.url == c.self {
+			continue
+		}
+		if m.state == StateDead {
+			deadOnly = append(deadOnly, m.url)
+			continue
+		}
+		candidates = append(candidates, m.url)
+	}
+	if len(candidates) == 0 {
+		candidates = deadOnly
+	}
+	if len(candidates) == 0 {
+		c.mu.Unlock()
+		return "", nil
+	}
+	sort.Strings(candidates)
+	target := candidates[int(c.gossipIdx%uint64(len(candidates)))]
+	c.gossipIdx++
+	m := c.members[target]
+	req := client.GossipRequest{From: c.self, Members: c.tableLocked()}
+	cl := m.cl
+	c.mu.Unlock()
+
+	resp, err := cl.Gossip(ctx, req)
+	c.cmu.Lock()
+	c.st.GossipRounds++
+	c.cmu.Unlock()
+	if err != nil {
+		c.noteErr(m, err)
+		return target, err
+	}
+	c.mergeTable(resp.Members)
+	c.mu.Lock()
+	if mm := c.members[target]; mm != nil {
+		c.markAliveLocked(mm, mm.incarnation)
+	}
+	c.mu.Unlock()
+	return target, nil
+}
+
+// gossipLoop drives GossipOnce and the suspect clock on the configured
+// cadence until Close.
+func (c *Cluster) gossipLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval+time.Second)
+			c.GossipOnce(ctx)
+			cancel()
+			c.tickSuspects()
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Hint-log unit tests: durable round-trips, the torn-tail crash case,
+// latest-wins replacement, the byte budget, and the memory-only mode.
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHintLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.log")
+	l := openHintLog(path, 0)
+	l.add("http://a:1", "img-1", []byte("wire-1"))
+	l.add("http://b:2", "img-2", []byte("wire-2"))
+	l.add("http://a:1", "img-3", []byte("wire-3"))
+
+	// A fresh open (the restart case) replays all three, in order.
+	l2 := openHintLog(path, 0)
+	if n, b := l2.pending(); n != 3 || b != int64(3*len("wire-1")) {
+		t.Fatalf("reopened log has %d hints / %d bytes, want 3 / %d", n, b, 3*len("wire-1"))
+	}
+	hs := l2.take("http://a:1")
+	if len(hs) != 2 || hs[0].name != "img-1" || string(hs[0].wire) != "wire-1" ||
+		hs[1].name != "img-3" || string(hs[1].wire) != "wire-3" {
+		t.Fatalf("take(a) = %+v, want img-1 and img-3 in append order", hs)
+	}
+
+	// remove persists too.
+	l2.remove("http://a:1", "img-1")
+	l3 := openHintLog(path, 0)
+	if n, _ := l3.pending(); n != 2 {
+		t.Fatalf("log after remove reopens with %d hints, want 2", n)
+	}
+}
+
+func TestHintLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.log")
+	l := openHintLog(path, 0)
+	l.add("http://a:1", "whole", []byte("kept"))
+	l.add("http://a:1", "torn", []byte("lost-in-the-crash"))
+
+	// Chop mid-way through the second record: the crash-during-append
+	// shape. The scan must keep the first record and drop the tail
+	// without erroring.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openHintLog(path, 0)
+	if n, _ := l2.pending(); n != 1 {
+		t.Fatalf("torn log reopened with %d hints, want 1", n)
+	}
+	if hs := l2.take("http://a:1"); len(hs) != 1 || hs[0].name != "whole" {
+		t.Fatalf("torn log kept %+v, want just the whole record", hs)
+	}
+
+	// Corrupt the kept record's payload in place: the CRC must reject it.
+	b, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openHintLog(path, 0)
+	if n, _ := l3.pending(); n != 0 {
+		t.Fatalf("CRC-corrupt log reopened with %d hints, want 0", n)
+	}
+}
+
+func TestHintLogLatestWins(t *testing.T) {
+	l := openHintLog("", 0)
+	l.add("http://a:1", "img", []byte("old"))
+	l.add("http://a:1", "img", []byte("newer"))
+	hs := l.take("http://a:1")
+	if len(hs) != 1 || string(hs[0].wire) != "newer" {
+		t.Fatalf("take = %+v, want one hint with the newest wire bytes", hs)
+	}
+	if n, b := l.pending(); n != 1 || b != int64(len("newer")) {
+		t.Fatalf("pending = %d hints / %d bytes, want 1 / %d", n, b, len("newer"))
+	}
+}
+
+func TestHintLogEvictsOldestPastBudget(t *testing.T) {
+	l := openHintLog("", 10) // room for two 4-byte wires, not three
+	if d := l.add("http://a:1", "one", []byte("aaaa")); d != 0 {
+		t.Fatalf("first add dropped %d", d)
+	}
+	l.add("http://a:1", "two", []byte("bbbb"))
+	if d := l.add("http://a:1", "three", []byte("cccc")); d != 1 {
+		t.Fatalf("overflow add dropped %d hints, want 1 (the oldest)", d)
+	}
+	if hs := l.take("http://a:1"); len(hs) != 2 || hs[0].name != "two" || hs[1].name != "three" {
+		t.Fatalf("after eviction take = %+v, want two and three", hs)
+	}
+	if l.dropped != 1 {
+		t.Fatalf("dropped counter = %d, want 1", l.dropped)
+	}
+}
+
+func TestHintLogGarbageFileDegradesGracefully(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.log")
+	if err := os.WriteFile(path, []byte("not a hint log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openHintLog(path, 0)
+	if n, _ := l.pending(); n != 0 {
+		t.Fatalf("garbage file yielded %d hints, want 0", n)
+	}
+	// Still usable: the bad bytes were compacted away on open.
+	l.add("http://a:1", "img", []byte("wire"))
+	l2 := openHintLog(path, 0)
+	if n, _ := l2.pending(); n != 1 {
+		t.Fatalf("log after garbage recovery reopened with %d hints, want 1", n)
+	}
+}

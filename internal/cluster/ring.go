@@ -9,9 +9,16 @@
 // owner and its ring successors (replication factor R), so every shard
 // survives a node loss.
 //
-// Membership is static (the -peers flag); liveness is not: peers are
-// health-probed and marked down on transport failures, and a down peer
-// is skipped by every ring lookup until it heals.
+// Membership is gossiped: nodes -join a seed and push-pull a versioned
+// SWIM-style member table (alive/suspect/dead with incarnation
+// numbers), and the ring grows as never-before-seen members arrive.
+// Liveness is orthogonal to placement: peers are health-probed and
+// marked suspect on transport failures, a suspect silent past the
+// timeout is declared dead, and a down peer is skipped by every ring
+// lookup — without rebuilding the ring — until it heals. The tier
+// self-heals: publishes aimed at a down peer queue in a durable hint
+// log and replay on recovery, and an anti-entropy loop streams in
+// owned-but-missing images from their holders by comparing digests.
 package cluster
 
 import (

@@ -1,0 +1,13 @@
+// Package procharness proves the self-healing cluster with real
+// processes: its tests build the compaqt-serve binary, spawn several
+// of them on pre-picked ports, and drive kills, partitions (SIGSTOP)
+// and rejoins against them over the public HTTP surface only — no
+// httptest, no in-process shortcuts. The faultinject variant
+// (chaos_test.go, `go test -tags faultinject`) additionally seeds a
+// lossy transport under every node's peer clients via the
+// COMPAQT_PEER_FAULTS environment hook and asserts zero corruption
+// while faults rage and full convergence once they stop (SIGUSR1).
+//
+// Per-node process logs go to COMPAQT_PROC_LOG_DIR when set (CI
+// uploads them as artifacts on failure) or a test temp dir otherwise.
+package procharness

@@ -1,0 +1,7 @@
+//go:build faultinject
+
+package procharness
+
+// faultTag mirrors the test binary's build tags so the spawned
+// compaqt-serve binary is built the same way.
+const faultTag = true

@@ -36,12 +36,14 @@ func benchClusterPair(b *testing.B) (front, back, name string) {
 	servers := make([]*Server, 2)
 	for i := range servers {
 		srv, err := New(Config{
-			Parallelism: 1,
+			Parallelism:    1,
+			RepairInterval: -1,
 			Cluster: cluster.Config{
-				Self:          urls[i],
-				Peers:         urls,
-				ProbeInterval: -1,
-				Hedge:         -1,
+				Self:           urls[i],
+				Peers:          urls,
+				ProbeInterval:  -1,
+				GossipInterval: -1,
+				Hedge:          -1,
 			},
 			ClusterNoFill: i == 0,
 		})

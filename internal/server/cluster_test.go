@@ -68,13 +68,15 @@ func startClusterNodes(t *testing.T, n, repl int, mutate func(i int, cfg *Config
 func startClusterNode(t *testing.T, ln net.Listener, self string, peers []string, repl, idx int, mutate func(i int, cfg *Config)) *clusterNode {
 	t.Helper()
 	cfg := Config{
-		Parallelism: 2,
+		Parallelism:    2,
+		RepairInterval: -1, // tests drive RepairOnce explicitly
 		Cluster: cluster.Config{
-			Self:          self,
-			Peers:         append([]string(nil), peers...),
-			Replication:   repl,
-			ProbeInterval: -1, // tests drive Probe explicitly
-			Hedge:         -1, // no timing-dependent duplicate requests
+			Self:           self,
+			Peers:          append([]string(nil), peers...),
+			Replication:    repl,
+			ProbeInterval:  -1, // tests drive Probe explicitly
+			GossipInterval: -1, // tests drive GossipOnce explicitly
+			Hedge:          -1, // no timing-dependent duplicate requests
 		},
 	}
 	if mutate != nil {
@@ -223,9 +225,9 @@ func TestClusterServesFromAnyNode(t *testing.T) {
 	// peer errors.
 	var forwarded, peerErrors uint64
 	for _, n := range nodes {
-		f, _, e := n.srv.cluster.Counters()
-		forwarded += f
-		peerErrors += e
+		st := n.srv.cluster.Counters()
+		forwarded += st.Forwarded
+		peerErrors += st.PeerErrors
 	}
 	if forwarded == 0 {
 		t.Error("full-cluster GET sweep forwarded nothing; routing is off or every node stored every image")
@@ -291,15 +293,15 @@ func TestClusterPeerFillDedup(t *testing.T) {
 			t.Fatalf("GET %d from outsider: bytes differ", i)
 		}
 	}
-	f, fills, errs := outsider.srv.cluster.Counters()
-	if f != 1 {
-		t.Errorf("outsider forwarded %d times for two GETs, want 1 (fill must dedup the second)", f)
+	ost := outsider.srv.cluster.Counters()
+	if ost.Forwarded != 1 {
+		t.Errorf("outsider forwarded %d times for two GETs, want 1 (fill must dedup the second)", ost.Forwarded)
 	}
-	if fills != 1 {
-		t.Errorf("outsider recorded %d peer fills, want 1", fills)
+	if ost.PeerFills != 1 {
+		t.Errorf("outsider recorded %d peer fills, want 1", ost.PeerFills)
 	}
-	if errs != 0 {
-		t.Errorf("outsider recorded %d peer errors on a healthy cluster", errs)
+	if ost.PeerErrors != 0 {
+		t.Errorf("outsider recorded %d peer errors on a healthy cluster", ost.PeerErrors)
 	}
 	// The wire counters mirror the in-process ones.
 	v, err := outsider.cl.ClusterView(ctx)
@@ -358,8 +360,7 @@ func TestClusterWarmRestartZeroRecompiles(t *testing.T) {
 	// rest forwarded. owned > 0 is guaranteed by replication 2 of 3
 	// over 6 names only statistically — assert the exact complement
 	// instead, which holds either way.
-	f, _, _ := restarted.srv.cluster.Counters()
-	if want := uint64(shapes - owned); f != want {
+	if f, want := restarted.srv.cluster.Counters().Forwarded, uint64(shapes-owned); f != want {
 		t.Errorf("restarted node forwarded %d GETs, want %d (%d of %d owned locally)",
 			f, want, owned, shapes)
 	}
@@ -511,9 +512,9 @@ func TestClusterLoadConcurrent(t *testing.T) {
 
 	var forwarded, peerErrors uint64
 	for _, n := range nodes {
-		f, _, e := n.srv.cluster.Counters()
-		forwarded += f
-		peerErrors += e
+		st := n.srv.cluster.Counters()
+		forwarded += st.Forwarded
+		peerErrors += st.PeerErrors
 		if n.srv.m.serverErrors.Load() != 0 {
 			t.Errorf("node %s counted %d server errors under load", n.url, n.srv.m.serverErrors.Load())
 		}
@@ -522,12 +523,12 @@ func TestClusterLoadConcurrent(t *testing.T) {
 		}
 		// The stats wire format must carry the cluster block on every
 		// member.
-		st, err := n.cl.Stats(ctx)
+		ws, err := n.cl.Stats(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Cluster == nil || st.Cluster.Self != n.url || st.Cluster.Replication != 2 {
-			t.Errorf("node %s stats lack a correct cluster block: %+v", n.url, st.Cluster)
+		if ws.Cluster == nil || ws.Cluster.Self != n.url || ws.Cluster.Replication != 2 {
+			t.Errorf("node %s stats lack a correct cluster block: %+v", n.url, ws.Cluster)
 		}
 	}
 	if forwarded == 0 {

@@ -226,6 +226,20 @@ func mapDeadline(r *http.Request, hadDeadline bool, err error) error {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	// ?scope=cluster aggregates across the whole tier. Forwarded
+	// requests always serve local scope — peer stats fetches ride the
+	// forwarded clients, so the fan-out can never recurse.
+	if r.URL.Query().Get("scope") == "cluster" &&
+		s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		s.handleStatsCluster(w, r)
+		return
+	}
+	resp := s.localStats()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// localStats assembles this node's /v1/stats body.
+func (s *Server) localStats() client.StatsResponse {
 	cs := s.svc.CacheStats()
 	resp := client.StatsResponse{
 		Codec:  s.svc.Codec().Name(),
@@ -279,16 +293,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.cluster != nil {
-		fwd, fills, perrs := s.cluster.Counters()
-		resp.Cluster = &client.ClusterStats{
-			Self:        s.cluster.Self(),
-			Replication: s.cluster.Replication(),
-			Forwarded:   fwd,
-			PeerFills:   fills,
-			PeerErrors:  perrs,
-		}
+		resp.Cluster = s.clusterStats()
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // bodyBufPool recycles request-body staging buffers across requests.
@@ -708,28 +715,30 @@ func (s *Server) handleImagePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleCluster reports the ring view: every member with liveness and
-// key-space share, plus this node's forwarding counters.
+// handleCluster reports the ring view: every member with its gossip
+// state and key-space share, plus this node's forwarding counters.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	members, repl, vnodes := s.cluster.View()
-	fwd, fills, perrs := s.cluster.Counters()
+	st := s.cluster.Counters()
 	resp := client.ClusterResponse{
 		Self:        s.cluster.Self(),
 		Replication: repl,
 		VNodes:      vnodes,
 		Peers:       make([]client.PeerStatus, len(members)),
-		Forwarded:   fwd,
-		PeerFills:   fills,
-		PeerErrors:  perrs,
+		Forwarded:   st.Forwarded,
+		PeerFills:   st.PeerFills,
+		PeerErrors:  st.PeerErrors,
 	}
 	for i, m := range members {
 		resp.Peers[i] = client.PeerStatus{
-			URL:       m.URL,
-			Self:      m.Self,
-			Alive:     m.Alive,
-			Share:     m.Share,
-			LastError: m.LastErr,
+			URL:         m.URL,
+			Self:        m.Self,
+			Alive:       m.Alive,
+			State:       m.State,
+			Incarnation: m.Incarnation,
+			Share:       m.Share,
+			LastError:   m.LastErr,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -2,19 +2,24 @@
 // service wrapping compaqt.Service behind a small REST API, built for
 // sustained concurrent traffic.
 //
-//	POST /v1/compile        single pulse
-//	POST /v1/compile/batch  order-stable, dedup-aware batch
-//	GET  /v1/images/{name}  stored image, CPQT wire format
-//	PUT  /v1/images/{name}  ingest wire bytes (cluster replication)
-//	GET  /v1/stats          cache + request metrics
-//	GET  /v1/cluster        ring view + peer health (cluster mode)
-//	GET  /healthz           liveness ("ok" / "draining")
+//	POST /v1/compile         single pulse
+//	POST /v1/compile/batch   order-stable, dedup-aware batch
+//	GET  /v1/images/{name}   stored image, CPQT wire format
+//	PUT  /v1/images/{name}   ingest wire bytes (cluster replication)
+//	GET  /v1/stats           cache + request metrics (?scope=cluster aggregates)
+//	GET  /v1/cluster         ring view + member health (cluster mode)
+//	POST /v1/cluster/gossip  membership push-pull exchange (cluster mode)
+//	GET  /v1/cluster/digests owned-image digest listing (cluster mode)
+//	GET  /healthz            liveness ("ok" / "draining")
 //
 // With Config.Cluster enabled the server is one cell of a
 // digest-sharded tier: a GET it cannot answer locally is forwarded to
 // the consistent-hash owner of the name's digest (and written through
 // to the local store on success), and compiled named images are
-// published to the digest's replica set. See internal/cluster.
+// published to the digest's replica set. Membership is gossiped
+// (internal/cluster), failed publishes are hinted and replayed on
+// heal, and a background anti-entropy loop (RepairOnce) pulls the
+// shard this node owns from current holders.
 //
 // Request flow: decode (bounded by MaxBodyBytes) -> validate (pulse
 // shape, per-request codec overrides against the codec registry) ->
@@ -101,6 +106,12 @@ type Config struct {
 	// fetches — the node then serves as a pure proxy for remote shards
 	// (diskless front ends, forwarding benchmarks).
 	ClusterNoFill bool
+	// RepairInterval paces the cluster's background anti-entropy loop:
+	// each round pulls images this node owns but does not hold from
+	// their current holders and drains any deliverable hints. 0 means
+	// 5s; negative disables the loop (tests call RepairOnce directly).
+	// Ignored without Cluster.
+	RepairInterval time.Duration
 	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden Run's
 	// http.Server against slow and stalled clients (slowloris): 0
 	// selects the defaults (5s, 2m, 2m); negative disables a timeout.
@@ -202,6 +213,10 @@ type Server struct {
 	// to the ring owner, compiles publish to the replica set.
 	cluster *cluster.Cluster
 
+	// stopc stops the background repair loop; closed once by Close.
+	stopc    chan struct{}
+	stopOnce sync.Once
+
 	draining atomic.Bool
 	m        metrics
 
@@ -279,7 +294,8 @@ func New(cfg Config) (*Server, error) {
 		images:    map[string]*storedImage{},
 		// Room for every stored image's wire bytes and base64 form,
 		// plus headroom for include_image responses of unstored images.
-		wire: cache.NewLRU(4 * cfg.MaxImages),
+		wire:  cache.NewLRU(4 * cfg.MaxImages),
+		stopc: make(chan struct{}),
 	}
 	svc, err := compaqt.New(s.baseOptions(nil)...)
 	if err != nil {
@@ -305,6 +321,14 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("PUT /v1/images/{name}", s.handleImagePut)
 	if s.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("POST /v1/cluster/gossip", s.handleGossip)
+		mux.HandleFunc("GET /v1/cluster/digests", s.handleDigests)
+		if ri := cfg.RepairInterval; ri >= 0 {
+			if ri == 0 {
+				ri = 5 * time.Second
+			}
+			go s.repairLoop(ri)
+		}
 	}
 	s.mux = mux
 	return s, nil
@@ -562,12 +586,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Service exposes the default-configuration service (tests, embedders).
 func (s *Server) Service() *compaqt.Service { return s.svc }
 
-// Close stops the cluster probe loop and releases the server's
-// persistent store (flushing its manifest and releasing the directory
-// lock), so a successor process can open the same directory
+// Close stops the cluster gossip/probe/repair loops and releases the
+// server's persistent store (flushing its manifest and releasing the
+// directory lock), so a successor process can open the same directory
 // immediately. It is idempotent and safe without either; Run calls it
 // after draining.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stopc) })
 	if s.cluster != nil {
 		s.cluster.Close()
 	}

@@ -667,6 +667,28 @@ func (s *Store) Names() []string {
 	return names
 }
 
+// Binding is one name -> content binding the store holds, as the
+// cluster's anti-entropy digest listing reports it.
+type Binding struct {
+	Name string
+	Key  cache.Key
+	Size int64
+}
+
+// Bindings returns every live name -> digest binding, sorted by name.
+// The cluster tier serves GET /v1/cluster/digests from it so a
+// repairing peer can see exactly what this node holds durably.
+func (s *Store) Bindings() []Binding {
+	s.mu.RLock()
+	out := make([]Binding, 0, len(s.byName))
+	for n, o := range s.byName {
+		out = append(out, Binding{Name: n, Key: o.key, Size: o.size})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
